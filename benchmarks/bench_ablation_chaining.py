@@ -1,0 +1,54 @@
+"""Ablation: the Example 3.3 chaining optimisation.
+
+Chaining replaces direct distances to the representative with consecutive
+gaps; gaps are never larger, so a chained block never encodes bigger (a
+property-tested invariant).  This bench quantifies the payoff and its
+coding-time cost on the benchmark relation.
+"""
+
+import pytest
+
+from repro.core.codec import BlockCodec
+from repro.storage.packer import pack_ordinals
+
+BLOCK_SIZE = 8192
+
+
+@pytest.mark.parametrize("chained", [True, False], ids=["chained", "unchained"])
+def test_ablation_chaining_blocks(benchmark, small_variance_relation, chained):
+    """Block footprint with and without chaining."""
+    codec = BlockCodec(
+        small_variance_relation.schema.domain_sizes, chained=chained
+    )
+    ordinals = small_variance_relation.phi_ordinals()
+    partition = benchmark.pedantic(
+        pack_ordinals, args=(codec, ordinals, BLOCK_SIZE), rounds=1, iterations=1
+    )
+    benchmark.extra_info["chained"] = chained
+    benchmark.extra_info["blocks"] = partition.stats.num_blocks
+    benchmark.extra_info["payload_bytes"] = partition.stats.payload_bytes
+
+
+@pytest.mark.parametrize("chained", [True, False], ids=["chained", "unchained"])
+def test_ablation_chaining_encode_speed(
+    benchmark, small_variance_relation, chained
+):
+    """Per-block encode time with and without chaining."""
+    codec = BlockCodec(
+        small_variance_relation.schema.domain_sizes, chained=chained
+    )
+    tuples = small_variance_relation.sorted_by_phi()[:512]
+    benchmark(codec.encode_block, tuples)
+
+
+def test_ablation_chaining_never_larger(small_variance_relation):
+    """The invariant behind the ablation, at full relation scale."""
+    ordinals = small_variance_relation.phi_ordinals()
+    chained = BlockCodec(small_variance_relation.schema.domain_sizes)
+    unchained = BlockCodec(
+        small_variance_relation.schema.domain_sizes, chained=False
+    )
+    p_chained = pack_ordinals(chained, ordinals, BLOCK_SIZE)
+    p_unchained = pack_ordinals(unchained, ordinals, BLOCK_SIZE)
+    assert p_chained.stats.payload_bytes <= p_unchained.stats.payload_bytes
+    assert p_chained.stats.num_blocks <= p_unchained.stats.num_blocks

@@ -1,0 +1,106 @@
+"""Ablation: coding granularity — byte RLE vs bit-level Golomb vs BTF.
+
+The paper's Section 3.4 run-length codes at byte granularity.  This
+bench quantifies what that choice costs against two bit-granular
+alternatives on the same relations:
+
+* Golomb-Rice coding of the identical chained gap sequence (same
+  differencing transform, finer gap representation);
+* bit-transposed files (no differencing, but no byte padding either —
+  the paper's reference [13]).
+
+Measured regimes (asserted below):
+
+* moderate domains (the paper's Example 3.1 sizes): byte AVQ and Golomb
+  are close, both far ahead of BTF;
+* tiny 2-bit domains: byte AVQ's 8-bit field floor makes it lose to
+  BTF, while Golomb keeps the differencing win — i.e. the paper's byte
+  granularity is the right call for its workloads but not universally.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.bittransposed import BitTransposedBaseline
+from repro.core.codec import BlockCodec
+from repro.core.golomb import GolombBlockCodec
+
+
+def make_tuples(sizes, n, seed):
+    rng = random.Random(seed)
+    return [tuple(rng.randrange(s) for s in sizes) for _ in range(n)]
+
+
+SCENARIOS = {
+    "paper-domains": ([8, 16, 64, 64, 64], 2000),
+    "tiny-domains": ([4] * 12, 2000),
+    "wide-domains": ([1 << 12] * 6, 2000),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("coder", ["byte-avq", "golomb", "btf"])
+def test_granularity_encode(benchmark, scenario, coder):
+    """Encode one large block under each coder; record the sizes."""
+    sizes, n = SCENARIOS[scenario]
+    tuples = make_tuples(sizes, n, seed=42)
+    if coder == "byte-avq":
+        codec = BlockCodec(sizes)
+        encode = lambda: codec.encode_block(tuples)
+    elif coder == "golomb":
+        codec = GolombBlockCodec(sizes)
+        encode = lambda: codec.encode_block(tuples)
+    else:
+        codec = BitTransposedBaseline(sizes)
+        encode = lambda: codec.encode_block(tuples)
+    data = benchmark(encode)
+    benchmark.extra_info["scenario"] = scenario
+    benchmark.extra_info["coder"] = coder
+    benchmark.extra_info["bytes"] = len(data)
+    benchmark.extra_info["bytes_per_tuple"] = round(len(data) / n, 2)
+
+
+def test_granularity_regimes():
+    """The regime claims, asserted on measured sizes.
+
+    * Golomb (bit-granular differencing) wins everywhere.
+    * At the paper's Example 3.1 domains with a sparse relation, byte
+      AVQ and BTF are within ~25% of each other (gaps cost ~3 bytes,
+      BTF costs 25 bits) — neither dominates.
+    * On a *dense* relation, byte AVQ's 2-byte floor undercuts BTF's
+      sum-of-widths; on *tiny 2-bit* domains the 8-bit field floor makes
+      byte AVQ lose to BTF.
+    """
+    # sparse, moderate domains: Golomb clearly ahead; byte ~ BTF
+    sizes, n = SCENARIOS["paper-domains"]
+    tuples = make_tuples(sizes, n, seed=1)
+    byte_avq = len(BlockCodec(sizes).encode_block(tuples))
+    golomb = len(GolombBlockCodec(sizes).encode_block(tuples))
+    btf = len(BitTransposedBaseline(sizes).encode_block(tuples))
+    assert golomb < btf and golomb < byte_avq
+    assert byte_avq < 1.3 * btf
+
+    # dense relation: byte AVQ beats BTF
+    sizes = [8, 16, 64, 64]
+    tuples = make_tuples(sizes, 20_000, seed=1)
+    byte_avq = len(BlockCodec(sizes).encode_block(tuples))
+    btf = len(BitTransposedBaseline(sizes).encode_block(tuples))
+    assert byte_avq < btf
+
+    # tiny domains: byte floor hurts byte AVQ, not Golomb
+    sizes, n = SCENARIOS["tiny-domains"]
+    tuples = make_tuples(sizes, n, seed=2)
+    byte_avq = len(BlockCodec(sizes).encode_block(tuples))
+    golomb = len(GolombBlockCodec(sizes).encode_block(tuples))
+    btf = len(BitTransposedBaseline(sizes).encode_block(tuples))
+    assert btf < byte_avq
+    assert golomb < btf
+
+
+def test_golomb_round_trip_at_scale():
+    sizes, n = SCENARIOS["wide-domains"]
+    tuples = make_tuples(sizes, n, seed=3)
+    codec = GolombBlockCodec(sizes)
+    decoded = codec.decode_block(codec.encode_block(tuples))
+    assert decoded == sorted(tuples, key=codec.mapper.phi)

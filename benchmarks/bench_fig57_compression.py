@@ -1,0 +1,84 @@
+"""Benchmark for Figure 5.7 — compression efficiency.
+
+Regenerates the paper's Table (b) (percentage reduction in blocks for the
+four test configurations) and times the AVQ packing itself.  The paper's
+values are attached to each benchmark's ``extra_info`` so that the
+paper-versus-measured comparison appears in the benchmark JSON.
+
+Shape assertions (must hold at any scale):
+  * every configuration compresses by more than 40%;
+  * small domain variance beats large domain variance;
+  * skew changes the result by less than 15 points.
+"""
+
+import pytest
+
+from repro.baselines.avq import AVQBaseline
+from repro.baselines.nocoding import NaturalWidthBaseline
+from repro.experiments.fig57 import (
+    TEST_CONFIGS,
+    run_compression_test,
+)
+BENCH_TUPLES = 100_000  # the paper's larger relation size
+BLOCK_SIZE = 8192
+
+
+@pytest.mark.parametrize("test", TEST_CONFIGS, ids=lambda t: f"test{t.number}")
+def test_fig57_compression(benchmark, test):
+    """Time the full measurement of one Figure 5.7 cell; record its table row."""
+    result = benchmark.pedantic(
+        run_compression_test,
+        args=(test, BENCH_TUPLES),
+        kwargs={"block_size": BLOCK_SIZE, "seed": test.number},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["test"] = test.label
+    benchmark.extra_info["uncoded_blocks"] = result.uncoded_blocks
+    benchmark.extra_info["coded_blocks"] = result.coded_blocks
+    benchmark.extra_info["reduction_pct"] = round(result.reduction_pct, 1)
+    benchmark.extra_info["paper_reduction_pct"] = result.paper_reduction_pct
+    assert result.reduction_pct > 40.0
+
+
+def test_fig57_packing_throughput(benchmark, small_variance_relation):
+    """Time AVQ packing (blocks_needed) on the Test-3 relation."""
+    rel = small_variance_relation
+    avq = AVQBaseline(rel.schema.domain_sizes)
+    blocks = benchmark(avq.blocks_needed, rel, BLOCK_SIZE)
+    uncoded = NaturalWidthBaseline(rel.schema.domain_sizes).blocks_needed(
+        rel, BLOCK_SIZE
+    )
+    benchmark.extra_info["coded_blocks"] = blocks
+    benchmark.extra_info["uncoded_blocks"] = uncoded
+    assert blocks < uncoded
+
+
+def test_fig57_shape_claims():
+    """Section 5.1's three bullets, asserted at benchmark scale."""
+    results = {}
+    for test in TEST_CONFIGS:
+        results[test.number] = run_compression_test(
+            test, BENCH_TUPLES, block_size=BLOCK_SIZE, seed=test.number
+        )
+    # homogeneity helps
+    assert results[1].reduction_pct > results[2].reduction_pct
+    assert results[3].reduction_pct > results[4].reduction_pct
+    # skew is a second-order effect
+    assert abs(results[1].reduction_pct - results[3].reduction_pct) < 15
+    assert abs(results[2].reduction_pct - results[4].reduction_pct) < 15
+
+
+def test_fig57_size_invariance(benchmark):
+    """The paper reports the same reduction at 10^4 and 10^5 tuples; the
+    byte-granular RLE plateaus, so the reduction moves only a few points
+    per decade.  Benchmarked at two sizes a decade apart."""
+    def measure():
+        small = run_compression_test(TEST_CONFIGS[2], 4_000, seed=3)
+        large = run_compression_test(TEST_CONFIGS[2], 40_000, seed=3)
+        return small, large
+
+    small, large = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["reduction_4k"] = round(small.reduction_pct, 1)
+    benchmark.extra_info["reduction_40k"] = round(large.reduction_pct, 1)
+    assert abs(small.reduction_pct - large.reduction_pct) < 15

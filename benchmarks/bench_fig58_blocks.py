@@ -1,0 +1,75 @@
+"""Benchmark for Figure 5.8 — blocks accessed per range query.
+
+Builds the query-sweep relation, stores it coded and uncoded, runs the
+paper's per-attribute sweep, and records the N table.  The secondary-
+index range probe itself is also timed.
+
+Shape assertions (the paper's observations):
+  * the unique-key point probe touches exactly one block in both files;
+  * non-clustered attributes touch ~every block of their file;
+  * the coded file's N is a large constant factor below the uncoded N
+    (paper: 64.2% fewer on average).
+"""
+
+import pytest
+
+from repro.experiments.fig58 import build_fig58_relation, run_figure_58
+from repro.index.secondary import SecondaryIndex
+from repro.storage.avqfile import AVQFile
+from repro.storage.disk import SimulatedDisk
+
+BENCH_TUPLES = 50_000
+BLOCK_SIZE = 8192
+
+
+@pytest.fixture(scope="module")
+def fig58_result():
+    return run_figure_58(num_tuples=BENCH_TUPLES, block_size=BLOCK_SIZE)
+
+
+def test_fig58_sweep(benchmark):
+    """Time the full Figure 5.8 sweep; record the averages it produces."""
+    result = benchmark.pedantic(
+        run_figure_58,
+        kwargs={"num_tuples": BENCH_TUPLES, "block_size": BLOCK_SIZE},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["avg_N_uncoded"] = round(result.avg_uncoded, 1)
+    benchmark.extra_info["avg_N_coded"] = round(result.avg_coded, 1)
+    benchmark.extra_info["reduction_pct"] = round(result.reduction_pct, 1)
+    benchmark.extra_info["paper_avg_uncoded"] = 153.6
+    benchmark.extra_info["paper_avg_coded"] = 55.0
+    benchmark.extra_info["paper_reduction_pct"] = 64.2
+    assert result.reduction_pct > 35.0
+
+
+def test_fig58_key_probe_is_one_block(fig58_result):
+    key_row = fig58_result.rows[-1]
+    assert key_row.blocks_uncoded == 1
+    assert key_row.blocks_coded == 1
+
+
+def test_fig58_nonclustered_hits_most_blocks(fig58_result):
+    mid = fig58_result.rows[7]
+    assert mid.blocks_uncoded >= 0.9 * fig58_result.total_blocks_uncoded
+    assert mid.blocks_coded >= 0.9 * fig58_result.total_blocks_coded
+
+
+def test_fig58_clustering_attribute_benefits(fig58_result):
+    lead = fig58_result.rows[0]
+    mid = fig58_result.rows[7]
+    assert lead.blocks_uncoded <= mid.blocks_uncoded
+    assert lead.blocks_coded <= mid.blocks_coded
+
+
+def test_fig58_secondary_probe_latency(benchmark):
+    """Time one secondary-index range probe on the coded file."""
+    relation = build_fig58_relation(BENCH_TUPLES, seed=0)
+    disk = SimulatedDisk(block_size=BLOCK_SIZE)
+    avq = AVQFile.build(relation, disk)
+    idx = SecondaryIndex.build("A5", 4, avq.iter_blocks())
+    size = relation.schema.domain_sizes[4]
+    blocks = benchmark(idx.range_lookup, size // 2, size - 1)
+    benchmark.extra_info["blocks_returned"] = len(blocks)
+    assert blocks

@@ -1,0 +1,67 @@
+"""Benchmark: early-exit point probe versus full block decode.
+
+``Table.contains`` walks the difference stream arithmetically and stops
+at the target; a naive implementation decodes the whole block and
+searches.  Both are measured on a full 8 KiB block.
+"""
+
+import random
+
+import pytest
+
+from repro.core.codec import BlockCodec
+from repro.storage.packer import pack_ordinals
+
+DOMAINS = [1 << 12] * 10 + [1 << 18] * 6  # the Section 5.2 relation
+BLOCK_SIZE = 8192
+
+
+@pytest.fixture(scope="module")
+def block():
+    codec = BlockCodec(DOMAINS)
+    rng = random.Random(3)
+    ordinals = sorted(
+        rng.randrange(codec.mapper.space_size) for _ in range(20_000)
+    )
+    runs = pack_ordinals(codec, ordinals, BLOCK_SIZE).blocks
+    run = runs[len(runs) // 2]
+    tuples = [codec.mapper.phi_inverse(o) for o in run]
+    data = codec.encode_block(tuples)
+    return codec, run, data
+
+
+def test_probe_hit(benchmark, block):
+    codec, run, data = block
+    target = run[len(run) // 4]  # early on the before side
+    assert benchmark(codec.probe_block, data, target)
+
+
+def test_probe_miss(benchmark, block):
+    codec, run, data = block
+    target = run[0] + 1
+    while target in set(run):  # pragma: no cover - improbable
+        target += 1
+    assert not benchmark(codec.probe_block, data, target)
+
+
+def test_full_decode_then_search(benchmark, block):
+    codec, run, data = block
+    target_tuple = codec.mapper.phi_inverse(run[len(run) // 4])
+
+    def naive():
+        return target_tuple in codec.decode_block(data)
+
+    assert benchmark(naive)
+
+
+def test_probe_faster_than_decode(block):
+    from repro.perf.timer import mean_time_ms
+
+    codec, run, data = block
+    target = run[len(run) // 4]
+    target_tuple = codec.mapper.phi_inverse(target)
+    probe_ms = mean_time_ms(lambda: codec.probe_block(data, target), 50)
+    decode_ms = mean_time_ms(
+        lambda: target_tuple in codec.decode_block(data), 50
+    )
+    assert probe_ms < decode_ms

@@ -1,0 +1,104 @@
+"""Section 2.1's claims, benchmarked: AVQ versus conventional VQ.
+
+The paper argues AVQ beats classical VQ on two operational costs:
+
+1. **Codebook design** — LBG needs "a non-deterministic number of
+   iterations"; AVQ computes representatives "in constant time" (one
+   median pick per cell of sorted data).
+2. **Coding-time search** — classical VQ performs a nearest-neighbour
+   search per input vector; AVQ needs none (block membership determines
+   the representative).
+
+And one correctness gap: conventional VQ is lossy; AVQ is not.  All
+three are measured here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.phi import OrdinalMapper
+from repro.core.quantizer import AVQQuantizer, build_codebook
+from repro.vq.lbg import lbg_codebook
+from repro.vq.lossy import LossyVectorQuantizer
+
+NUM_POINTS = 5_000
+NUM_CODES = 64
+DOMAINS = [8, 16, 64, 64, 64]
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(17)
+    return np.stack(
+        [rng.integers(0, s, size=NUM_POINTS) for s in DOMAINS], axis=1
+    )
+
+
+@pytest.fixture(scope="module")
+def tuples(points):
+    return [tuple(int(v) for v in row) for row in points]
+
+
+def test_codebook_design_lbg(benchmark, points):
+    """LBG iterative design (the cost AVQ avoids)."""
+    result = benchmark.pedantic(
+        lbg_codebook, args=(points, NUM_CODES), kwargs={"seed": 1},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["lloyd_iterations"] = result.total_iterations
+    assert result.total_iterations >= np.log2(NUM_CODES)
+
+
+def test_codebook_design_avq(benchmark, tuples):
+    """AVQ codebook: sort once, pick medians — no iteration."""
+    mapper = OrdinalMapper(DOMAINS)
+    codebook = benchmark(build_codebook, mapper, tuples, NUM_CODES)
+    assert len(codebook) == NUM_CODES
+
+
+def test_avq_design_faster_than_lbg(points, tuples):
+    """The paper's computational-efficiency claim, measured directly."""
+    from repro.perf.timer import mean_time_ms
+
+    mapper = OrdinalMapper(DOMAINS)
+    avq_ms = mean_time_ms(
+        lambda: build_codebook(mapper, tuples, NUM_CODES), repeats=3
+    )
+    lbg_ms = mean_time_ms(
+        lambda: lbg_codebook(points, NUM_CODES, seed=1), repeats=3
+    )
+    assert avq_ms < lbg_ms
+
+
+def test_coding_search_lossy_vq(benchmark, points):
+    """Classical VQ full-search coder: O(points x codes)."""
+    q = LossyVectorQuantizer(
+        lbg_codebook(points, NUM_CODES, seed=1).codebook
+    )
+    codewords = benchmark(q.encode, points)
+    assert len(codewords) == NUM_POINTS
+
+
+def test_coding_search_avq(benchmark, tuples):
+    """AVQ codeword assignment: binary search over phi-sorted codebook."""
+    mapper = OrdinalMapper(DOMAINS)
+    q = AVQQuantizer(mapper, build_codebook(mapper, tuples, NUM_CODES))
+
+    def encode_all():
+        return [q.encode(t) for t in tuples]
+
+    codes = benchmark(encode_all)
+    assert len(codes) == NUM_POINTS
+
+
+def test_lossy_vq_destroys_data_avq_does_not(points, tuples):
+    """Conventional VQ at any codebook smaller than the data is lossy;
+    AVQ round-trips every tuple exactly (Theorem 2.1)."""
+    lossy = LossyVectorQuantizer(
+        lbg_codebook(points, NUM_CODES, seed=1).codebook
+    )
+    assert lossy.information_loss(points) > 0.5
+
+    mapper = OrdinalMapper(DOMAINS)
+    q = AVQQuantizer(mapper, build_codebook(mapper, tuples, NUM_CODES))
+    assert all(q.decode(q.encode(t)) == t for t in tuples[:500])

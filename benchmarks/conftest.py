@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Relations are generated once per session and shared; sizes are chosen so
+the full suite runs in a few minutes while keeping the paper's shape
+effects (compression ratios, block-count ratios) clearly visible.
+"""
+
+import pytest
+
+from repro.workload.generator import (
+    RelationSpec,
+    generate_relation,
+    paper_timing_spec,
+)
+
+#: Tuple counts used by the benchmark harness.  The paper used 10^4/10^5;
+#: these are scaled for wall-clock friendliness and produce the same shape.
+BENCH_TUPLES = 20_000
+
+
+@pytest.fixture(scope="session")
+def timing_relation():
+    """The Section 5.2 relation (16 attributes, 38-byte tuples), scaled."""
+    return generate_relation(paper_timing_spec(BENCH_TUPLES, seed=7))
+
+
+@pytest.fixture(scope="session")
+def small_variance_relation():
+    """A Figure 5.7 Test-3 style relation (uniform, small variance)."""
+    return generate_relation(
+        RelationSpec(
+            num_tuples=BENCH_TUPLES,
+            num_attributes=15,
+            mean_domain_size=4,
+            domain_variance="small",
+            skew="uniform",
+            seed=11,
+        )
+    )

@@ -1,0 +1,68 @@
+"""Compression study: Figure 5.7 at interactive scale, plus the baselines.
+
+Reproduces the paper's compression-efficiency experiment across the four
+relation-characteristic combinations (skew x domain variance) and shows
+where the win comes from by lining AVQ up against:
+
+  * natural-width storage (the paper's "before" layout),
+  * minimal packed fixed-width storage,
+  * plain per-tuple run-length coding (no differencing).
+
+Run:  python examples/compression_study.py [num_tuples]
+"""
+
+import sys
+
+from repro.experiments.fig57 import TEST_CONFIGS, run_compression_test
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    num_tuples = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+
+    print(f"Figure 5.7 reproduction at {num_tuples:,} tuples "
+          "(paper used 10^4 and 10^5)\n")
+
+    rows = []
+    for test in TEST_CONFIGS:
+        r = run_compression_test(test, num_tuples, seed=test.number)
+        rows.append(
+            [
+                test.label,
+                r.uncoded_blocks,
+                r.coded_blocks,
+                f"{r.reduction_pct:.1f}%",
+                f"{r.paper_reduction_pct:.1f}%",
+                f"{r.packed_reduction_pct:.1f}%",
+                f"{r.raw_rle_reduction_pct:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "configuration",
+                "uncoded blk",
+                "AVQ blk",
+                "reduction",
+                "paper",
+                "vs packed",
+                "raw RLE",
+            ],
+            rows,
+        )
+    )
+
+    print(
+        "\nReadings:"
+        "\n  * 'reduction' is the paper's metric: AVQ versus natural-width"
+        "\n    storage, in 8 KiB disk blocks."
+        "\n  * small domain variance compresses better than large — the"
+        "\n    paper's homogeneity observation."
+        "\n  * skew barely moves the numbers — the paper's third bullet."
+        "\n  * raw RLE (no differencing) does far worse: the differential"
+        "\n    transform is what manufactures the leading zeros."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Validate the paper's cost model by replaying a real workload.
+
+Section 5.3 predicts query response time analytically:
+``C = I + N (t1 + t_cpu)``.  This example checks that shortcut against
+execution: a workload of range queries is replayed on real stored
+tables (actual index probes, actual block decodes, every access priced
+as it happens), and the simulated totals are compared with the formula
+— per machine, coded versus uncoded.
+
+Run:  python examples/cost_model_validation.py
+"""
+
+import random
+
+from repro.db.query import RangeQuery
+from repro.db.table import Table
+from repro.perf.machines import PAPER_MACHINES
+from repro.perf.simulation import predicted_workload_cost, simulate_workload
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile
+
+
+def build_tables(num_tuples=20_000, seed=11):
+    schema = Schema(
+        [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(8)]
+    )
+    rng = random.Random(seed)
+    rel = Relation(
+        schema,
+        [tuple(rng.randrange(64) for _ in range(8))
+         for _ in range(num_tuples)],
+    )
+    coded = Table.from_relation(
+        "coded", rel, SimulatedDisk(8192), secondary_on=["a3"]
+    )
+    heap_storage = HeapFile.build(
+        rel, SimulatedDisk(8192), min_field_bytes=2  # natural-width uncoded
+    )
+    heap = Table("heap", rel.schema, heap_storage)
+    heap.create_secondary_index("a3")
+    return rel, coded, heap
+
+
+def make_workload(n=25, seed=4):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        lo = rng.randrange(0, 48)
+        out.append(RangeQuery.between("a3", lo, lo + rng.randrange(4, 16)))
+    return out
+
+
+def main() -> None:
+    rel, coded, heap = build_tables()
+    queries = make_workload()
+    print(f"workload: {len(queries)} range queries over {len(rel):,} tuples")
+    print(f"files: coded {coded.num_blocks} blocks, "
+          f"uncoded {heap.num_blocks} blocks\n")
+
+    header = (f"{'machine':14s} {'simulated C1':>13s} {'predicted':>10s} "
+              f"{'simulated C2':>13s} {'predicted':>10s} {'improvement':>12s}")
+    print(header)
+    print("-" * len(header))
+    for machine in PAPER_MACHINES:
+        c1 = simulate_workload(coded, queries, machine)
+        c2 = simulate_workload(heap, queries, machine)
+        p1 = predicted_workload_cost(
+            coded, c1.blocks_read / c1.queries, c1.queries, machine
+        )
+        p2 = predicted_workload_cost(
+            heap, c2.blocks_read / c2.queries, c2.queries, machine
+        )
+        improvement = 100 * (1 - c1.total_ms / c2.total_ms)
+        print(f"{machine.name:14s} {c1.total_s:12.2f}s {p1 / 1000:9.2f}s "
+              f"{c2.total_s:12.2f}s {p2 / 1000:9.2f}s {improvement:11.1f}%")
+
+    print(
+        "\nReading: simulated and predicted columns agree exactly — the"
+        "\npaper's Equation 5.7/5.8 is precisely the bookkeeping the"
+        "\nexecution performs.  The improvement column shows the paper's"
+        "\nCPU-speed gradient: the faster the machine, the more the I/O"
+        "\nsavings dominate the decode cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""The paper's worked example, replayed: Figure 2.2 end to end.
+
+Prints the 50-tuple employee relation at each stage of the AVQ pipeline
+exactly as the paper's Figure 2.2 presents it:
+
+  Table (a)  the raw relation (department names, job titles, numbers)
+  Table (b)  after attribute encoding — every value an ordinal
+  Table (c)  after phi re-ordering, with the N_R ordinal column
+  Table (d)  after block coding — representative tuples and run-length
+             coded differences
+
+and finishes with the Figure 3.3 byte stream for the fourth block, which
+matches the paper's printed stream digit for digit.
+
+Run:  python examples/employee_relation.py
+"""
+
+from repro.core.codec import HEADER_BYTES
+from repro.experiments.worked_example import (
+    PAPER_BLOCK_TUPLES,
+    encode_paper_blocks,
+    paper_blocks,
+    paper_codec,
+    paper_relation,
+)
+
+
+def print_table_a_and_b(relation, limit=10):
+    print(f"Table (a)/(b) — first {limit} of {len(relation)} rows "
+          "(raw values | encoded ordinals)")
+    for encoded in list(relation)[:limit]:
+        raw = relation.schema.decode_tuple(encoded)
+        raw_s = f"{raw[0]:<11s} {raw[1]:<11s} {raw[2]:2d} {raw[3]:2d} {raw[4]:02d}"
+        enc_s = " ".join(f"{v:02d}" for v in encoded)
+        print(f"  {raw_s}   |   {enc_s}")
+
+
+def print_table_c(relation, limit=10):
+    mapper = relation.schema.mapper
+    print(f"\nTable (c) — first {limit} rows after phi re-ordering")
+    for t in relation.sorted_by_phi()[:limit]:
+        enc_s = " ".join(f"{v:02d}" for v in t)
+        print(f"  {enc_s}   N_R = {mapper.phi(t):8d}")
+
+
+def print_table_d(limit_blocks=2):
+    codec = paper_codec()
+    mapper = codec.mapper
+    print(f"\nTable (d) — first {limit_blocks} coded blocks "
+          "(middle row is the representative)")
+    for k, block in enumerate(paper_blocks()[:limit_blocks]):
+        ordinals = [mapper.phi(t) for t in block]
+        rep = (len(ordinals) - 1) // 2
+        diffs = codec._differences(ordinals, rep)
+        di = iter(diffs)
+        print(f"  block {k + 1}:")
+        for i, t in enumerate(block):
+            if i == rep:
+                print("    " + " ".join(f"{v:02d}" for v in t)
+                      + f"   <- representative (N_R = {ordinals[i]})")
+            else:
+                d = next(di)
+                dt = mapper.phi_inverse(d)
+                print("    " + " ".join(f"{v:02d}" for v in dt)
+                      + f"   (difference {d})")
+
+
+def print_figure_33_stream():
+    coded = encode_paper_blocks()[3]
+    payload = coded[HEADER_BYTES:]
+    print("\nFigure 3.3 — coded stream of block 4 (paper prints"
+          " 3 08 36 39 35 3 08 57 2 04 05 23 2 51 56 29 2 01 59 37):")
+    print("  " + " ".join(f"{b:02d}" for b in payload))
+
+
+def main() -> None:
+    relation = paper_relation()
+    print_table_a_and_b(relation)
+    print_table_c(relation)
+    print_table_d()
+    print_figure_33_stream()
+
+    # Verify the lossless round trip over the whole example.
+    codec = paper_codec()
+    ok = all(
+        codec.decode_block(coded) == block
+        for block, coded in zip(paper_blocks(), encode_paper_blocks())
+    )
+    coded_blocks = encode_paper_blocks()
+    payload = sum(len(c) - HEADER_BYTES for c in coded_blocks)
+    print(f"\nall {len(relation) // PAPER_BLOCK_TUPLES} blocks decode "
+          f"losslessly: {ok}")
+    print(f"fixed-width size: {len(relation) * 5} bytes; "
+          f"coded payload: {payload} bytes "
+          f"(+{HEADER_BYTES} bytes/block of header in this implementation;"
+          " at the paper's 5-tuple toy blocks the header dominates, at"
+          " 8 KiB production blocks it is 0.05%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Why AVQ exists: conventional VQ destroys relational data.
+
+Section 2 of the paper motivates AVQ by observing that classical vector
+quantization — replace each tuple by its nearest codebook vector — is
+lossy, and a database cannot tolerate that.  This example makes the
+damage concrete:
+
+1. build a relation and a proper LBG-designed codebook for it;
+2. code and decode it with conventional (lossy) VQ and count how many
+   tuples come back wrong;
+3. code and decode it with the lossless quantizer Q_L (Definition 2.1)
+   over an AVQ codebook and show every tuple survives — while still
+   compressing, because the stored differences are small.
+
+Run:  python examples/lossy_vs_lossless.py
+"""
+
+import numpy as np
+
+from repro.core.bitutils import beta
+from repro.core.phi import OrdinalMapper
+from repro.core.quantizer import AVQQuantizer, build_codebook
+from repro.vq.lbg import lbg_codebook
+from repro.vq.lossy import LossyVectorQuantizer
+
+DOMAINS = [8, 16, 64, 64, 64]
+NUM_TUPLES = 5_000
+NUM_CODES = 64
+
+
+def clustered_tuples(rng, num_tuples):
+    """Tuples drawn around a handful of centres — the regime where a
+    small codebook is a *good* model of the data, i.e. classical VQ's
+    best case.  Even here it destroys most tuples."""
+    centres = np.stack(
+        [rng.integers(0, s, size=16) for s in DOMAINS], axis=1
+    )
+    picks = rng.integers(0, len(centres), size=num_tuples)
+    jitter = rng.integers(-2, 3, size=(num_tuples, len(DOMAINS)))
+    points = centres[picks] + jitter
+    return np.clip(points, 0, np.array(DOMAINS) - 1)
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    points = clustered_tuples(rng, NUM_TUPLES)
+    tuples = [tuple(int(v) for v in row) for row in points]
+    mapper = OrdinalMapper(DOMAINS)
+
+    # ---- Conventional VQ: LBG codebook, nearest-code coding -------------
+    lbg = lbg_codebook(points, NUM_CODES, seed=1)
+    lossy = LossyVectorQuantizer(lbg.codebook)
+    loss = lossy.information_loss(points)
+    print("Conventional (lossy) VQ")
+    print(f"  codebook: {NUM_CODES} vectors, "
+          f"{lbg.total_iterations} Lloyd iterations to design")
+    print(f"  codeword size: {lossy.codeword_bits} bits per tuple")
+    print(f"  tuples damaged by the round trip: {loss:.1%}")
+
+    # ---- AVQ: lossless quantization over a median codebook --------------
+    codebook = build_codebook(mapper, tuples, NUM_CODES)
+    q = AVQQuantizer(mapper, codebook)
+    codes = [q.encode(t) for t in tuples]
+    damaged = sum(q.decode(c) != t for c, t in zip(codes, tuples))
+
+    tuple_bits = sum(beta(s - 1) for s in DOMAINS)
+    avg_bits = sum(
+        beta(len(codebook) - 1) + beta(c.difference) + 1 for c in codes
+    ) / len(codes)
+    print("\nAugmented (lossless) VQ  — Definition 2.1")
+    print(f"  codebook: {len(codebook)} representative tuples, "
+          "built in one pass (sort + median per cell)")
+    print(f"  tuples damaged by the round trip: {damaged}")
+    print(f"  beta[t] (bits per raw tuple):       {tuple_bits:5.1f}")
+    print(f"  beta[C(t)] + beta[d(t,Q(t))] avg:   {avg_bits:5.1f}")
+    print(f"  bit-level compression (Def. 2.1 criterion): "
+          f"{100 * (1 - avg_bits / tuple_bits):.1f}%")
+
+    print(
+        "\nReading: with the same codebook budget, classical VQ loses"
+        f"\n{loss:.0%} of the tuples outright; AVQ stores the small"
+        "\nordinal difference alongside the codeword and loses nothing,"
+        "\nstill beating the raw tuple width on average."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Query performance: Figures 5.8 and 5.9 at interactive scale.
+
+Builds the query-sweep relation, stores it coded and uncoded, runs the
+paper's per-attribute range-query sweep (counting blocks accessed), then
+assembles the full response-time table — both with the paper's machine
+constants and with this host's measured codec profile.
+
+Run:  python examples/query_performance.py [num_tuples]
+"""
+
+import sys
+
+from repro.experiments.fig58 import run_figure_58
+from repro.experiments.fig59 import (
+    measure_local_codec,
+    measured_response_table,
+    paper_response_table,
+)
+from repro.experiments.reporting import format_fig58, format_fig59
+
+
+def main() -> None:
+    num_tuples = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+
+    print(f"Figure 5.8 reproduction at {num_tuples:,} tuples\n")
+    fig58 = run_figure_58(num_tuples=num_tuples)
+    print(format_fig58(fig58))
+
+    print("\n\nFigure 5.9 — regenerated from the paper's own constants")
+    print("(matches the printed table; the Sun C2 cell is the paper's"
+          " documented internal inconsistency)\n")
+    print(format_fig59(paper_response_table()))
+
+    print("\n\nFigure 5.9 — measured N plus this machine's codec profile\n")
+    timings = measure_local_codec(num_tuples=num_tuples, repeats=30)
+    print(f"(local codec block: {timings.tuples_per_block} tuples, "
+          f"{timings.block_bytes} coded bytes)\n")
+    print(format_fig59(measured_response_table(fig58, local=timings.profile)))
+
+    print(
+        "\nReading: on the 1995 machines the decode cost t2 eats part of"
+        "\nthe I/O win; on a modern CPU t2 is negligible, so the"
+        "\nimprovement approaches the raw block-count ratio — the paper's"
+        "\n'improvements are likely to increase with processor technology'."
+    )
+
+
+if __name__ == "__main__":
+    main()

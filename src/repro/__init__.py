@@ -1,0 +1,38 @@
+"""repro — a reproduction of Ng & Ravishankar's AVQ database compression.
+
+"Relational Database Compression Using Augmented Vector Quantization",
+ICDE 1995.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the paper-versus-measured record.
+
+The public surface is re-exported here; see the subpackages for detail:
+
+* :mod:`repro.core` — phi mapping, differencing, the AVQ block codec
+* :mod:`repro.vq` — conventional lossy VQ and LBG codebook design
+* :mod:`repro.relational` — schemas, domains, attribute encoding, relations
+* :mod:`repro.storage` — blocks, packer, buffer pool, simulated disk
+* :mod:`repro.index` — B+ trees: primary (whole-tuple key) and secondary
+* :mod:`repro.db` — table/database facade with insert/delete/select
+* :mod:`repro.workload` — the paper's synthetic relation generator
+* :mod:`repro.perf` — machine profiles and the Section 5.3 cost model
+* :mod:`repro.baselines` — no-coding / RLE / dictionary-only comparators
+* :mod:`repro.experiments` — drivers that regenerate every table and figure
+"""
+
+from repro.core import (
+    AVQCode,
+    AVQQuantizer,
+    BlockCodec,
+    OrdinalMapper,
+    build_codebook,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AVQCode",
+    "AVQQuantizer",
+    "BlockCodec",
+    "OrdinalMapper",
+    "build_codebook",
+    "__version__",
+]

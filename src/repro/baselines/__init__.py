@@ -1,0 +1,19 @@
+"""Comparison coders: no-coding, RLE variants, bit-transposed, and AVQ."""
+
+from repro.baselines.avq import AVQBaseline
+from repro.baselines.base import BaselineCodec
+from repro.baselines.bittransposed import BitTransposedBaseline
+from repro.baselines.golomb import GolombBaseline
+from repro.baselines.nocoding import NaturalWidthBaseline, NoCodingBaseline
+from repro.baselines.rawrle import RawRLEBaseline, SortedRLEBaseline
+
+__all__ = [
+    "BaselineCodec",
+    "NoCodingBaseline",
+    "NaturalWidthBaseline",
+    "RawRLEBaseline",
+    "SortedRLEBaseline",
+    "BitTransposedBaseline",
+    "GolombBaseline",
+    "AVQBaseline",
+]

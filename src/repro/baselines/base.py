@@ -1,0 +1,90 @@
+"""Common interface for the comparison coders of the evaluation.
+
+Section 5.2 speaks of measurements "for each of the three techniques"
+without naming the comparators; we implement a spectrum that isolates
+each ingredient of AVQ's win:
+
+* :class:`~repro.baselines.nocoding.NoCodingBaseline` — fixed-width
+  storage (the uncoded relation of Figure 5.9);
+* :class:`~repro.baselines.rawrle.RawRLEBaseline` — leading-zero
+  run-length coding of raw tuples, no reordering or differencing;
+* :class:`~repro.baselines.sortedrle.SortedRLEBaseline` — phi-sorted
+  then run-length coded, still no differencing;
+* AVQ itself (via :class:`~repro.baselines.avq.AVQBaseline`) — the full
+  pipeline.
+
+Every baseline codes a *block of tuples* to bytes and back losslessly,
+and can report how many fixed-size blocks a whole relation needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import CodecError
+from repro.relational.relation import Relation
+from repro.storage.block import DEFAULT_BLOCK_SIZE
+
+__all__ = ["BaselineCodec"]
+
+
+class BaselineCodec:
+    """Abstract lossless block coder used for size comparisons."""
+
+    #: Short display name used in benchmark tables.
+    name: str = "abstract"
+
+    def encode_block(self, tuples: Sequence[Tuple[int, ...]]) -> bytes:
+        """Code one block of ordinal tuples to bytes."""
+        raise NotImplementedError
+
+    def decode_block(self, data: bytes) -> List[Tuple[int, ...]]:
+        """Invert :meth:`encode_block` exactly."""
+        raise NotImplementedError
+
+    def tuple_order(self, relation: Relation) -> List[Tuple[int, ...]]:
+        """The tuple order this technique stores (default: insertion order)."""
+        return list(relation)
+
+    def encoded_tuple_size(self, values: Sequence[int]) -> int:
+        """Bytes one tuple adds to a block (must be exact)."""
+        raise NotImplementedError
+
+    def block_header_size(self) -> int:
+        """Fixed per-block overhead in bytes."""
+        return 2  # tuple count
+
+    def blocks_needed(
+        self, relation: Relation, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> int:
+        """Greedy-fill block count for a whole relation.
+
+        Subclasses whose per-tuple cost depends on context (AVQ's gaps)
+        override this; the default assumes :meth:`encoded_tuple_size` is
+        context-free.
+        """
+        header = self.block_header_size()
+        if block_size <= header:
+            raise CodecError(
+                f"block size {block_size} leaves no room past the header"
+            )
+        blocks = 0
+        used = block_size  # force a new block on the first tuple
+        for t in self.tuple_order(relation):
+            cost = self.encoded_tuple_size(t)
+            if header + cost > block_size:
+                raise CodecError(
+                    f"a single tuple needs {cost} bytes; block size "
+                    f"{block_size} is too small"
+                )
+            if used + cost > block_size:
+                blocks += 1
+                used = header
+            used += cost
+        return blocks
+
+    def compressed_bytes(
+        self, relation: Relation, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> int:
+        """On-disk footprint: blocks times block size (what Figure 5.7 counts)."""
+        return self.blocks_needed(relation, block_size) * block_size

@@ -1,0 +1,70 @@
+"""The uncoded baseline: fixed-width tuples, no compression at all."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.baselines.base import BaselineCodec
+from repro.core.runlength import TupleLayout
+from repro.errors import CodecError
+
+__all__ = ["NoCodingBaseline"]
+
+
+class NoCodingBaseline(BaselineCodec):
+    """Fixed-width storage — the "No coding" rows of Figures 5.8 and 5.9.
+
+    ``min_field_bytes=1`` is the tightest packed layout (minimal bytes per
+    attribute); ``min_field_bytes=2`` models natural int16-style columns,
+    which is how the paper's uncoded relation is sized (see
+    :class:`NaturalWidthBaseline` and DESIGN.md).
+    """
+
+    name = "no-coding"
+
+    def __init__(self, domain_sizes: Sequence[int], *, min_field_bytes: int = 1):
+        self._layout = TupleLayout(domain_sizes, min_field_bytes=min_field_bytes)
+
+    @property
+    def tuple_bytes(self) -> int:
+        """Fixed per-tuple width ``m``."""
+        return self._layout.tuple_bytes
+
+    def encoded_tuple_size(self, values: Sequence[int]) -> int:
+        return self._layout.tuple_bytes
+
+    def encode_block(self, tuples: Sequence[Tuple[int, ...]]) -> bytes:
+        if not tuples:
+            raise CodecError("cannot encode an empty block")
+        return len(tuples).to_bytes(2, "big") + b"".join(
+            self._layout.tuple_to_bytes(t) for t in tuples
+        )
+
+    def decode_block(self, data: bytes) -> List[Tuple[int, ...]]:
+        count = int.from_bytes(data[:2], "big")
+        m = self._layout.tuple_bytes
+        if len(data) < 2 + count * m:
+            raise CodecError("corrupt fixed-width block")
+        out = []
+        pos = 2
+        for _ in range(count):
+            out.append(self._layout.tuple_from_bytes(data[pos : pos + m]))
+            pos += m
+        return out
+
+
+class NaturalWidthBaseline(NoCodingBaseline):
+    """The uncoded relation at natural (int16-style) field widths.
+
+    The paper's compression percentages (Figure 5.7) and block ratios
+    (Figure 5.8's 189 versus 64) are only consistent with the *uncoded*
+    relation storing each attribute in a natural machine field — two bytes
+    by default — while AVQ packs attributes into minimal byte widths.  Its
+    own Section 5.2 relation (16 attributes, 38 bytes per tuple) confirms
+    the multi-byte natural layout.
+    """
+
+    name = "natural-width"
+
+    def __init__(self, domain_sizes: Sequence[int], *, field_bytes: int = 2):
+        super().__init__(domain_sizes, min_field_bytes=field_bytes)

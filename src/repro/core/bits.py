@@ -1,0 +1,113 @@
+"""Bit-granular stream I/O for the Golomb difference coder.
+
+The paper's Section 3.4 run-length codes at *byte* granularity, which is
+simple and fast but wastes up to seven bits per field.  Its reference
+[4] is Golomb's run-length coding paper, which is bit-granular; to make
+the byte-versus-bit trade-off measurable we need bit streams.
+
+:class:`BitWriter` and :class:`BitReader` pack bits MSB-first into
+bytes.  They are deliberately minimal: append/read ``n``-bit integers
+and unary runs — exactly what Golomb-Rice coding consumes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Append-only MSB-first bit buffer."""
+
+    __slots__ = ("_bytes", "_bitpos")
+
+    def __init__(self):
+        self._bytes = bytearray()
+        self._bitpos = 0  # bits used in the last byte (0..7)
+
+    @property
+    def bit_length(self) -> int:
+        """Total bits written."""
+        if not self._bytes:
+            return 0
+        return (len(self._bytes) - 1) * 8 + (self._bitpos or 8)
+
+    def write_bit(self, bit: int) -> None:
+        """Append one bit."""
+        if self._bitpos == 0:
+            self._bytes.append(0)
+        if bit:
+            self._bytes[-1] |= 0x80 >> self._bitpos
+        self._bitpos = (self._bitpos + 1) % 8
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``value`` as ``width`` bits, most significant first."""
+        if width < 0:
+            raise CodecError(f"negative bit width {width}")
+        if value < 0 or (width < value.bit_length()):
+            raise CodecError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, count: int) -> None:
+        """Append ``count`` one-bits followed by a terminating zero."""
+        if count < 0:
+            raise CodecError(f"negative unary count {count}")
+        for _ in range(count):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def getvalue(self) -> bytes:
+        """The packed bytes (last byte zero-padded)."""
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """MSB-first cursor over packed bits."""
+
+    __slots__ = ("_data", "_pos", "_limit")
+
+    def __init__(self, data: bytes, bit_length: int = None):
+        self._data = data
+        self._pos = 0
+        self._limit = len(data) * 8 if bit_length is None else bit_length
+        if self._limit > len(data) * 8:
+            raise CodecError(
+                f"bit length {bit_length} exceeds buffer of {len(data)} bytes"
+            )
+
+    @property
+    def position(self) -> int:
+        """Bits consumed so far."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bits left before the limit."""
+        return self._limit - self._pos
+
+    def read_bit(self) -> int:
+        """Consume one bit."""
+        if self._pos >= self._limit:
+            raise CodecError("bit stream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Consume ``width`` bits as an unsigned integer."""
+        if width < 0:
+            raise CodecError(f"negative bit width {width}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        """Consume a unary run: count of one-bits before the zero."""
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count

@@ -1,0 +1,97 @@
+"""Bit- and byte-level helpers used throughout the AVQ codec.
+
+The paper's compression argument is phrased in terms of ``beta[x]``, the
+minimum number of bits needed to represent a non-negative integer ``x``
+(Section 2.2).  This module provides that function along with the byte-width
+helpers the block codec uses when laying difference tuples out as
+fixed-width big-endian byte fields.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+__all__ = [
+    "beta",
+    "byte_width",
+    "domain_byte_width",
+    "int_to_bytes_fixed",
+    "int_from_bytes",
+    "leading_zero_bytes",
+]
+
+
+def beta(x: int) -> int:
+    """Return ``beta[x]``: the minimum number of bits to represent ``x``.
+
+    Defined for non-negative integers.  By convention ``beta[0] == 1``:
+    even zero occupies one bit of storage.
+
+    >>> beta(0), beta(1), beta(255), beta(256)
+    (1, 1, 8, 9)
+    """
+    if x < 0:
+        raise EncodingError(f"beta[] is defined for non-negative integers, got {x}")
+    if x == 0:
+        return 1
+    return x.bit_length()
+
+
+def byte_width(x: int) -> int:
+    """Return the number of bytes needed to store ``x`` (at least 1).
+
+    >>> byte_width(0), byte_width(255), byte_width(256)
+    (1, 1, 2)
+    """
+    return (beta(x) + 7) // 8
+
+
+def domain_byte_width(domain_size: int) -> int:
+    """Byte width of the fixed field storing one attribute of a domain.
+
+    A domain of size ``s`` holds ordinals ``0 .. s-1``, so the field must be
+    wide enough for ``s - 1``.
+
+    >>> domain_byte_width(64), domain_byte_width(256), domain_byte_width(257)
+    (1, 1, 2)
+    """
+    if domain_size < 1:
+        raise EncodingError(f"domain size must be >= 1, got {domain_size}")
+    return byte_width(domain_size - 1)
+
+
+def int_to_bytes_fixed(x: int, width: int) -> bytes:
+    """Encode ``x`` as exactly ``width`` big-endian bytes.
+
+    Raises :class:`~repro.errors.EncodingError` when ``x`` does not fit.
+    """
+    if x < 0:
+        raise EncodingError(f"cannot encode negative value {x}")
+    try:
+        return x.to_bytes(width, "big")
+    except OverflowError as exc:
+        raise EncodingError(f"value {x} does not fit in {width} bytes") from exc
+
+
+def int_from_bytes(data: bytes) -> int:
+    """Decode a big-endian unsigned integer from ``data``."""
+    return int.from_bytes(data, "big")
+
+
+def leading_zero_bytes(data: bytes) -> int:
+    """Count the leading zero bytes of ``data``.
+
+    This is the run length the AVQ block codec stores in its count field
+    (Section 3.4 of the paper).
+
+    >>> leading_zero_bytes(bytes([0, 0, 3, 0]))
+    2
+    >>> leading_zero_bytes(bytes([0, 0, 0]))
+    3
+    """
+    count = 0
+    for b in data:
+        if b:
+            break
+        count += 1
+    return count

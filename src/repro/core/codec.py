@@ -1,0 +1,382 @@
+"""The AVQ block codec: the full Section 3.4 coding pipeline.
+
+A block of tuples is coded in four stages, exactly following the paper:
+
+1. **Order** — tuples are sorted by their ``phi`` ordinal (Section 3.2).
+2. **Difference** — the middle tuple becomes the block's *representative*;
+   every other tuple is replaced by an ordinal difference (Definition 2.1,
+   with the codeword omitted because the representative is stored in the
+   block itself).
+3. **Chain** — differences are reduced further by differencing each tuple
+   against its neighbour toward the representative (Example 3.3), turning
+   them into consecutive gaps.
+4. **Run-length code** — each difference is rendered as a fixed-width tuple
+   byte string whose leading zero bytes are replaced by a one-byte count
+   (Section 3.4 / Figure 3.3 Table (d)).
+
+The serialised block layout is::
+
+    +----------------+------------------+----------------+------------------+
+    | tuple count u  | rep index        | rep tuple      | u-1 RLE diffs    |
+    | (2 bytes)      | (2 bytes)        | (m bytes, raw) | (count ‖ tail)*  |
+    +----------------+------------------+----------------+------------------+
+
+The paper stores no explicit count or representative position (its decoder
+"repeats until all the differences are read" and the representative is
+always the middle).  We add a four-byte header so that (a) blocks with
+trailing slack decode unambiguously and (b) the ablation strategies that
+move the representative remain decodable.  The overhead is 4 bytes per
+8 KiB block — under 0.05 %.
+
+Because chained differences are exactly the *consecutive gaps* between
+phi-ordered tuples, the encoded size of a block is independent of where the
+representative sits; :meth:`BlockCodec.encoded_size_of_ordinals` exploits
+this to let the packer compute fill levels without materialising bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.phi import OrdinalMapper
+from repro.core.representative import get_strategy
+from repro.core.runlength import TupleLayout, rle_decode, rle_encode
+from repro.core.stream import StreamReader, StreamWriter
+from repro.errors import BlockOverflowError, CodecError
+
+__all__ = ["BlockCodec", "HEADER_BYTES"]
+
+#: Bytes of block header: 2 for the tuple count, 2 for the representative index.
+HEADER_BYTES = 4
+
+#: Maximum tuples per block, bounded by the 2-byte count field.
+MAX_TUPLES_PER_BLOCK = 0xFFFF
+
+
+class BlockCodec:
+    """Losslessly encode and decode blocks of tuples with AVQ.
+
+    Parameters
+    ----------
+    domain_sizes:
+        The ``|A_i|`` sizes of the relation's attribute domains (after the
+        Section 3.1 domain mapping; all values are ordinals in these domains).
+    chained:
+        Apply the Example 3.3 chaining optimisation (the paper's default).
+        Disable for the ablation benchmark only.
+    representative:
+        Name of the representative-selection strategy; ``"median"`` is the
+        paper's choice.
+
+    Examples
+    --------
+    >>> codec = BlockCodec([8, 16, 64, 64, 64])
+    >>> block = [(3, 8, 32, 25, 19), (3, 8, 32, 34, 12), (3, 8, 36, 39, 35),
+    ...          (3, 9, 24, 32, 0), (3, 9, 26, 27, 37)]
+    >>> data = codec.encode_block(block)
+    >>> codec.decode_block(data) == sorted(block)
+    True
+    """
+
+    def __init__(
+        self,
+        domain_sizes: Sequence[int],
+        *,
+        chained: bool = True,
+        representative: str = "median",
+    ):
+        self._mapper = OrdinalMapper(domain_sizes)
+        self._layout = TupleLayout(domain_sizes)
+        self._chained = chained
+        self._strategy_name = representative
+        self._strategy = get_strategy(representative)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def mapper(self) -> OrdinalMapper:
+        """The phi bijection for this codec's domains."""
+        return self._mapper
+
+    @property
+    def layout(self) -> TupleLayout:
+        """Fixed-width byte layout of one tuple."""
+        return self._layout
+
+    @property
+    def tuple_bytes(self) -> int:
+        """``m`` — the byte width of one uncompressed tuple."""
+        return self._layout.tuple_bytes
+
+    @property
+    def chained(self) -> bool:
+        """Whether the Example 3.3 chaining optimisation is enabled."""
+        return self._chained
+
+    @property
+    def representative_strategy(self) -> str:
+        """Name of the representative-selection strategy in use."""
+        return self._strategy_name
+
+    # ------------------------------------------------------------------
+    # Difference computation
+    # ------------------------------------------------------------------
+
+    def _differences(self, ordinals: Sequence[int], rep: int) -> List[int]:
+        """Per-tuple stored differences, in block order, skipping ``rep``.
+
+        With chaining each entry is the gap to the neighbour toward the
+        representative; without it, the direct distance to the
+        representative.  All entries are non-negative by construction.
+        """
+        diffs: List[int] = []
+        for i in range(len(ordinals)):
+            if i == rep:
+                continue
+            if self._chained:
+                if i < rep:
+                    diffs.append(ordinals[i + 1] - ordinals[i])
+                else:
+                    diffs.append(ordinals[i] - ordinals[i - 1])
+            else:
+                diffs.append(abs(ordinals[i] - ordinals[rep]))
+        return diffs
+
+    # ------------------------------------------------------------------
+    # Size accounting (used by the packer, no bytes materialised)
+    # ------------------------------------------------------------------
+
+    def encoded_size_of_ordinals(self, sorted_ordinals: Sequence[int]) -> int:
+        """Exact encoded size in bytes of a block holding these tuples.
+
+        ``sorted_ordinals`` must be ascending.  With chaining enabled the
+        result does not depend on the representative position (the stored
+        differences are exactly the u-1 consecutive gaps); without chaining
+        the configured strategy is applied.
+        """
+        u = len(sorted_ordinals)
+        if u == 0:
+            raise CodecError("cannot size an empty block")
+        rep = self._strategy(sorted_ordinals)
+        size = HEADER_BYTES + self._layout.tuple_bytes
+        for diff in self._differences(sorted_ordinals, rep):
+            size += self._rle_size(diff)
+        return size
+
+    def incremental_gap_cost(self, gap: int) -> int:
+        """Bytes added to a chained block by appending a tuple ``gap`` past the last.
+
+        Only meaningful for ``chained=True`` codecs, where block size is the
+        header plus the representative plus one RLE-coded entry per gap.
+        """
+        if not self._chained:
+            raise CodecError(
+                "incremental sizing requires chained differencing"
+            )
+        return self._rle_size(gap)
+
+    def _rle_size(self, diff: int) -> int:
+        """Size of one RLE-coded difference: count byte plus non-zero tail."""
+        raw = self._layout.tuple_to_bytes(self._mapper.phi_inverse(diff))
+        zeros = 0
+        for b in raw:
+            if b:
+                break
+            zeros += 1
+        return 1 + len(raw) - zeros
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode_block(
+        self,
+        tuples: Sequence[Sequence[int]],
+        capacity: Optional[int] = None,
+    ) -> bytes:
+        """Encode a set of tuples into one AVQ block.
+
+        The tuples need not be pre-sorted; the codec orders them by ``phi``
+        (Section 3.2) before differencing.  When ``capacity`` is given, an
+        encoding larger than it raises
+        :class:`~repro.errors.BlockOverflowError`.
+        """
+        u = len(tuples)
+        if u == 0:
+            raise CodecError("cannot encode an empty block")
+        if u > MAX_TUPLES_PER_BLOCK:
+            raise CodecError(
+                f"block holds {u} tuples; the 2-byte count field allows at "
+                f"most {MAX_TUPLES_PER_BLOCK}"
+            )
+        ordinals = sorted(self._mapper.phi(t) for t in tuples)
+        rep = self._strategy(ordinals)
+
+        writer = StreamWriter(capacity)
+        try:
+            writer.write_uint(u, 2)
+            writer.write_uint(rep, 2)
+            writer.write(
+                self._layout.tuple_to_bytes(self._mapper.phi_inverse(ordinals[rep]))
+            )
+            for diff in self._differences(ordinals, rep):
+                writer.write(rle_encode(self._layout, self._mapper.phi_inverse(diff)))
+        except BlockOverflowError:
+            raise BlockOverflowError(
+                f"{u} tuples encode to more than {capacity} bytes"
+            )
+        return writer.getvalue()
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def decode_block(self, data: bytes) -> List[Tuple[int, ...]]:
+        """Decode one AVQ block back into its phi-ordered tuples.
+
+        The inverse of :meth:`encode_block`; Theorem 2.1 guarantees the
+        original tuples are recovered exactly.  Trailing slack bytes beyond
+        the encoded payload are ignored, matching on-disk blocks.
+        """
+        reader = StreamReader(data)
+        u = reader.read_uint(2)
+        if u == 0:
+            raise CodecError("corrupt block: zero tuple count")
+        rep = reader.read_uint(2)
+        if rep >= u:
+            raise CodecError(f"corrupt block: representative {rep} >= count {u}")
+        m = self._layout.tuple_bytes
+        rep_tuple = self._layout.tuple_from_bytes(reader.read(m))
+        rep_ordinal = self._mapper.phi(rep_tuple)
+
+        diffs: List[int] = []
+        for _ in range(u - 1):
+            count = reader.read_uint(1)
+            if count > m:
+                raise CodecError(f"corrupt block: run length {count} > tuple width {m}")
+            tail = reader.read(m - count)
+            diffs.append(
+                self._mapper.phi_unchecked(rle_decode(self._layout, count, tail))
+            )
+
+        ordinals = self._reconstruct_ordinals(u, rep, rep_ordinal, diffs)
+        return [self._mapper.phi_inverse(o) for o in ordinals]
+
+    def decode_ordinals(self, data: bytes) -> List[int]:
+        """Like :meth:`decode_block` but stop at ordinals (no tuple expansion).
+
+        Index probes only need phi values, so skipping the final
+        ``phi_inverse`` saves most of the decode cost for those callers.
+        """
+        reader = StreamReader(data)
+        u = reader.read_uint(2)
+        if u == 0:
+            raise CodecError("corrupt block: zero tuple count")
+        rep = reader.read_uint(2)
+        if rep >= u:
+            raise CodecError(f"corrupt block: representative {rep} >= count {u}")
+        m = self._layout.tuple_bytes
+        rep_tuple = self._layout.tuple_from_bytes(reader.read(m))
+        rep_ordinal = self._mapper.phi(rep_tuple)
+        diffs: List[int] = []
+        for _ in range(u - 1):
+            count = reader.read_uint(1)
+            if count > m:
+                raise CodecError(f"corrupt block: run length {count} > tuple width {m}")
+            tail = reader.read(m - count)
+            diffs.append(
+                self._mapper.phi_unchecked(rle_decode(self._layout, count, tail))
+            )
+        return self._reconstruct_ordinals(u, rep, rep_ordinal, diffs)
+
+    def probe_block(self, data: bytes, target: int) -> bool:
+        """Test whether a tuple with phi ordinal ``target`` is in the block.
+
+        Walks the difference stream arithmetically — no per-tuple
+        ``phi_inverse`` reconstruction — and exits as soon as the running
+        ordinal passes the target.  This is the cheap point-probe path
+        behind ``Table.contains``.
+        """
+        reader = StreamReader(data)
+        u = reader.read_uint(2)
+        if u == 0:
+            raise CodecError("corrupt block: zero tuple count")
+        rep = reader.read_uint(2)
+        if rep >= u:
+            raise CodecError(f"corrupt block: representative {rep} >= count {u}")
+        m = self._layout.tuple_bytes
+        rep_ordinal = self._mapper.phi(
+            self._layout.tuple_from_bytes(reader.read(m))
+        )
+        if target == rep_ordinal:
+            return True
+
+        def read_diff() -> int:
+            count = reader.read_uint(1)
+            if count > m:
+                raise CodecError(
+                    f"corrupt block: run length {count} > tuple width {m}"
+                )
+            tail = reader.read(m - count)
+            return self._mapper.phi_unchecked(
+                rle_decode(self._layout, count, tail)
+            )
+
+        before = [read_diff() for _ in range(rep)]
+        if target < rep_ordinal:
+            if self._chained:
+                # o_j = rep_ordinal - sum(d_j .. d_{rep-1}); walk upward
+                ordinal = rep_ordinal - sum(before)
+                if ordinal == target:
+                    return True
+                for d in before:
+                    ordinal += d
+                    if ordinal >= target:
+                        return ordinal == target
+                return False
+            return any(rep_ordinal - d == target for d in before)
+
+        # target > rep_ordinal: walk the after side, early exit
+        ordinal = rep_ordinal
+        for _ in range(u - 1 - rep):
+            d = read_diff()
+            if self._chained:
+                ordinal += d
+            else:
+                ordinal = rep_ordinal + d
+            if ordinal == target:
+                return True
+            if self._chained and ordinal > target:
+                return False
+        return False
+
+    def _reconstruct_ordinals(
+        self, u: int, rep: int, rep_ordinal: int, diffs: List[int]
+    ) -> List[int]:
+        """Rebuild the sorted ordinal sequence from the stored differences."""
+        ordinals: List[Optional[int]] = [None] * u
+        ordinals[rep] = rep_ordinal
+        before = diffs[:rep]          # entries for positions 0 .. rep-1
+        after = diffs[rep:]           # entries for positions rep+1 .. u-1
+        if self._chained:
+            for i in range(rep - 1, -1, -1):
+                ordinals[i] = ordinals[i + 1] - before[i]
+            for j, diff in enumerate(after):
+                i = rep + 1 + j
+                ordinals[i] = ordinals[i - 1] + diff
+        else:
+            for i in range(rep):
+                ordinals[i] = rep_ordinal - before[i]
+            for j, diff in enumerate(after):
+                ordinals[rep + 1 + j] = rep_ordinal + diff
+        result = [o for o in ordinals if o is not None]
+        if len(result) != u:
+            raise CodecError("corrupt block: reconstruction left gaps")
+        for o in result:
+            if not 0 <= o < self._mapper.space_size:
+                raise CodecError(
+                    f"corrupt block: reconstructed ordinal {o} outside tuple space"
+                )
+        return result

@@ -1,0 +1,67 @@
+"""The tuple difference measure (Equation 2.6) and difference-tuple helpers.
+
+AVQ never subtracts tuples component-wise.  Instead, both tuples are mapped
+into ordinal space through ``phi`` and the (always non-negative) ordinal
+difference is taken; the result can itself be re-expressed as a tuple via
+``phi``'s inverse, which is how the paper displays difference tuples such as
+``(0, 00, 04, 05, 23)`` for the ordinal difference 16727.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.phi import OrdinalMapper
+
+__all__ = [
+    "tuple_difference",
+    "ordinal_difference",
+    "difference_tuple",
+    "apply_difference",
+]
+
+
+def ordinal_difference(phi_a: int, phi_b: int) -> int:
+    """Equation 2.6 on pre-computed ordinals: ``|phi_a - phi_b|``."""
+    return phi_b - phi_a if phi_a <= phi_b else phi_a - phi_b
+
+
+def tuple_difference(
+    mapper: OrdinalMapper, t_i: Sequence[int], t_j: Sequence[int]
+) -> int:
+    """Equation 2.6: the absolute ordinal distance between two tuples.
+
+    >>> m = OrdinalMapper([8, 16, 64, 64, 64])
+    >>> tuple_difference(m, (3, 8, 32, 34, 12), (3, 8, 36, 39, 35))
+    16727
+    """
+    return ordinal_difference(mapper.phi(t_i), mapper.phi(t_j))
+
+
+def difference_tuple(mapper: OrdinalMapper, diff: int) -> Tuple[int, ...]:
+    """Render an ordinal difference as a tuple in the same mixed radix.
+
+    This is how Figure 3.3 of the paper displays coded blocks: the ordinal
+    difference 16727 becomes the tuple ``(0, 0, 4, 5, 23)`` under domains
+    ``(8, 16, 64, 64, 64)``.
+    """
+    return mapper.phi_inverse(diff)
+
+
+def apply_difference(
+    mapper: OrdinalMapper,
+    representative: Sequence[int],
+    diff: int,
+    *,
+    before: bool,
+) -> Tuple[int, ...]:
+    """Reconstruct a tuple from its representative and stored difference.
+
+    ``before=True`` means the original tuple precedes the representative in
+    ``phi`` order (so the difference is subtracted from the representative's
+    ordinal); ``before=False`` means it follows (difference is added).
+    This is the decoding direction of Theorem 2.1.
+    """
+    anchor = mapper.phi(representative)
+    ordinal = anchor - diff if before else anchor + diff
+    return mapper.phi_inverse(ordinal)

@@ -1,0 +1,243 @@
+"""Vectorised gap sizing and block packing (numpy fast path).
+
+The chained AVQ encoding of a phi-ordered run has a per-gap cost of
+``1 + m - leading_zero_bytes(gap)`` bytes.  The leading-zero-byte count
+is a step function of the gap value: the first ``p`` bytes of the
+fixed-width rendering are zero exactly when the gap is below a
+threshold ``T_p`` determined by the field layout (full leading fields
+are zero when the gap is below that field's positional weight; within
+the first non-zero field, high bytes are zero below the corresponding
+power-of-256 multiple of the field weight).
+
+Precomputing the ``m`` thresholds turns per-gap costing into one
+``numpy.searchsorted`` — and greedy packing into a cumulative-sum walk —
+giving orders-of-magnitude speedups for the compression experiments at
+``10^5``-plus tuples.  Only valid when the ordinal space fits ``int64``;
+callers fall back to the exact scalar path otherwise.  The fast results
+are bit-identical to the scalar codec's (tested).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.codec import HEADER_BYTES
+from repro.core.phi import OrdinalMapper
+from repro.core.runlength import TupleLayout
+from repro.errors import DomainError, StorageError
+
+__all__ = ["FastGapSizer", "fast_pack_boundaries", "fast_blocks_needed"]
+
+
+class FastGapSizer:
+    """Vectorised ``leading_zero_bytes`` / RLE cost over gap arrays."""
+
+    def __init__(self, domain_sizes: Sequence[int]):
+        self._mapper = OrdinalMapper(domain_sizes)
+        self._layout = TupleLayout(domain_sizes)
+        if not self._mapper.fits_int64:
+            raise DomainError(
+                "ordinal space exceeds int64; use the exact scalar path"
+            )
+        self._thresholds = self._build_thresholds()
+
+    @property
+    def tuple_bytes(self) -> int:
+        """``m`` — fixed byte width of one tuple."""
+        return self._layout.tuple_bytes
+
+    def _build_thresholds(self) -> np.ndarray:
+        """``T_p`` for p = 1..m: gap < T_p  <=>  first p bytes are zero.
+
+        Walking the byte layout most-significant first: after each byte of
+        field ``i`` (with ``w_i`` bytes and positional weight ``weight_i``),
+        the threshold is ``min(256**(bytes of field i still uncovered) *
+        weight_i, capacity of fields i..n)``.
+        """
+        sizes = self._mapper.domain_sizes
+        weights = self._mapper.weights
+        widths = self._layout.field_widths
+        thresholds: List[int] = []
+        for i, (s, w, width) in enumerate(zip(sizes, weights, widths)):
+            capacity = s * w  # all of fields i..n
+            for covered in range(1, width + 1):
+                t = min(256 ** (width - covered) * w, capacity)
+                thresholds.append(t)
+        # descending by construction; store ascending for searchsorted
+        return np.asarray(thresholds[::-1], dtype=np.int64)
+
+    def leading_zero_bytes(self, gaps: np.ndarray) -> np.ndarray:
+        """Leading zero bytes of each gap's fixed-width rendering."""
+        gaps = np.asarray(gaps, dtype=np.int64)
+        if gaps.size and (gaps.min() < 0 or gaps.max() >= self._mapper.space_size):
+            raise DomainError("gap outside the ordinal space")
+        # zeros(gap) = number of thresholds strictly greater than gap
+        return len(self._thresholds) - np.searchsorted(
+            self._thresholds, gaps, side="right"
+        )
+
+    def rle_costs(self, gaps: np.ndarray) -> np.ndarray:
+        """Per-gap encoded cost: count byte plus non-zero tail bytes."""
+        return 1 + self.tuple_bytes - self.leading_zero_bytes(gaps)
+
+
+def fast_pack_boundaries(
+    sorted_ordinals: np.ndarray,
+    domain_sizes: Sequence[int],
+    block_size: int,
+) -> List[Tuple[int, int]]:
+    """Greedy maximal-fill block boundaries, identical to the exact packer.
+
+    Returns ``[(start, end), ...]`` index ranges into ``sorted_ordinals``.
+    Each block's size is ``HEADER_BYTES + m + sum(rle_costs of its gaps)``;
+    the first tuple of a block contributes no gap (it re-anchors the run).
+    """
+    sizer = FastGapSizer(domain_sizes)
+    m = sizer.tuple_bytes
+    min_block = HEADER_BYTES + m
+    if block_size < min_block:
+        raise StorageError(
+            f"block size {block_size} cannot hold even one tuple "
+            f"(needs {min_block} bytes)"
+        )
+    ordinals = np.asarray(sorted_ordinals, dtype=np.int64)
+    n = len(ordinals)
+    if n == 0:
+        return []
+    if n > 1 and (np.diff(ordinals) < 0).any():
+        raise StorageError("fast_pack_boundaries requires ascending ordinals")
+
+    gap_costs = sizer.rle_costs(np.diff(ordinals)) if n > 1 else np.empty(0, np.int64)
+    # cumulative cost of gaps: C[k] = sum of gap_costs[:k]
+    cumulative = np.concatenate([[0], np.cumsum(gap_costs)])
+    budget = block_size - min_block  # gap bytes allowed per block
+
+    boundaries: List[Tuple[int, int]] = []
+    start = 0
+    while start < n:
+        # find the largest end with cumulative[end-1] - cumulative[start]
+        # <= budget, i.e. gaps start..end-2 fit
+        limit = cumulative[start] + budget
+        end = int(np.searchsorted(cumulative, limit, side="right"))
+        # 'end' indexes cumulative; block covers tuples [start, end]
+        end = max(start + 1, min(end, n))
+        boundaries.append((start, end))
+        start = end
+    return boundaries
+
+
+def fast_blocks_needed(
+    sorted_ordinals: np.ndarray,
+    domain_sizes: Sequence[int],
+    block_size: int,
+) -> int:
+    """Block count only — the Figure 5.7 numerator, at numpy speed."""
+    return len(fast_pack_boundaries(sorted_ordinals, domain_sizes, block_size))
+
+
+class FastBlockEncoder:
+    """Vectorised whole-relation encoding, byte-identical to the scalar
+    :class:`~repro.core.codec.BlockCodec` (chained, median representative).
+
+    The per-gap serialisation — mixed-radix digits, fixed-width fields,
+    leading-zero elision — is computed for *all* gaps of a block in one
+    shot on ``(num_gaps, m)`` uint8 matrices, then scattered into the
+    output buffer with index arithmetic.  Tested byte-for-byte against
+    the scalar encoder.
+    """
+
+    def __init__(self, domain_sizes: Sequence[int]):
+        self._sizer = FastGapSizer(domain_sizes)
+        self._mapper = self._sizer._mapper
+        self._layout = self._sizer._layout
+        # per output byte column: which attribute, which byte of its field
+        self._col_weight: List[int] = []   # phi weight of the attribute
+        self._col_size: List[int] = []     # attribute domain size
+        self._col_shift: List[int] = []    # right-shift for this byte
+        for size, weight, width in zip(
+            self._mapper.domain_sizes,
+            self._mapper.weights,
+            self._layout.field_widths,
+        ):
+            for b in range(width):
+                self._col_weight.append(weight)
+                self._col_size.append(size)
+                self._col_shift.append(8 * (width - 1 - b))
+
+    @property
+    def tuple_bytes(self) -> int:
+        """``m`` — fixed byte width of one tuple."""
+        return self._layout.tuple_bytes
+
+    def _render_bytes(self, values: np.ndarray) -> np.ndarray:
+        """``(n, m)`` uint8 matrix: fixed-width rendering of ordinals."""
+        n = len(values)
+        m = self._layout.tuple_bytes
+        out = np.empty((n, m), dtype=np.uint8)
+        for col in range(m):
+            digit = (values // self._col_weight[col]) % self._col_size[col]
+            out[:, col] = (digit >> self._col_shift[col]) & 0xFF
+        return out
+
+    def encode_run(self, run: np.ndarray) -> bytes:
+        """Encode one phi-ordered run exactly as ``BlockCodec.encode_block``."""
+        run = np.asarray(run, dtype=np.int64)
+        u = len(run)
+        if u == 0:
+            raise StorageError("cannot encode an empty run")
+        m = self._layout.tuple_bytes
+        rep = (u - 1) // 2
+        rep_bytes = self._render_bytes(run[rep : rep + 1])[0]
+
+        if u == 1:
+            header = u.to_bytes(2, "big") + rep.to_bytes(2, "big")
+            return header + rep_bytes.tobytes()
+
+        gaps = np.diff(run)
+        zeros = self._sizer.leading_zero_bytes(gaps)
+        tail_len = m - zeros
+        matrix = self._render_bytes(gaps)
+
+        entry_len = 1 + tail_len
+        total = HEADER_BYTES + m + int(entry_len.sum())
+        out = np.zeros(total, dtype=np.uint8)
+        out[0] = (u >> 8) & 0xFF
+        out[1] = u & 0xFF
+        out[2] = (rep >> 8) & 0xFF
+        out[3] = rep & 0xFF
+        out[HEADER_BYTES : HEADER_BYTES + m] = rep_bytes
+
+        base = HEADER_BYTES + m
+        entry_off = base + np.concatenate(
+            [[0], np.cumsum(entry_len)[:-1]]
+        ).astype(np.int64)
+        out[entry_off] = zeros.astype(np.uint8)
+
+        total_tail = int(tail_len.sum())
+        if total_tail:
+            row_idx = np.repeat(np.arange(u - 1), tail_len)
+            starts = np.concatenate([[0], np.cumsum(tail_len)[:-1]])
+            seq = np.arange(total_tail) - np.repeat(starts, tail_len)
+            col_idx = np.repeat(zeros, tail_len) + seq
+            dest = np.repeat(entry_off + 1, tail_len) + seq
+            out[dest] = matrix[row_idx, col_idx]
+        return out.tobytes()
+
+
+def fast_encode_relation(
+    sorted_ordinals: np.ndarray,
+    domain_sizes: Sequence[int],
+    block_size: int,
+) -> List[bytes]:
+    """Pack and encode a whole phi-sorted relation, vectorised.
+
+    Equivalent to packing with :func:`fast_pack_boundaries` and encoding
+    each run with the scalar codec — and tested byte-identical to it —
+    but an order of magnitude faster in Python terms.
+    """
+    boundaries = fast_pack_boundaries(sorted_ordinals, domain_sizes, block_size)
+    encoder = FastBlockEncoder(domain_sizes)
+    ordinals = np.asarray(sorted_ordinals, dtype=np.int64)
+    return [encoder.encode_run(ordinals[s:e]) for s, e in boundaries]

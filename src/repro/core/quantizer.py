@@ -1,0 +1,151 @@
+"""The AVQ quantizer ``Q_L`` of Definition 2.1, with an explicit codebook.
+
+The block codec (:mod:`repro.core.codec`) is the *implementation* form of
+AVQ, where the codeword is implicit because each block carries its own
+representative.  This module implements the *definitional* form: an
+explicit codebook of representative tuples and a lossless mapping
+
+    ``Q_L(t) = (C(t), d(t, Q(t)))``
+
+where ``C(t)`` is the index of the nearest representative and the second
+component is the ordinal difference of Equation 2.6.  It exists both to
+make Theorem 2.1 directly testable and to contrast AVQ with the
+conventional lossy quantizer in :mod:`repro.vq`.
+
+Codebook construction is the paper's "constant time" scheme: after
+phi-ordering the input, representatives are the medians of equal-size
+partitions — no Linde-Buzo-Gray iteration is required (Section 2.1's
+closing remarks).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.phi import OrdinalMapper
+from repro.errors import CodecError
+
+__all__ = ["AVQCode", "AVQQuantizer", "build_codebook"]
+
+
+@dataclass(frozen=True)
+class AVQCode:
+    """One losslessly quantized tuple: ``(codeword, difference, before)``.
+
+    ``before`` records which branch of Equation 2.6 applied, i.e. whether
+    the original tuple precedes its representative in phi order.  (The paper
+    recovers this from block position; in codebook form it must be explicit.)
+    """
+
+    codeword: int
+    difference: int
+    before: bool
+
+
+def build_codebook(
+    mapper: OrdinalMapper,
+    tuples: Sequence[Sequence[int]],
+    num_codes: int,
+) -> List[Tuple[int, ...]]:
+    """Build an AVQ codebook of ``num_codes`` representatives.
+
+    The input tuples are phi-ordered and split into ``num_codes``
+    contiguous cells; the median of each cell is its representative.  This
+    is a single pass over sorted data — the constant-time (per cell)
+    construction the paper contrasts with iterative LBG refinement.
+    """
+    if num_codes < 1:
+        raise CodecError(f"codebook needs at least one code, got {num_codes}")
+    if not tuples:
+        raise CodecError("cannot build a codebook from an empty input set")
+    ordinals = sorted(mapper.phi(t) for t in tuples)
+    n = len(ordinals)
+    num_codes = min(num_codes, n)
+    codebook: List[Tuple[int, ...]] = []
+    for c in range(num_codes):
+        lo = c * n // num_codes
+        hi = (c + 1) * n // num_codes
+        cell = ordinals[lo:hi]
+        codebook.append(mapper.phi_inverse(cell[(len(cell) - 1) // 2]))
+    return codebook
+
+
+class AVQQuantizer:
+    """Lossless quantizer over an explicit codebook (Definition 2.1).
+
+    Examples
+    --------
+    >>> m = OrdinalMapper([8, 16, 64])
+    >>> q = AVQQuantizer(m, [(1, 0, 0), (6, 8, 32)])
+    >>> code = q.encode((6, 9, 0))
+    >>> q.decode(code)
+    (6, 9, 0)
+    """
+
+    def __init__(
+        self, mapper: OrdinalMapper, codebook: Sequence[Sequence[int]]
+    ):
+        if not codebook:
+            raise CodecError("codebook must contain at least one representative")
+        self._mapper = mapper
+        self._codebook = [tuple(c) for c in codebook]
+        decorated = sorted(
+            (mapper.phi(c), i) for i, c in enumerate(self._codebook)
+        )
+        self._sorted_ordinals = [d[0] for d in decorated]
+        self._sorted_codewords = [d[1] for d in decorated]
+        self._code_ordinals = [mapper.phi(c) for c in self._codebook]
+
+    @property
+    def codebook(self) -> List[Tuple[int, ...]]:
+        """The output-vector set ``Y`` (representative tuples)."""
+        return list(self._codebook)
+
+    def nearest_codeword(self, values: Sequence[int]) -> int:
+        """``C(t)``: index of the representative closest in ordinal distance.
+
+        Unlike conventional VQ, no codebook *search* is needed: the
+        codebook is kept phi-sorted, so the nearest representative is found
+        by binary search — the "no searching" property of Section 6.
+        """
+        target = self._mapper.phi(values)
+        pos = bisect.bisect_left(self._sorted_ordinals, target)
+        candidates = []
+        if pos > 0:
+            candidates.append(pos - 1)
+        if pos < len(self._sorted_ordinals):
+            candidates.append(pos)
+        best = min(
+            candidates, key=lambda p: abs(self._sorted_ordinals[p] - target)
+        )
+        return self._sorted_codewords[best]
+
+    def encode(self, values: Sequence[int]) -> AVQCode:
+        """``Q_L(t)``: quantize a tuple losslessly into an :class:`AVQCode`."""
+        cw = self.nearest_codeword(values)
+        t_ord = self._mapper.phi(values)
+        rep_ord = self._code_ordinals[cw]
+        before = t_ord <= rep_ord
+        diff = rep_ord - t_ord if before else t_ord - rep_ord
+        return AVQCode(codeword=cw, difference=diff, before=before)
+
+    def decode(self, code: AVQCode) -> Tuple[int, ...]:
+        """Invert ``Q_L`` exactly (Theorem 2.1)."""
+        if not 0 <= code.codeword < len(self._codebook):
+            raise CodecError(f"codeword {code.codeword} outside codebook")
+        rep_ord = self._code_ordinals[code.codeword]
+        ordinal = rep_ord - code.difference if code.before else rep_ord + code.difference
+        if not 0 <= ordinal < self._mapper.space_size:
+            raise CodecError(f"decoded ordinal {ordinal} outside tuple space")
+        return self._mapper.phi_inverse(ordinal)
+
+    def distortion(self, values: Sequence[int]) -> int:
+        """``d(t, Q(t))`` — the ordinal distance to the chosen representative.
+
+        Zero only when the tuple *is* a representative; for the lossless
+        quantizer this quantity is stored, not discarded, so it measures
+        coding cost rather than information loss.
+        """
+        return self.encode(values).difference

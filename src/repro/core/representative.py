@@ -1,0 +1,96 @@
+"""Representative-tuple selection strategies (Section 3.4).
+
+The paper chooses the *middle* tuple of each phi-ordered block: the median
+of a one-dimensional cluster minimises the total absolute distortion
+``sum_i |phi(t_i) - phi(t_hat)|``.  Alternative strategies are provided for
+the ablation benchmarks called out in DESIGN.md — they let us measure how
+much of AVQ's win actually comes from the median choice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.errors import CodecError
+
+__all__ = [
+    "median_index",
+    "first_index",
+    "last_index",
+    "nearest_mean_index",
+    "STRATEGIES",
+    "get_strategy",
+]
+
+Strategy = Callable[[Sequence[int]], int]
+
+
+def median_index(ordinals: Sequence[int]) -> int:
+    """The paper's choice: index of the middle tuple of a sorted block.
+
+    For an even count the lower middle is used; either middle minimises the
+    total absolute distortion, and a deterministic choice keeps encode and
+    decode in agreement.
+    """
+    if not ordinals:
+        raise CodecError("cannot pick a representative from an empty block")
+    return (len(ordinals) - 1) // 2
+
+
+def first_index(ordinals: Sequence[int]) -> int:
+    """Ablation: always anchor on the first (smallest) tuple."""
+    if not ordinals:
+        raise CodecError("cannot pick a representative from an empty block")
+    return 0
+
+
+def last_index(ordinals: Sequence[int]) -> int:
+    """Ablation: always anchor on the last (largest) tuple."""
+    if not ordinals:
+        raise CodecError("cannot pick a representative from an empty block")
+    return len(ordinals) - 1
+
+
+def nearest_mean_index(ordinals: Sequence[int]) -> int:
+    """Ablation: the tuple whose ordinal is closest to the block mean.
+
+    Conventional VQ centroids minimise *squared* error; this strategy is the
+    closest lossless analogue (the representative must be an actual tuple of
+    the block, since it is stored verbatim and all differences anchor on it).
+    """
+    if not ordinals:
+        raise CodecError("cannot pick a representative from an empty block")
+    mean = sum(ordinals) / len(ordinals)
+    best, best_dist = 0, abs(ordinals[0] - mean)
+    for i, o in enumerate(ordinals):
+        d = abs(o - mean)
+        if d < best_dist:
+            best, best_dist = i, d
+    return best
+
+
+def total_distortion(ordinals: Sequence[int], index: int) -> int:
+    """``sum_i |phi(t_i) - phi(t_hat)|`` for a candidate representative."""
+    anchor = ordinals[index]
+    return sum(abs(o - anchor) for o in ordinals)
+
+
+STRATEGIES: Dict[str, Strategy] = {
+    "median": median_index,
+    "first": first_index,
+    "last": last_index,
+    "nearest-mean": nearest_mean_index,
+}
+
+
+def get_strategy(name: str) -> Strategy:
+    """Look up a representative strategy by name.
+
+    >>> get_strategy("median")([10, 20, 30])
+    1
+    """
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise CodecError(f"unknown representative strategy {name!r}; known: {known}")

@@ -1,0 +1,128 @@
+"""Leading-zero run-length coding of difference tuples (Section 3.4).
+
+After differencing, a block's tuples mostly consist of leading zero bytes
+followed by a short non-zero tail.  The paper replaces the run of leading
+zeros with a one-byte count ``r`` and stores only the remaining ``m - r``
+bytes, where ``m`` is the fixed byte width of a full tuple.
+
+These functions operate on the *fixed-width byte rendering* of a tuple
+(attribute fields laid out big-endian at their declared widths), which is
+exactly the layout :class:`~repro.core.codec.BlockCodec` serialises.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.bitutils import (
+    domain_byte_width,
+    int_to_bytes_fixed,
+    leading_zero_bytes,
+)
+from repro.errors import CodecError
+
+__all__ = [
+    "TupleLayout",
+    "rle_encode",
+    "rle_decode",
+]
+
+
+class TupleLayout:
+    """Fixed-width byte layout of a tuple under given domain sizes.
+
+    Each attribute ``i`` occupies ``ceil(beta[|A_i| - 1] / 8)`` bytes, so a
+    whole tuple is a fixed ``m``-byte field.  The paper's running example
+    uses one byte per attribute (all domains are at most 256); wider domains
+    get multi-byte fields, generalising the scheme losslessly.
+
+    ``min_field_bytes`` widens every field to at least that many bytes.
+    The AVQ codec always uses the minimal layout (``1``); the *uncoded*
+    baseline uses ``2`` to model the natural int16-style columns of the
+    era's storage (the paper's Section 5.2 relation is 38 bytes for 16
+    attributes — about 2.4 bytes per attribute — which only a natural-width
+    layout explains; see DESIGN.md).
+    """
+
+    __slots__ = ("_widths", "_tuple_bytes")
+
+    def __init__(self, domain_sizes: Sequence[int], *, min_field_bytes: int = 1):
+        if min_field_bytes < 1:
+            raise CodecError(
+                f"min_field_bytes must be >= 1, got {min_field_bytes}"
+            )
+        self._widths = tuple(
+            max(domain_byte_width(s), min_field_bytes) for s in domain_sizes
+        )
+        self._tuple_bytes = sum(self._widths)
+        if self._tuple_bytes > 255:
+            # The run-length count is a single byte; the run can be at most
+            # the full tuple, so m must fit in that byte.
+            raise CodecError(
+                f"tuple width {self._tuple_bytes} bytes exceeds the 255-byte "
+                "limit imposed by the one-byte run-length count field"
+            )
+
+    @property
+    def field_widths(self) -> Tuple[int, ...]:
+        """Per-attribute byte widths."""
+        return self._widths
+
+    @property
+    def tuple_bytes(self) -> int:
+        """``m`` — total bytes of one fixed-width tuple."""
+        return self._tuple_bytes
+
+    def tuple_to_bytes(self, values: Sequence[int]) -> bytes:
+        """Render a tuple as its fixed-width big-endian byte string."""
+        if len(values) != len(self._widths):
+            raise CodecError(
+                f"tuple has {len(values)} attributes, layout expects "
+                f"{len(self._widths)}"
+            )
+        return b"".join(
+            int_to_bytes_fixed(v, w) for v, w in zip(values, self._widths)
+        )
+
+    def tuple_from_bytes(self, data: bytes) -> Tuple[int, ...]:
+        """Parse a fixed-width byte string back into a tuple."""
+        if len(data) != self._tuple_bytes:
+            raise CodecError(
+                f"expected {self._tuple_bytes} bytes, got {len(data)}"
+            )
+        out = []
+        pos = 0
+        for w in self._widths:
+            out.append(int.from_bytes(data[pos : pos + w], "big"))
+            pos += w
+        return tuple(out)
+
+
+def rle_encode(layout: TupleLayout, values: Sequence[int]) -> bytes:
+    """Encode one difference tuple as ``count ‖ tail`` (Section 3.4).
+
+    The count byte holds the number of leading zero bytes ``r``; the tail is
+    the remaining ``m - r`` bytes.  An all-zero tuple encodes as the single
+    byte ``m`` with an empty tail.
+    """
+    raw = layout.tuple_to_bytes(values)
+    r = leading_zero_bytes(raw)
+    return bytes([r]) + raw[r:]
+
+
+def rle_decode(layout: TupleLayout, count: int, tail: bytes) -> Tuple[int, ...]:
+    """Decode a ``count ‖ tail`` pair back into the original tuple."""
+    m = layout.tuple_bytes
+    if not 0 <= count <= m:
+        raise CodecError(f"run-length count {count} outside [0, {m}]")
+    if len(tail) != m - count:
+        raise CodecError(
+            f"tail has {len(tail)} bytes, expected {m - count} for count {count}"
+        )
+    return layout.tuple_from_bytes(bytes(count) + tail)
+
+
+def rle_encoded_size(layout: TupleLayout, values: Sequence[int]) -> int:
+    """Size in bytes of :func:`rle_encode`'s output, without materialising it."""
+    raw = layout.tuple_to_bytes(values)
+    return 1 + layout.tuple_bytes - leading_zero_bytes(raw)

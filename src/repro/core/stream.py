@@ -1,0 +1,123 @@
+"""Bounded byte-stream reader and writer used by the block codec.
+
+Disk blocks are fixed-size byte buffers.  The codec needs two small
+abstractions on top of :class:`bytes`:
+
+* :class:`StreamWriter` — appends fields while tracking how many bytes of a
+  fixed capacity remain (so the packer can ask "would one more tuple fit?").
+* :class:`StreamReader` — consumes fields with explicit bounds checking,
+  turning a truncated or corrupt block into a :class:`~repro.errors.CodecError`
+  instead of silently mis-decoding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import BlockOverflowError, CodecError
+
+__all__ = ["StreamWriter", "StreamReader"]
+
+
+class StreamWriter:
+    """Append-only byte buffer with an optional hard capacity."""
+
+    __slots__ = ("_chunks", "_size", "_capacity")
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 0:
+            raise CodecError(f"capacity must be non-negative, got {capacity}")
+        self._chunks: list = []
+        self._size = 0
+        self._capacity = capacity
+
+    @property
+    def size(self) -> int:
+        """Number of bytes written so far."""
+        return self._size
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Hard byte limit, or ``None`` for unbounded."""
+        return self._capacity
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Bytes left before the capacity is hit (``None`` if unbounded)."""
+        if self._capacity is None:
+            return None
+        return self._capacity - self._size
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` more bytes would stay within capacity."""
+        return self._capacity is None or self._size + nbytes <= self._capacity
+
+    def write(self, data: bytes) -> None:
+        """Append raw bytes; raises :class:`BlockOverflowError` past capacity."""
+        if not self.fits(len(data)):
+            raise BlockOverflowError(
+                f"writing {len(data)} bytes would exceed capacity "
+                f"{self._capacity} (currently at {self._size})"
+            )
+        self._chunks.append(data)
+        self._size += len(data)
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append ``value`` as ``width`` big-endian bytes."""
+        if value < 0:
+            raise CodecError(f"cannot write negative value {value}")
+        try:
+            self.write(value.to_bytes(width, "big"))
+        except OverflowError as exc:
+            raise CodecError(f"value {value} does not fit in {width} bytes") from exc
+
+    def getvalue(self) -> bytes:
+        """Return everything written so far as one bytes object."""
+        return b"".join(self._chunks)
+
+
+class StreamReader:
+    """Cursor over a bytes object with bounds-checked reads."""
+
+    __slots__ = ("_data", "_pos", "_end")
+
+    def __init__(self, data: bytes, start: int = 0, end: Optional[int] = None):
+        self._data = data
+        self._pos = start
+        self._end = len(data) if end is None else end
+        if not 0 <= self._pos <= self._end <= len(data):
+            raise CodecError(
+                f"invalid stream window [{start}, {end}) over {len(data)} bytes"
+            )
+
+    @property
+    def position(self) -> int:
+        """Current cursor offset into the underlying buffer."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bytes left before the end of the window."""
+        return self._end - self._pos
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the cursor has reached the end of the window."""
+        return self._pos >= self._end
+
+    def read(self, nbytes: int) -> bytes:
+        """Consume exactly ``nbytes``; short reads raise :class:`CodecError`."""
+        if nbytes < 0:
+            raise CodecError(f"cannot read a negative byte count ({nbytes})")
+        if self._pos + nbytes > self._end:
+            raise CodecError(
+                f"stream truncated: wanted {nbytes} bytes, only "
+                f"{self.remaining} remain"
+            )
+        out = self._data[self._pos : self._pos + nbytes]
+        self._pos += nbytes
+        return out
+
+    def read_uint(self, width: int) -> int:
+        """Consume ``width`` bytes as a big-endian unsigned integer."""
+        return int.from_bytes(self.read(width), "big")

@@ -1,0 +1,52 @@
+"""The system catalog: named tables and their metadata."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.db.table import Table
+from repro.errors import QueryError
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Name-to-table registry with the usual create/drop discipline."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+
+    def register(self, table: Table) -> None:
+        """Add a table; duplicate names are an error."""
+        if table.name in self._tables:
+            raise QueryError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def get(self, name: str) -> Table:
+        """Look a table up; unknown names are an error."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(
+                f"no table {name!r}; catalog has {sorted(self._tables)}"
+            )
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise QueryError(f"no table {name!r} to drop")
+        del self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def names(self) -> List[str]:
+        """Registered table names, sorted."""
+        return sorted(self._tables)

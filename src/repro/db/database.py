@@ -1,0 +1,164 @@
+"""The top-level database facade.
+
+A :class:`Database` owns a simulated disk, a catalog of tables, and the
+convenience paths a user actually wants: create a compressed table
+straight from raw application rows (Section 3.1 encoding included), query
+it with application values, and read back decoded rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.db.catalog import Catalog
+from repro.db.query import QueryResult, RangeQuery
+from repro.db.table import Table
+from repro.errors import QueryError
+from repro.relational.algebra import RangePredicate
+from repro.relational.encoding import SchemaInferencer
+from repro.relational.relation import Relation
+from repro.storage.block import DEFAULT_BLOCK_SIZE
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A catalog of AVQ-compressed (or baseline heap) tables on one disk."""
+
+    def __init__(
+        self,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        disk_model: Optional[DiskModel] = None,
+    ):
+        self._disk = SimulatedDisk(block_size=block_size, model=disk_model)
+        self._catalog = Catalog()
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        """The shared simulated disk (for stats inspection)."""
+        return self._disk
+
+    @property
+    def catalog(self) -> Catalog:
+        """The system catalog."""
+        return self._catalog
+
+    # ------------------------------------------------------------------
+    # Table creation
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        rows: Sequence[Sequence],
+        *,
+        columns: Optional[Sequence[str]] = None,
+        compressed: bool = True,
+        secondary_on: Sequence[str] = (),
+        inferencer: Optional[SchemaInferencer] = None,
+    ) -> Table:
+        """Create a table from raw application rows.
+
+        Runs the full Section 3 pipeline: infer domains, encode attributes,
+        sort by phi, pack into blocks, code each block, build indices.
+        """
+        inferencer = inferencer or SchemaInferencer()
+        schema = inferencer.infer(rows, columns)
+        relation = Relation.from_values(schema, rows)
+        return self.create_table_from_relation(
+            name,
+            relation,
+            compressed=compressed,
+            secondary_on=secondary_on,
+        )
+
+    def create_table_from_relation(
+        self,
+        name: str,
+        relation: Relation,
+        *,
+        compressed: bool = True,
+        secondary_on: Sequence[str] = (),
+    ) -> Table:
+        """Create a table from an already-encoded relation."""
+        table = Table.from_relation(
+            name,
+            relation,
+            self._disk,
+            compressed=compressed,
+            secondary_on=secondary_on,
+        )
+        self._catalog.register(table)
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look a table up by name."""
+        return self._catalog.get(name)
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog (blocks are not reclaimed)."""
+        self._catalog.drop(name)
+
+    # ------------------------------------------------------------------
+    # Value-level convenience API
+    # ------------------------------------------------------------------
+
+    def select_values(
+        self,
+        name: str,
+        attribute: str,
+        lo,
+        hi,
+    ) -> Tuple[List[Tuple], QueryResult]:
+        """``sigma_{lo <= attribute <= hi}`` with application values.
+
+        Bounds are encoded through the attribute's domain; results are
+        decoded back to application values.  Returns (decoded rows, the
+        raw :class:`QueryResult` with its access statistics).
+        """
+        table = self.table(name)
+        schema = table.schema
+        domain = schema.attribute(attribute).domain
+        lo_ord, hi_ord = domain.encode_bound(lo), domain.encode_bound(hi)
+        if lo_ord > hi_ord:
+            raise QueryError(
+                f"{lo!r}..{hi!r} is an inverted range under "
+                f"{attribute!r}'s domain order"
+            )
+        result = table.select(
+            RangeQuery([RangePredicate(attribute, lo_ord, hi_ord)])
+        )
+        decoded = [schema.decode_tuple(t) for t in result.tuples]
+        return decoded, result
+
+    def insert_values(self, name: str, row: Sequence) -> None:
+        """Insert one application-value row into a compressed table."""
+        table = self.table(name)
+        table.insert(table.schema.encode_tuple(row))
+
+    def delete_values(self, name: str, row: Sequence) -> bool:
+        """Delete one application-value row; returns whether it existed."""
+        table = self.table(name)
+        return table.delete(table.schema.encode_tuple(row))
+
+    # ------------------------------------------------------------------
+    # Storage accounting
+    # ------------------------------------------------------------------
+
+    def storage_report(self) -> List[dict]:
+        """Per-table block usage — the Figure 5.7 numerator and denominator."""
+        out = []
+        for table in self._catalog:
+            out.append(
+                {
+                    "table": table.name,
+                    "compressed": table.compressed,
+                    "tuples": table.num_tuples,
+                    "blocks": table.num_blocks,
+                    "block_size": self._disk.block_size,
+                    "bytes": table.num_blocks * self._disk.block_size,
+                }
+            )
+        return out

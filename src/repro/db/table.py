@@ -1,0 +1,453 @@
+"""The table facade: storage plus indices plus Section 4 operations.
+
+A :class:`Table` ties together one stored relation (AVQ-coded or plain
+heap), the whole-tuple primary index of Figure 4.4, and any number of
+Figure 4.5 secondary indices.  It exposes the operations Section 4
+discusses:
+
+* ``select`` — range queries with automatic access-path choice
+  (primary-index clustered scan for the leading attribute, secondary
+  index where one exists, full scan otherwise);
+* ``insert`` / ``delete`` / ``update`` — Section 4.2 mutations, confined
+  to the affected block, with all indices maintained incrementally.
+
+Mutations require compressed storage (the heap baseline is built once
+per experiment and queried read-only, as in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.codec import BlockCodec
+from repro.errors import QueryError
+from repro.db.query import QueryResult, RangeQuery
+from repro.index.hashindex import ExtendibleHashIndex
+from repro.index.primary import PrimaryIndex
+from repro.index.secondary import SecondaryIndex
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.storage.avqfile import AVQFile
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile
+
+__all__ = ["Table"]
+
+StorageFile = Union[AVQFile, HeapFile]
+
+
+class Table:
+    """A stored, indexed relation supporting queries and mutations."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        storage: StorageFile,
+        *,
+        index_order: int = 32,
+        buffer_capacity: Optional[int] = None,
+    ):
+        if not name:
+            raise QueryError("table name must be non-empty")
+        self._name = name
+        self._schema = schema
+        self._storage = storage
+        self._index_order = index_order
+        self._buffer: Optional["BufferPool"] = None
+        if buffer_capacity is not None:
+            from repro.storage.buffer import BufferPool
+
+            self._buffer = BufferPool(storage._disk, buffer_capacity)
+        self._primary = PrimaryIndex.build(
+            schema.mapper, storage.directory(), order=index_order
+        )
+        self._secondaries: Dict[str, SecondaryIndex] = {}
+        self._hash_indices: Dict[str, ExtendibleHashIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_relation(
+        cls,
+        name: str,
+        relation: Relation,
+        disk: SimulatedDisk,
+        *,
+        compressed: bool = True,
+        codec: Optional[BlockCodec] = None,
+        index_order: int = 32,
+        secondary_on: Sequence[str] = (),
+        buffer_capacity: Optional[int] = None,
+    ) -> "Table":
+        """Materialise a relation and build the requested indices."""
+        if compressed:
+            storage: StorageFile = AVQFile.build(relation, disk, codec=codec)
+        else:
+            if codec is not None:
+                raise QueryError("codec is only meaningful for compressed tables")
+            storage = HeapFile.build(relation, disk, sort=True)
+        table = cls(
+            name,
+            relation.schema,
+            storage,
+            index_order=index_order,
+            buffer_capacity=buffer_capacity,
+        )
+        for attr in secondary_on:
+            table.create_secondary_index(attr)
+        return table
+
+    def create_secondary_index(self, attribute: str) -> SecondaryIndex:
+        """Build (or return) the Figure 4.5 secondary index on ``attribute``."""
+        existing = self._secondaries.get(attribute)
+        if existing is not None:
+            return existing
+        position = self._schema.position(attribute)
+        idx = SecondaryIndex.build(
+            attribute,
+            position,
+            self._storage.iter_blocks(),
+            order=self._index_order,
+        )
+        self._secondaries[attribute] = idx
+        return idx
+
+    def create_hash_index(self, attribute: str) -> ExtendibleHashIndex:
+        """Build (or return) an extendible hash index on ``attribute``.
+
+        The paper's Section 4 allows hashing as an alternative access
+        method; hash indices serve equality predicates in O(1) probes but
+        cannot answer range predicates.
+        """
+        existing = self._hash_indices.get(attribute)
+        if existing is not None:
+            return existing
+        position = self._schema.position(attribute)
+        idx = ExtendibleHashIndex.build(
+            attribute, position, self._storage.iter_blocks()
+        )
+        self._hash_indices[attribute] = idx
+        return idx
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Table name."""
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        """The table's schema."""
+        return self._schema
+
+    @property
+    def storage(self) -> StorageFile:
+        """The underlying storage file (AVQ or heap)."""
+        return self._storage
+
+    @property
+    def compressed(self) -> bool:
+        """Whether the table is AVQ-coded."""
+        return isinstance(self._storage, AVQFile)
+
+    @property
+    def primary_index(self) -> PrimaryIndex:
+        """The whole-tuple primary index."""
+        return self._primary
+
+    @property
+    def secondary_indices(self) -> Dict[str, SecondaryIndex]:
+        """Secondary indices by attribute name."""
+        return dict(self._secondaries)
+
+    @property
+    def hash_indices(self) -> Dict[str, ExtendibleHashIndex]:
+        """Hash indices by attribute name."""
+        return dict(self._hash_indices)
+
+    def _value_indices(self):
+        """All value-to-block indices that need mutation maintenance."""
+        yield from self._secondaries.values()
+        yield from self._hash_indices.values()
+
+    @property
+    def num_tuples(self) -> int:
+        """Tuples stored."""
+        return self._storage.num_tuples
+
+    @property
+    def num_blocks(self) -> int:
+        """Data blocks occupied."""
+        return self._storage.num_blocks
+
+    def __len__(self) -> int:
+        return self.num_tuples
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def select(self, query: RangeQuery) -> QueryResult:
+        """Execute a conjunctive range query, choosing an access path.
+
+        Path choice, in order of preference:
+
+        1. A predicate on the *leading* attribute uses the primary index:
+           the relation is phi-clustered, so matching tuples occupy one
+           contiguous run of blocks.
+        2. Any predicate attribute with a secondary index uses the index
+           with the smallest candidate block set.
+        3. Otherwise, full scan.
+        """
+        if not query.predicates:
+            return self._scan_all()
+        bound = [p.bind(self._schema) for p in query.predicates]
+
+        leading = next((b for b in bound if b[0] == 0), None)
+        if leading is not None:
+            return self._select_clustered(leading, bound)
+
+        best: Optional[Tuple[List[int], str]] = None
+        for pred, (pos, lo, hi) in zip(query.predicates, bound):
+            if lo == hi:
+                hidx = self._hash_indices.get(pred.attribute)
+                if hidx is not None:
+                    candidates = hidx.lookup(lo)
+                    if best is None or len(candidates) < len(best[0]):
+                        best = (candidates, f"hash:{pred.attribute}")
+            idx = self._secondaries.get(pred.attribute)
+            if idx is None:
+                continue
+            candidates = idx.range_lookup(lo, hi)
+            if best is None or len(candidates) < len(best[0]):
+                best = (candidates, f"secondary:{pred.attribute}")
+        if best is not None:
+            return self._filter_blocks(
+                best[0], bound, access_path=best[1]
+            )
+        return self._scan_all(bound)
+
+    def _select_clustered(self, leading, bound) -> QueryResult:
+        _, lo, hi = leading
+        weights = self._schema.mapper.weights
+        lo_ordinal = lo * weights[0]
+        hi_ordinal = (hi + 1) * weights[0] - 1
+        block_ids = self._primary.range_blocks(lo_ordinal, hi_ordinal)
+        return self._filter_blocks(block_ids, bound, access_path="primary")
+
+    def _read_block_id(self, block_id: int):
+        """Fetch and decode one block, through the buffer pool if present."""
+        if self._buffer is not None:
+            return self._storage.decode_payload(self._buffer.get(block_id))
+        return self._storage.read_block_id(block_id)
+
+    @property
+    def buffer_pool(self):
+        """The table's buffer pool, or ``None`` when unbuffered."""
+        return self._buffer
+
+    def _filter_blocks(self, block_ids, bound, *, access_path) -> QueryResult:
+        disk = self._disk()
+        start_ms = disk.stats.elapsed_ms
+        out: List[Tuple[int, ...]] = []
+        examined = 0
+        for block_id in block_ids:
+            for t in self._read_block_id(block_id):
+                examined += 1
+                if all(lo <= t[pos] <= hi for pos, lo, hi in bound):
+                    out.append(t)
+        return QueryResult(
+            tuples=out,
+            blocks_read=len(block_ids),
+            tuples_examined=examined,
+            access_path=access_path,
+            io_ms=disk.stats.elapsed_ms - start_ms,
+            candidate_blocks=list(block_ids),
+        )
+
+    def _scan_all(self, bound=()) -> QueryResult:
+        disk = self._disk()
+        start_ms = disk.stats.elapsed_ms
+        out: List[Tuple[int, ...]] = []
+        examined = 0
+        blocks = 0
+        for _, tuples in self._storage.iter_blocks():
+            blocks += 1
+            for t in tuples:
+                examined += 1
+                if all(lo <= t[pos] <= hi for pos, lo, hi in bound):
+                    out.append(t)
+        return QueryResult(
+            tuples=out,
+            blocks_read=blocks,
+            tuples_examined=examined,
+            access_path="scan",
+            io_ms=disk.stats.elapsed_ms - start_ms,
+        )
+
+    def _disk(self) -> SimulatedDisk:
+        return self._storage._disk  # shared within the package
+
+    # ------------------------------------------------------------------
+    # Mutations (Section 4.2)
+    # ------------------------------------------------------------------
+
+    def insert(self, values: Sequence[int]) -> None:
+        """Insert one ordinal tuple, maintaining every index."""
+        storage = self._require_avq("insert")
+        t = tuple(int(v) for v in values)
+        self._schema.mapper.validate(t)
+
+        if storage.num_blocks == 0:
+            storage.insert(t)
+            block_id = storage.block_ids[0]
+            self._primary.add_block(storage.block_range(0)[0], block_id)
+            for idx in self._value_indices():
+                idx.add(t[idx.position], block_id)
+            return
+
+        pos = storage.block_of_ordinal(self._schema.mapper.phi(t))
+        old_min = storage.block_range(pos)[0]
+        old_id = storage.block_ids[pos]
+        has_value_indices = bool(self._secondaries or self._hash_indices)
+        old_tuples = storage.read_block(pos) if has_value_indices else None
+        blocks_before = storage.num_blocks
+
+        storage.insert(t)
+        if self._buffer is not None:
+            self._buffer.invalidate(old_id)
+
+        new_min = storage.block_range(pos)[0]
+        if new_min != old_min:
+            self._primary.move_block(old_min, new_min, old_id)
+        split = storage.num_blocks > blocks_before
+        if split:
+            new_id = storage.block_ids[pos + 1]
+            self._primary.add_block(storage.block_range(pos + 1)[0], new_id)
+        if has_value_indices:
+            new_left = storage.read_block(pos)
+            new_right = storage.read_block(pos + 1) if split else []
+            for idx in self._value_indices():
+                idx.reindex_block(old_id, old_tuples, new_left)
+                if split:
+                    idx.reindex_block(storage.block_ids[pos + 1], [], new_right)
+
+    def delete(self, values: Sequence[int]) -> bool:
+        """Delete one occurrence of a tuple; returns whether it existed."""
+        storage = self._require_avq("delete")
+        t = tuple(int(v) for v in values)
+        self._schema.mapper.validate(t)
+        if storage.num_blocks == 0:
+            return False
+
+        pos = storage.block_of_ordinal(self._schema.mapper.phi(t))
+        old_min = storage.block_range(pos)[0]
+        old_id = storage.block_ids[pos]
+        has_value_indices = bool(self._secondaries or self._hash_indices)
+        old_tuples = storage.read_block(pos) if has_value_indices else None
+        blocks_before = storage.num_blocks
+
+        if not storage.delete(t):
+            return False
+        if self._buffer is not None:
+            self._buffer.invalidate(old_id)
+
+        removed = storage.num_blocks < blocks_before
+        if removed:
+            self._primary.remove_block(old_min)
+            if has_value_indices:
+                for idx in self._value_indices():
+                    idx.reindex_block(old_id, old_tuples, [])
+            return True
+
+        new_min = storage.block_range(pos)[0]
+        if new_min != old_min:
+            self._primary.move_block(old_min, new_min, old_id)
+        if has_value_indices:
+            new_tuples = storage.read_block(pos)
+            for idx in self._value_indices():
+                idx.reindex_block(old_id, old_tuples, new_tuples)
+        return True
+
+    def update(self, old: Sequence[int], new: Sequence[int]) -> bool:
+        """Section 4.2: modification as deletion plus insertion."""
+        if not self.delete(old):
+            return False
+        self.insert(new)
+        return True
+
+    def contains(self, values: Sequence[int]) -> bool:
+        """Point probe: whether this exact tuple is stored.
+
+        Compressed tables answer via the early-exit difference-stream
+        walk (one block read, no reconstruction); heap tables decode the
+        one candidate block.
+        """
+        t = tuple(int(v) for v in values)
+        self._schema.mapper.validate(t)
+        storage = self._storage
+        if isinstance(storage, AVQFile):
+            return storage.contains_ordinal(self._schema.mapper.phi(t))
+        if storage.num_blocks == 0:
+            return False
+        pos = storage.block_of_ordinal(self._schema.mapper.phi(t))
+        return t in storage.read_block(pos)
+
+    def delete_where(self, query: RangeQuery) -> int:
+        """Delete every tuple matching ``query``; returns the count.
+
+        Matching tuples are collected first (deleting while scanning
+        would shift blocks under the scan), then removed one by one so
+        all index maintenance runs through the ordinary delete path.
+        """
+        self._require_avq("delete_where")
+        victims = self.select(query).tuples
+        deleted = 0
+        for t in victims:
+            if self.delete(t):
+                deleted += 1
+        return deleted
+
+    def compact(self) -> int:
+        """Repack fragmented storage (after churn); returns blocks saved.
+
+        All indices are rebuilt against the new block layout, and the
+        buffer pool (if any) is emptied — every cached payload is stale.
+        """
+        storage = self._require_avq("compact")
+        saved = storage.compact()
+        self._primary = PrimaryIndex.build(
+            self._schema.mapper, storage.directory(), order=self._index_order
+        )
+        rebuilt_secondaries = {}
+        for name in self._secondaries:
+            rebuilt_secondaries[name] = SecondaryIndex.build(
+                name,
+                self._schema.position(name),
+                storage.iter_blocks(),
+                order=self._index_order,
+            )
+        self._secondaries = rebuilt_secondaries
+        rebuilt_hashes = {}
+        for name in self._hash_indices:
+            rebuilt_hashes[name] = ExtendibleHashIndex.build(
+                name, self._schema.position(name), storage.iter_blocks()
+            )
+        self._hash_indices = rebuilt_hashes
+        if self._buffer is not None:
+            self._buffer.clear()
+        return saved
+
+    def _require_avq(self, op: str) -> AVQFile:
+        if not isinstance(self._storage, AVQFile):
+            raise QueryError(
+                f"{op} requires compressed storage; heap tables are "
+                "read-only baselines"
+            )
+        return self._storage

@@ -1,0 +1,145 @@
+"""Undo-log transactions over table mutations.
+
+"Standard database operations" ultimately come in transactions.  This
+module provides the classic single-writer undo discipline on top of
+:class:`~repro.db.table.Table`:
+
+* every mutation applied through the transaction records its inverse
+  (an insert records a delete, a delete records an insert);
+* ``rollback`` replays the inverses in reverse order — because table
+  mutations are confined to single blocks (Section 4.2), undo is just
+  more of the same mutation machinery, and all indices stay maintained;
+* ``commit`` discards the undo log.
+
+A transaction is a context manager: leaving the block normally commits,
+leaving it via an exception rolls back.
+
+This is deliberately *logical* (operation-level) undo, not page-level:
+physical before-images would fight the block splits that inserts cause,
+while logical inverses compose with them for free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.db.table import Table
+from repro.errors import QueryError
+
+__all__ = ["Transaction"]
+
+
+class Transaction:
+    """Single-writer logical-undo transaction over one table.
+
+    Examples
+    --------
+    ::
+
+        with Transaction(table) as txn:
+            txn.insert((1, 2, 3))
+            txn.delete((4, 5, 6))
+        # committed
+
+        with Transaction(table) as txn:
+            txn.insert((7, 8, 9))
+            raise RuntimeError("abort")   # rolled back, insert undone
+    """
+
+    def __init__(self, table: Table):
+        if not table.compressed:
+            raise QueryError(
+                "transactions require compressed storage (heap tables "
+                "are read-only baselines)"
+            )
+        self._table = table
+        self._undo: List[Tuple[str, Tuple[int, ...]]] = []
+        self._state = "active"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``'active'``, ``'committed'``, or ``'rolled-back'``."""
+        return self._state
+
+    @property
+    def operations(self) -> int:
+        """Mutations applied so far (undo log length)."""
+        return len(self._undo)
+
+    def _require_active(self) -> None:
+        if self._state != "active":
+            raise QueryError(f"transaction is {self._state}")
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def insert(self, values: Sequence[int]) -> None:
+        """Insert through the transaction (undoable)."""
+        self._require_active()
+        t = tuple(int(v) for v in values)
+        self._table.insert(t)
+        self._undo.append(("delete", t))
+
+    def delete(self, values: Sequence[int]) -> bool:
+        """Delete through the transaction (undoable)."""
+        self._require_active()
+        t = tuple(int(v) for v in values)
+        removed = self._table.delete(t)
+        if removed:
+            self._undo.append(("insert", t))
+        return removed
+
+    def update(self, old: Sequence[int], new: Sequence[int]) -> bool:
+        """Update = delete + insert, both undoable as a unit."""
+        self._require_active()
+        if not self.delete(old):
+            return False
+        self.insert(new)
+        return True
+
+    # ------------------------------------------------------------------
+    # Outcome
+    # ------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Make the transaction's changes permanent."""
+        self._require_active()
+        self._undo.clear()
+        self._state = "committed"
+
+    def rollback(self) -> None:
+        """Undo every change, newest first."""
+        self._require_active()
+        while self._undo:
+            op, t = self._undo.pop()
+            if op == "insert":
+                self._table.insert(t)
+            else:
+                removed = self._table.delete(t)
+                if not removed:  # pragma: no cover - invariant violation
+                    raise QueryError(
+                        f"rollback failed: tuple {t} missing from table"
+                    )
+        self._state = "rolled-back"
+
+    # ------------------------------------------------------------------
+    # Context manager
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        self._require_active()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._state != "active":
+            return False  # already resolved explicitly inside the block
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False  # never swallow exceptions

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the AVQ reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure classes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed (empty, bad domain size, bad name)."""
+
+
+class DomainError(ReproError):
+    """An attribute value falls outside its declared domain."""
+
+
+class EncodingError(ReproError):
+    """A value could not be mapped to or from its ordinal encoding."""
+
+
+class CodecError(ReproError):
+    """A block failed to encode or decode (corrupt stream, overflow)."""
+
+
+class BlockOverflowError(CodecError):
+    """The encoded form of a tuple set does not fit in one disk block."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated (bad block id, short read)."""
+
+
+class IndexError_(ReproError):
+    """An index structure invariant was violated.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`, which has different semantics.
+    """
+
+
+class QueryError(ReproError):
+    """A query is malformed (unknown attribute, inverted range)."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload specification is invalid."""

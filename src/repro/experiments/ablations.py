@@ -1,0 +1,197 @@
+"""Ablation studies: quantify each design choice the paper makes.
+
+DESIGN.md lists the choices worth isolating; this driver measures them
+on a common relation and returns printable tables:
+
+* chained differencing (Example 3.3) on versus off;
+* representative selection (median / first / last / nearest-mean) for
+  the unchained codec — with chaining the size is provably independent;
+* block size (1 to 64 KiB) — compression versus per-block I/O cost;
+* attribute ordering — which domain leads the phi radix;
+* coding granularity — byte RLE versus bit-level Golomb versus the
+  bit-transposed baseline.
+
+Run via ``python -m repro.experiments --ablations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.bittransposed import BitTransposedBaseline
+from repro.core.codec import BlockCodec
+from repro.core.golomb import GolombBlockCodec
+from repro.core.representative import STRATEGIES
+from repro.experiments.reporting import format_table
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.storage.disk import DiskModel
+from repro.storage.packer import pack_ordinals
+from repro.workload.generator import RelationSpec, generate_relation
+
+__all__ = ["run_ablations", "AblationReport"]
+
+DEFAULT_BLOCK = 8192
+
+
+@dataclass
+class AblationReport:
+    """All ablation tables, pre-rendered."""
+
+    chaining: str
+    representative: str
+    block_size: str
+    attribute_order: str
+    granularity: str
+
+    def __str__(self) -> str:
+        sections = [
+            ("Chaining (Example 3.3)", self.chaining),
+            ("Representative strategy (unchained codec)", self.representative),
+            ("Block size", self.block_size),
+            ("Attribute ordering", self.attribute_order),
+            ("Coding granularity", self.granularity),
+        ]
+        out = []
+        for title, body in sections:
+            out.append(title)
+            out.append("-" * len(title))
+            out.append(body)
+            out.append("")
+        return "\n".join(out)
+
+
+def _test_relation(num_tuples: int, seed: int) -> Relation:
+    return generate_relation(
+        RelationSpec(
+            num_tuples=num_tuples,
+            num_attributes=15,
+            mean_domain_size=4,
+            domain_variance="small",
+            skew="uniform",
+            seed=seed,
+        )
+    )
+
+
+def _chaining_table(relation: Relation) -> str:
+    rows = []
+    ordinals = relation.phi_ordinals()
+    for chained in (True, False):
+        codec = BlockCodec(relation.schema.domain_sizes, chained=chained)
+        stats = pack_ordinals(codec, ordinals, DEFAULT_BLOCK).stats
+        rows.append(
+            [
+                "chained" if chained else "unchained",
+                stats.num_blocks,
+                stats.payload_bytes,
+                f"{stats.utilisation:.1%}",
+            ]
+        )
+    return format_table(["variant", "blocks", "payload bytes", "fill"], rows)
+
+
+def _representative_table(relation: Relation) -> str:
+    rows = []
+    ordinals = relation.phi_ordinals()
+    for name in sorted(STRATEGIES):
+        codec = BlockCodec(
+            relation.schema.domain_sizes, chained=False, representative=name
+        )
+        stats = pack_ordinals(codec, ordinals, DEFAULT_BLOCK).stats
+        rows.append([name, stats.num_blocks, stats.payload_bytes])
+    return format_table(["strategy", "blocks", "payload bytes"], rows)
+
+
+def _block_size_table(relation: Relation) -> str:
+    from repro.baselines.avq import AVQBaseline
+    from repro.baselines.nocoding import NaturalWidthBaseline
+
+    sizes = relation.schema.domain_sizes
+    avq = AVQBaseline(sizes)
+    uncoded = NaturalWidthBaseline(sizes)
+    model = DiskModel()
+    rows = []
+    for bs in (1024, 2048, 4096, 8192, 16384, 32768, 65536):
+        coded = avq.blocks_needed(relation, bs)
+        plain = uncoded.blocks_needed(relation, bs)
+        rows.append(
+            [
+                bs,
+                coded,
+                plain,
+                f"{100 * (1 - coded / plain):.1f}%",
+                f"{model.block_io_ms(bs):.1f}",
+            ]
+        )
+    return format_table(
+        ["block size", "AVQ blocks", "uncoded blocks", "reduction", "t1 (ms)"],
+        rows,
+    )
+
+
+def _attribute_order_table(seed: int) -> str:
+    base_sizes = [3, 200, 5, 40, 4, 1000, 8, 12, 6, 25]
+    rng = np.random.default_rng(seed)
+    columns = [rng.integers(0, s, size=20_000) for s in base_sizes]
+
+    def build(order):
+        sizes = [base_sizes[i] for i in order]
+        schema = Schema(
+            [
+                Attribute(f"A{i}", IntegerRangeDomain(0, s - 1))
+                for i, s in enumerate(sizes)
+            ]
+        )
+        array = np.stack([columns[i] for i in order], axis=1)
+        return Relation.from_array(schema, array)
+
+    from repro.baselines.avq import AVQBaseline
+
+    orderings = {
+        "given": list(range(len(base_sizes))),
+        "large-first": sorted(
+            range(len(base_sizes)), key=lambda i: -base_sizes[i]
+        ),
+        "small-first": sorted(
+            range(len(base_sizes)), key=lambda i: base_sizes[i]
+        ),
+    }
+    rows = []
+    for name, order in orderings.items():
+        rel = build(order)
+        blocks = AVQBaseline(rel.schema.domain_sizes).blocks_needed(
+            rel, DEFAULT_BLOCK
+        )
+        rows.append([name, blocks])
+    return format_table(["ordering", "AVQ blocks"], rows)
+
+
+def _granularity_table(relation: Relation) -> str:
+    sizes = relation.schema.domain_sizes
+    tuples = relation.sorted_by_phi()
+    rows = []
+    for name, data in (
+        ("byte AVQ (paper)", BlockCodec(sizes).encode_block(tuples)),
+        ("Golomb-Rice gaps", GolombBlockCodec(sizes).encode_block(tuples)),
+        ("bit-transposed", BitTransposedBaseline(sizes).encode_block(tuples)),
+    ):
+        rows.append(
+            [name, len(data), f"{8 * len(data) / len(tuples):.1f}"]
+        )
+    return format_table(["coder", "bytes", "bits/tuple"], rows)
+
+
+def run_ablations(*, num_tuples: int = 20_000, seed: int = 3) -> AblationReport:
+    """Run every ablation and return the rendered report."""
+    relation = _test_relation(num_tuples, seed)
+    return AblationReport(
+        chaining=_chaining_table(relation),
+        representative=_representative_table(relation),
+        block_size=_block_size_table(relation),
+        attribute_order=_attribute_order_table(seed),
+        granularity=_granularity_table(relation),
+    )

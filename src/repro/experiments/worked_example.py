@@ -1,0 +1,128 @@
+"""The paper's running example: the 50-tuple employee relation.
+
+Figure 2.2 traces one small relation through the whole AVQ pipeline:
+Table (a) raw values, Table (b) after attribute encoding, Table (c) after
+phi re-ordering, Table (d) after block coding.  This module reconstructs
+that relation *from the paper's own printed phi ordinals* (Table (c)'s
+``N_R`` column), which pins every attribute value exactly — phi is a
+bijection — and lets the tests check our pipeline against the paper's
+printed difference tuples and coded stream.
+
+The example's schema (Example 3.1): five attributes — department, job
+title, years in company, hours per week, employee number — with domain
+sizes 8, 16, 64, 64, 64.  The paper prints the value dictionaries only
+partially; unnamed ordinals get ``dept<i>`` / ``job<i>`` placeholders.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.codec import BlockCodec
+from repro.core.phi import OrdinalMapper
+from repro.relational.domain import CategoricalDomain, IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+__all__ = [
+    "PAPER_DOMAIN_SIZES",
+    "PAPER_BLOCK_TUPLES",
+    "paper_ordinals",
+    "paper_schema",
+    "paper_relation",
+    "paper_blocks",
+    "paper_codec",
+    "encode_paper_blocks",
+]
+
+#: Example 3.1: |department| = 8, |job| = 16, |years| = |hours| = |empno| = 64.
+PAPER_DOMAIN_SIZES = (8, 16, 64, 64, 64)
+
+#: Tuples per block in the Figure 2.2 illustration (representatives appear
+#: every fifth row of Table (d)).
+PAPER_BLOCK_TUPLES = 5
+
+#: Table (c)'s N_R column: the 50 phi ordinals of the example relation,
+#: ascending.  Each decodes (via phi inverse) to one row of Table (b).
+_PAPER_ORDINALS: Tuple[int, ...] = (
+    10069284, 10081602, 11122372, 13760073, 13989445,
+    14009739, 14034694, 14289223, 14296728, 14542896,
+    14563112, 14571502, 14580058, 14780317, 14809174,
+    14812755, 14813324, 14830051, 15042560, 15050469,
+    15054497, 15083280, 15337378, 15349350, 18052588,
+    18249556, 18515675, 18720782, 18737795, 18749470,
+    18774001, 18774344, 19002922, 19007017, 19007213,
+    19032205, 19044114, 19080853, 19215690, 19240657,
+    19270303, 19524380, 19543275, 19560551, 19974081,
+    22382255, 22991897, 23177239, 23672800, 23729551,
+)
+
+# Value dictionaries the paper names explicitly (Example 3.1 / Figure 2.2).
+_DEPARTMENTS = {2: "management", 3: "production", 4: "marketing", 5: "personnel"}
+_JOBS = {
+    4: "executive",
+    5: "secretary",
+    6: "worker1",
+    7: "worker2",
+    8: "manager",
+    9: "part-time",
+    10: "supervisor",
+    12: "director",
+}
+
+
+def paper_ordinals() -> List[int]:
+    """The 50 sorted phi ordinals of Figure 2.2 Table (c)."""
+    return list(_PAPER_ORDINALS)
+
+
+def paper_schema() -> Schema:
+    """The Example 3.1 schema with the paper's (partial) value dictionaries."""
+    departments = [
+        _DEPARTMENTS.get(i, f"dept{i}") for i in range(PAPER_DOMAIN_SIZES[0])
+    ]
+    jobs = [_JOBS.get(i, f"job{i}") for i in range(PAPER_DOMAIN_SIZES[1])]
+    return Schema(
+        [
+            Attribute("department", CategoricalDomain(departments)),
+            Attribute("job_title", CategoricalDomain(jobs)),
+            Attribute("years", IntegerRangeDomain(0, 63)),
+            Attribute("hours", IntegerRangeDomain(0, 63)),
+            Attribute("empno", IntegerRangeDomain(0, 63)),
+        ]
+    )
+
+
+def paper_relation() -> Relation:
+    """Figure 2.2 Table (b): the encoded relation, in employee-number order.
+
+    The paper's Table (a)/(b) list tuples by employee number (attribute
+    ``A_5`` takes each value 0..49 exactly once); re-sorting the Table (c)
+    ordinals by that attribute recovers the original presentation order.
+    """
+    mapper = OrdinalMapper(PAPER_DOMAIN_SIZES)
+    tuples = [mapper.phi_inverse(e) for e in _PAPER_ORDINALS]
+    tuples.sort(key=lambda t: t[4])
+    return Relation(paper_schema(), tuples)
+
+
+def paper_blocks() -> List[List[Tuple[int, ...]]]:
+    """Figure 2.2 Table (c) partitioned as the illustration shows: 10
+    blocks of 5 phi-ordered tuples."""
+    mapper = OrdinalMapper(PAPER_DOMAIN_SIZES)
+    sorted_tuples = [mapper.phi_inverse(e) for e in _PAPER_ORDINALS]
+    return [
+        sorted_tuples[i : i + PAPER_BLOCK_TUPLES]
+        for i in range(0, len(sorted_tuples), PAPER_BLOCK_TUPLES)
+    ]
+
+
+def paper_codec() -> BlockCodec:
+    """The codec configuration the paper's example uses (chained, median)."""
+    return BlockCodec(PAPER_DOMAIN_SIZES)
+
+
+def encode_paper_blocks() -> List[bytes]:
+    """Figure 2.2 Table (d): every block of the example relation, coded."""
+    codec = paper_codec()
+    return [codec.encode_block(block) for block in paper_blocks()]

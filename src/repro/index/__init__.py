@@ -1,0 +1,20 @@
+"""Index substrate: B+ trees, the primary index, and secondary indices.
+
+* :mod:`repro.index.bptree` — generic order-configurable B+ tree
+* :mod:`repro.index.primary` — whole-tuple primary index (Figure 4.4)
+* :mod:`repro.index.secondary` — bucket-indirected secondary (Figure 4.5)
+"""
+
+from repro.index.bptree import BPlusTree
+from repro.index.buckets import Bucket
+from repro.index.hashindex import ExtendibleHashIndex
+from repro.index.primary import PrimaryIndex
+from repro.index.secondary import SecondaryIndex
+
+__all__ = [
+    "BPlusTree",
+    "Bucket",
+    "PrimaryIndex",
+    "SecondaryIndex",
+    "ExtendibleHashIndex",
+]

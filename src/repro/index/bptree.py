@@ -1,0 +1,393 @@
+"""A B+ tree with configurable order (Section 4.1's access mechanism).
+
+The paper builds order-3 B+ trees over the coded blocks (Figure 4.4) and
+over individual attributes (Figure 4.5).  This implementation supports:
+
+* unique keys mapped to a single value each (multiplicity is handled one
+  level up, by the secondary index's buckets — exactly the indirection of
+  Figure 4.5);
+* point lookup, floor lookup (largest key <= target, what a clustered
+  primary index needs to find the covering block), and inclusive range
+  scans over linked leaves;
+* insertion with node splits and deletion with borrow/merge rebalancing.
+
+``order`` is the maximum number of children of an internal node; a leaf
+holds at most ``order - 1`` keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import IndexError_
+
+__all__ = ["BPlusTree"]
+
+
+class _Node:
+    __slots__ = ("keys",)
+
+    def __init__(self):
+        self.keys: List = []
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self):
+        super().__init__()
+        self.children: List[_Node] = []
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self):
+        super().__init__()
+        self.values: List = []
+        self.next: Optional["_Leaf"] = None
+
+
+def _bisect_right(keys: List, key) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key < keys[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _bisect_left(keys: List, key) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class BPlusTree:
+    """An order-``order`` B+ tree mapping unique keys to values."""
+
+    def __init__(self, order: int = 3):
+        if order < 3:
+            raise IndexError_(f"B+ tree order must be >= 3, got {order}")
+        self._order = order
+        self._root: _Node = _Leaf()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Maximum children per internal node."""
+        return self._order
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaf (a lone leaf has height 1)."""
+        h, node = 1, self._root
+        while isinstance(node, _Internal):
+            h += 1
+            node = node.children[0]
+        return h
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes — proxy for the index's block footprint."""
+
+        def count(node: _Node) -> int:
+            if isinstance(node, _Leaf):
+                return 1
+            return 1 + sum(count(c) for c in node.children)
+
+        return count(self._root)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, key) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[_bisect_right(node.keys, key)]
+        return node
+
+    def get(self, key, default=None):
+        """Value stored under ``key``, or ``default``."""
+        leaf = self._find_leaf(key)
+        i = _bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return leaf.values[i]
+        return default
+
+    def __contains__(self, key) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def floor_item(self, key) -> Optional[Tuple[object, object]]:
+        """The (key, value) pair with the largest key <= ``key``.
+
+        This is the clustered-index probe: the block whose first tuple is
+        the greatest one not after the search tuple is the block that can
+        contain it.
+        """
+        node = self._root
+        candidate: Optional[_Node] = None  # deepest subtree entirely <= key
+        while isinstance(node, _Internal):
+            i = _bisect_right(node.keys, key)
+            if i > 0:
+                candidate = node.children[i - 1]
+            node = node.children[i]
+        i = _bisect_right(node.keys, key) - 1
+        if i >= 0:
+            return node.keys[i], node.values[i]
+        if candidate is None:
+            return None
+        # The found leaf holds only keys > target; the floor is the maximum
+        # of the nearest left-sibling subtree recorded during descent.
+        while isinstance(candidate, _Internal):
+            candidate = candidate.children[-1]
+        if not candidate.keys:
+            return None
+        return candidate.keys[-1], candidate.values[-1]
+
+    def range_items(self, lo, hi) -> Iterator[Tuple[object, object]]:
+        """All (key, value) pairs with ``lo <= key <= hi``, ascending."""
+        if lo > hi:
+            return
+        leaf = self._find_leaf(lo)
+        i = _bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while i < len(leaf.keys):
+                if leaf.keys[i] > hi:
+                    return
+                yield leaf.keys[i], leaf.values[i]
+                i += 1
+            leaf = leaf.next
+            i = 0
+
+    def items(self) -> Iterator[Tuple[object, object]]:
+        """All pairs in key order."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        leaf: Optional[_Leaf] = node
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def keys(self) -> Iterator:
+        """All keys in order."""
+        for k, _ in self.items():
+            yield k
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value, *, replace: bool = True) -> None:
+        """Insert or (by default) replace ``key``.
+
+        With ``replace=False`` a duplicate key raises
+        :class:`~repro.errors.IndexError_` — the secondary index relies on
+        that to keep bucket identity unambiguous.
+        """
+        result = self._insert(self._root, key, value, replace)
+        if result is not None:
+            sep, right = result
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def _insert(self, node: _Node, key, value, replace):
+        if isinstance(node, _Leaf):
+            i = _bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                if not replace:
+                    raise IndexError_(f"duplicate key {key!r}")
+                node.values[i] = value
+                return None
+            node.keys.insert(i, key)
+            node.values.insert(i, value)
+            self._size += 1
+            if len(node.keys) > self._order - 1:
+                return self._split_leaf(node)
+            return None
+
+        i = _bisect_right(node.keys, key)
+        result = self._insert(node.children[i], key, value, replace)
+        if result is None:
+            return None
+        sep, right = result
+        node.keys.insert(i, sep)
+        node.children.insert(i + 1, right)
+        if len(node.children) > self._order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        found = self._delete(self._root, key)
+        if (
+            isinstance(self._root, _Internal)
+            and len(self._root.children) == 1
+        ):
+            self._root = self._root.children[0]
+        return found
+
+    def _min_leaf_keys(self) -> int:
+        return (self._order - 1) // 2
+
+    def _min_children(self) -> int:
+        return (self._order + 1) // 2
+
+    def _delete(self, node: _Node, key) -> bool:
+        if isinstance(node, _Leaf):
+            i = _bisect_left(node.keys, key)
+            if i >= len(node.keys) or node.keys[i] != key:
+                return False
+            node.keys.pop(i)
+            node.values.pop(i)
+            self._size -= 1
+            return True
+
+        i = _bisect_right(node.keys, key)
+        child = node.children[i]
+        found = self._delete(child, key)
+        if not found:
+            return False
+        self._rebalance(node, i)
+        return True
+
+    def _rebalance(self, parent: _Internal, i: int) -> None:
+        child = parent.children[i]
+        if isinstance(child, _Leaf):
+            if len(child.keys) >= self._min_leaf_keys():
+                return
+        else:
+            if len(child.children) >= self._min_children():
+                return
+
+        left = parent.children[i - 1] if i > 0 else None
+        right = parent.children[i + 1] if i + 1 < len(parent.children) else None
+
+        if isinstance(child, _Leaf):
+            if left is not None and len(left.keys) > self._min_leaf_keys():
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                parent.keys[i - 1] = child.keys[0]
+            elif right is not None and len(right.keys) > self._min_leaf_keys():
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                parent.keys[i] = right.keys[0]
+            elif left is not None:
+                left.keys.extend(child.keys)
+                left.values.extend(child.values)
+                left.next = child.next
+                parent.keys.pop(i - 1)
+                parent.children.pop(i)
+            elif right is not None:
+                child.keys.extend(right.keys)
+                child.values.extend(right.values)
+                child.next = right.next
+                parent.keys.pop(i)
+                parent.children.pop(i + 1)
+        else:
+            if left is not None and len(left.children) > self._min_children():
+                child.keys.insert(0, parent.keys[i - 1])
+                parent.keys[i - 1] = left.keys.pop()
+                child.children.insert(0, left.children.pop())
+            elif right is not None and len(right.children) > self._min_children():
+                child.keys.append(parent.keys[i])
+                parent.keys[i] = right.keys.pop(0)
+                child.children.append(right.children.pop(0))
+            elif left is not None:
+                left.keys.append(parent.keys.pop(i - 1))
+                left.keys.extend(child.keys)
+                left.children.extend(child.children)
+                parent.children.pop(i)
+            elif right is not None:
+                child.keys.append(parent.keys.pop(i))
+                child.keys.extend(right.keys)
+                child.children.extend(right.children)
+                parent.children.pop(i + 1)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`IndexError_` if any structural invariant fails."""
+        leaf_depths = set()
+
+        def walk(node: _Node, lo, hi, depth: int):
+            for a, b in zip(node.keys, node.keys[1:]):
+                if not a < b:
+                    raise IndexError_(f"keys out of order: {a!r} >= {b!r}")
+            for k in node.keys:
+                if lo is not None and k < lo:
+                    raise IndexError_(f"key {k!r} below subtree bound {lo!r}")
+                if hi is not None and k >= hi:
+                    raise IndexError_(f"key {k!r} above subtree bound {hi!r}")
+            if isinstance(node, _Internal):
+                if len(node.children) != len(node.keys) + 1:
+                    raise IndexError_("internal fanout mismatch")
+                if len(node.children) > self._order:
+                    raise IndexError_("internal node over order")
+                bounds = [lo] + list(node.keys) + [hi]
+                for idx, c in enumerate(node.children):
+                    walk(c, bounds[idx], bounds[idx + 1], depth + 1)
+            else:
+                if len(node.keys) != len(node.values):
+                    raise IndexError_("leaf key/value mismatch")
+                if len(node.keys) > self._order - 1:
+                    raise IndexError_("leaf over order")
+                leaf_depths.add(depth)
+
+        walk(self._root, None, None, 0)
+        if len(leaf_depths) > 1:
+            raise IndexError_(f"leaves at multiple depths: {leaf_depths}")
+        if sum(1 for _ in self.items()) != self._size:
+            raise IndexError_("leaf chain disagrees with size counter")
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

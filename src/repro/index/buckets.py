@@ -1,0 +1,63 @@
+"""Buckets: the Figure 4.5 indirection between attribute values and blocks.
+
+A secondary index over a phi-clustered relation is non-clustering, so one
+attribute value maps to many data blocks.  The paper interposes buckets of
+``(a : b)`` pairs — attribute value ``a``, data block ``b`` — between the
+B+ tree and the relation.  A :class:`Bucket` is the per-value set of block
+positions; it stays sorted and deduplicated so that the query engine's
+block count ``N`` is exact.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List
+
+from repro.errors import IndexError_
+
+__all__ = ["Bucket"]
+
+
+class Bucket:
+    """Sorted, deduplicated set of data-block positions for one value."""
+
+    __slots__ = ("_blocks",)
+
+    def __init__(self, blocks: Iterable[int] = ()):
+        self._blocks: List[int] = []
+        for b in blocks:
+            self.add(b)
+
+    def add(self, block: int) -> None:
+        """Record that some tuple with this value lives in ``block``."""
+        if block < 0:
+            raise IndexError_(f"block position must be non-negative, got {block}")
+        i = bisect.bisect_left(self._blocks, block)
+        if i == len(self._blocks) or self._blocks[i] != block:
+            self._blocks.insert(i, block)
+
+    def discard(self, block: int) -> bool:
+        """Forget ``block``; returns whether it was present."""
+        i = bisect.bisect_left(self._blocks, block)
+        if i < len(self._blocks) and self._blocks[i] == block:
+            self._blocks.pop(i)
+            return True
+        return False
+
+    @property
+    def blocks(self) -> List[int]:
+        """Block positions, ascending."""
+        return list(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._blocks)
+
+    def __contains__(self, block: int) -> bool:
+        i = bisect.bisect_left(self._blocks, block)
+        return i < len(self._blocks) and self._blocks[i] == block
+
+    def __repr__(self) -> str:
+        return f"Bucket({self._blocks})"

@@ -1,0 +1,236 @@
+"""An extendible hash index — the paper's alternative access method.
+
+Section 4 closes with: "Although we have illustrated the use of tree
+indices as the access mechanisms, we do not preclude the use of other
+methods, such as hashing."  This module supplies that other method: a
+classic extendible hash table (directory doubling, bucket splitting on
+overflow) from attribute values to the same block buckets the secondary
+B+ tree uses.
+
+Hash indices answer equality probes in O(1) block-bucket lookups but —
+unlike the B+ tree — cannot serve range predicates; the query engine
+therefore only considers them for ``lo == hi`` selections.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.errors import IndexError_
+from repro.index.buckets import Bucket
+
+__all__ = ["ExtendibleHashIndex"]
+
+
+class _HashBucket:
+    """One directory-addressed page of (key, Bucket) entries."""
+
+    __slots__ = ("local_depth", "entries")
+
+    def __init__(self, local_depth: int):
+        self.local_depth = local_depth
+        self.entries: dict = {}
+
+
+class ExtendibleHashIndex:
+    """Equality-only secondary index with extendible hashing.
+
+    Parameters
+    ----------
+    attribute, position:
+        Name and tuple position of the indexed attribute.
+    bucket_capacity:
+        Distinct keys per hash bucket before it splits.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        position: int,
+        *,
+        bucket_capacity: int = 8,
+    ):
+        if position < 0:
+            raise IndexError_(f"attribute position must be >= 0, got {position}")
+        if bucket_capacity < 1:
+            raise IndexError_(
+                f"bucket capacity must be >= 1, got {bucket_capacity}"
+            )
+        self._attribute = attribute
+        self._position = position
+        self._capacity = bucket_capacity
+        self._global_depth = 1
+        first, second = _HashBucket(1), _HashBucket(1)
+        self._directory: List[_HashBucket] = [first, second]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        attribute: str,
+        position: int,
+        blocks: Iterable[Tuple[int, Iterable[Tuple[int, ...]]]],
+        *,
+        bucket_capacity: int = 8,
+    ) -> "ExtendibleHashIndex":
+        """Build from ``(block_id, tuples)`` pairs (a full file scan)."""
+        idx = cls(attribute, position, bucket_capacity=bucket_capacity)
+        for block_id, tuples in blocks:
+            for t in tuples:
+                idx.add(t[position], block_id)
+        return idx
+
+    # ------------------------------------------------------------------
+    # Hashing machinery
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _hash(key) -> int:
+        # hash() of small ints is the int itself, which would make the
+        # directory index degenerate to the low bits of the value; mix it.
+        h = hash(key)
+        h ^= (h >> 16)
+        h *= 0x45D9F3B
+        h &= 0xFFFFFFFF
+        h ^= (h >> 16)
+        return h
+
+    def _slot(self, key) -> int:
+        return self._hash(key) & ((1 << self._global_depth) - 1)
+
+    def _bucket_for(self, key) -> _HashBucket:
+        return self._directory[self._slot(key)]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def add(self, value, block_id: int) -> None:
+        """Record that a tuple with this value lives in ``block_id``."""
+        bucket = self._bucket_for(value)
+        existing = bucket.entries.get(value)
+        if existing is not None:
+            existing.add(block_id)
+            return
+        while len(bucket.entries) >= self._capacity:
+            self._split(bucket)
+            bucket = self._bucket_for(value)
+        blocks = Bucket()
+        blocks.add(block_id)
+        bucket.entries[value] = blocks
+
+    def _split(self, bucket: _HashBucket) -> None:
+        if bucket.local_depth == self._global_depth:
+            # double the directory
+            self._directory = self._directory + self._directory
+            self._global_depth += 1
+        new_depth = bucket.local_depth + 1
+        sibling = _HashBucket(new_depth)
+        bucket.local_depth = new_depth
+        distinguishing_bit = 1 << (new_depth - 1)
+
+        moved = {}
+        for key, blocks in bucket.entries.items():
+            if self._hash(key) & distinguishing_bit:
+                moved[key] = blocks
+        for key in moved:
+            del bucket.entries[key]
+        sibling.entries = moved
+
+        # repoint directory slots whose distinguishing bit is set
+        for slot in range(len(self._directory)):
+            if self._directory[slot] is bucket and slot & distinguishing_bit:
+                self._directory[slot] = sibling
+
+    def discard(self, value, block_id: int) -> bool:
+        """Drop one (value, block) association; prunes empty entries."""
+        bucket = self._bucket_for(value)
+        blocks = bucket.entries.get(value)
+        if blocks is None:
+            return False
+        removed = blocks.discard(block_id)
+        if removed and len(blocks) == 0:
+            del bucket.entries[value]
+        return removed
+
+    def reindex_block(
+        self,
+        block_id: int,
+        old_tuples: Iterable[Tuple[int, ...]],
+        new_tuples: Iterable[Tuple[int, ...]],
+    ) -> None:
+        """Replace a re-coded block's contribution (Section 4.2 mutation)."""
+        old_values = {t[self._position] for t in old_tuples}
+        new_values = {t[self._position] for t in new_tuples}
+        for v in old_values - new_values:
+            self.discard(v, block_id)
+        for v in new_values - old_values:
+            self.add(v, block_id)
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+
+    def lookup(self, value) -> List[int]:
+        """Block ids holding tuples with ``A_k = value`` (O(1) probe)."""
+        blocks = self._bucket_for(value).entries.get(value)
+        return [] if blocks is None else blocks.blocks
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def attribute(self) -> str:
+        """Name of the indexed attribute."""
+        return self._attribute
+
+    @property
+    def position(self) -> int:
+        """Tuple position of the indexed attribute."""
+        return self._position
+
+    @property
+    def global_depth(self) -> int:
+        """Directory depth (directory size is ``2**global_depth``)."""
+        return self._global_depth
+
+    @property
+    def num_values(self) -> int:
+        """Distinct attribute values indexed."""
+        return sum(
+            len(b.entries) for b in self._unique_buckets()
+        )
+
+    @property
+    def num_buckets(self) -> int:
+        """Distinct hash buckets (directory slots may share)."""
+        return len(self._unique_buckets())
+
+    def _unique_buckets(self) -> List[_HashBucket]:
+        seen: List[_HashBucket] = []
+        ids = set()
+        for b in self._directory:
+            if id(b) not in ids:
+                ids.add(id(b))
+                seen.append(b)
+        return seen
+
+    def check_invariants(self) -> None:
+        """Raise :class:`IndexError_` on any structural violation."""
+        if len(self._directory) != 1 << self._global_depth:
+            raise IndexError_("directory size is not 2**global_depth")
+        for slot, bucket in enumerate(self._directory):
+            if bucket.local_depth > self._global_depth:
+                raise IndexError_("local depth exceeds global depth")
+            # every key in the bucket must hash to a slot pointing at it
+            mask = (1 << bucket.local_depth) - 1
+            expected_prefix = slot & mask
+            for key in bucket.entries:
+                if self._hash(key) & mask != expected_prefix:
+                    raise IndexError_(
+                        f"key {key!r} misfiled under slot {slot}"
+                    )

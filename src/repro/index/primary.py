@@ -1,0 +1,133 @@
+"""The primary index of Figure 4.4: whole-tuple search keys over blocks.
+
+The paper's primary B+ tree indexes the coded relation by *entire tuples*
+(equivalently, by their phi ordinals — phi is order-preserving, so the
+two are the same tree).  Each leaf entry maps the first tuple of a data
+block to that block; locating a tuple is a floor search: the covering
+block is the one whose first tuple is the largest not exceeding the
+target.
+
+Because the coded relation is phi-clustered, this one index answers both
+point probes and range queries over the *leading* attribute prefix; every
+other attribute needs the secondary index of Figure 4.5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.phi import OrdinalMapper
+from repro.errors import IndexError_
+from repro.index.bptree import BPlusTree
+
+__all__ = ["PrimaryIndex"]
+
+
+class PrimaryIndex:
+    """B+ tree from block-first phi ordinals to stable disk block ids."""
+
+    def __init__(self, mapper: OrdinalMapper, *, order: int = 32):
+        self._mapper = mapper
+        self._tree = BPlusTree(order)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        mapper: OrdinalMapper,
+        directory: Iterable[Tuple[int, int]],
+        *,
+        order: int = 32,
+    ) -> "PrimaryIndex":
+        """Build from ``(first_ordinal, block_id)`` pairs.
+
+        Both :class:`~repro.storage.avqfile.AVQFile` and sorted
+        :class:`~repro.storage.heapfile.HeapFile` provide such pairs via
+        their ``directory()`` methods.
+        """
+        idx = cls(mapper, order=order)
+        for first_ordinal, block_id in directory:
+            idx.add_block(first_ordinal, block_id)
+        return idx
+
+    def add_block(self, first_ordinal: int, block_id: int) -> None:
+        """Register a data block by its first tuple's ordinal."""
+        self._tree.insert(first_ordinal, block_id, replace=False)
+
+    def move_block(self, old_first: int, new_first: int, block_id: int) -> None:
+        """Re-key a block whose first tuple changed (front insert/delete)."""
+        if old_first == new_first:
+            self._tree.insert(new_first, block_id, replace=True)
+            return
+        if not self._tree.delete(old_first):
+            raise IndexError_(f"no block keyed by ordinal {old_first}")
+        self._tree.insert(new_first, block_id, replace=False)
+
+    def remove_block(self, first_ordinal: int) -> None:
+        """Deregister a (now empty) data block."""
+        if not self._tree.delete(first_ordinal):
+            raise IndexError_(f"no block keyed by ordinal {first_ordinal}")
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+
+    def locate_ordinal(self, ordinal: int) -> Optional[int]:
+        """Disk id of the block that can contain a tuple with this ordinal."""
+        item = self._tree.floor_item(ordinal)
+        if item is None:
+            # The target precedes every block; only the first block can
+            # receive it (relevant for inserts at the extreme low end).
+            first = next(self._tree.items(), None)
+            return None if first is None else first[1]
+        return item[1]
+
+    def locate(self, values: Sequence[int]) -> Optional[int]:
+        """Disk id of the block that can contain this tuple (Figure 4.4)."""
+        return self.locate_ordinal(self._mapper.phi(values))
+
+    def range_blocks(self, lo: int, hi: int) -> List[int]:
+        """Disk ids of all blocks whose ordinal range may intersect [lo, hi].
+
+        The cover is the floor block of ``lo`` plus every block whose first
+        ordinal lies in ``(lo, hi]`` — exactly the contiguous run a
+        clustered range scan reads.
+        """
+        if lo > hi:
+            return []
+        out: List[int] = []
+        floor = self._tree.floor_item(lo)
+        if floor is not None:
+            out.append(floor[1])
+            start = floor[0]
+        else:
+            start = None
+        for key, block_id in self._tree.range_items(
+            lo if start is None else start, hi
+        ):
+            if start is not None and key == start:
+                continue  # floor block already included
+            out.append(block_id)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Data blocks currently indexed."""
+        return len(self._tree)
+
+    @property
+    def height(self) -> int:
+        """Tree height — the paper's index-search I/O is one read per level."""
+        return self._tree.height
+
+    @property
+    def tree(self) -> BPlusTree:
+        """The underlying B+ tree (exposed for inspection and tests)."""
+        return self._tree

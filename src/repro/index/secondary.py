@@ -1,0 +1,130 @@
+"""Secondary indices with bucket indirection (Figure 4.5).
+
+For every non-clustering attribute ``A_k``, a B+ tree maps each attribute
+value to a :class:`~repro.index.buckets.Bucket` of data-block positions —
+the paper's ``(a : b)`` pairs.  Executing ``sigma_{a <= A_k <= b}(R)``
+walks the tree over ``[a, b]``, unions the buckets, and reads each
+distinct block once; the size of that union is the ``N`` measured in
+Figure 5.8.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.errors import IndexError_
+from repro.index.bptree import BPlusTree
+from repro.index.buckets import Bucket
+
+__all__ = ["SecondaryIndex"]
+
+
+class SecondaryIndex:
+    """Non-clustering index over one attribute position."""
+
+    def __init__(self, attribute: str, position: int, *, order: int = 32):
+        if position < 0:
+            raise IndexError_(f"attribute position must be >= 0, got {position}")
+        self._attribute = attribute
+        self._position = position
+        self._tree = BPlusTree(order)
+
+    # ------------------------------------------------------------------
+    # Construction and maintenance
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        attribute: str,
+        position: int,
+        blocks: Iterable[Tuple[int, Iterable[Tuple[int, ...]]]],
+        *,
+        order: int = 32,
+    ) -> "SecondaryIndex":
+        """Build from ``(block_id, tuples)`` pairs (a full file scan)."""
+        idx = cls(attribute, position, order=order)
+        for block_id, tuples in blocks:
+            for t in tuples:
+                idx.add(t[position], block_id)
+        return idx
+
+    def add(self, value: int, block_id: int) -> None:
+        """Record that a tuple with ``A_k = value`` lives in ``block_id``."""
+        bucket = self._tree.get(value)
+        if bucket is None:
+            bucket = Bucket()
+            self._tree.insert(value, bucket, replace=False)
+        bucket.add(block_id)
+
+    def discard(self, value: int, block_id: int) -> bool:
+        """Drop one (value, block) association; prunes empty buckets."""
+        bucket = self._tree.get(value)
+        if bucket is None:
+            return False
+        removed = bucket.discard(block_id)
+        if removed and len(bucket) == 0:
+            self._tree.delete(value)
+        return removed
+
+    def reindex_block(
+        self,
+        block_id: int,
+        old_tuples: Iterable[Tuple[int, ...]],
+        new_tuples: Iterable[Tuple[int, ...]],
+    ) -> None:
+        """Replace a block's contribution after it was re-coded.
+
+        Section 4.2 mutations rewrite one block; only that block's
+        associations change.
+        """
+        old_values = {t[self._position] for t in old_tuples}
+        new_values = {t[self._position] for t in new_tuples}
+        for v in old_values - new_values:
+            self.discard(v, block_id)
+        for v in new_values - old_values:
+            self.add(v, block_id)
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+
+    def lookup(self, value: int) -> List[int]:
+        """Bucket for one value: block ids holding tuples with ``A_k = value``."""
+        bucket = self._tree.get(value)
+        return [] if bucket is None else bucket.blocks
+
+    def range_lookup(self, lo: int, hi: int) -> List[int]:
+        """Distinct block ids holding any tuple with ``lo <= A_k <= hi``.
+
+        The length of the result is exactly the ``N`` of the paper's
+        Section 5.3.3 block-count simulation.
+        """
+        seen = set()
+        for _, bucket in self._tree.range_items(lo, hi):
+            seen.update(bucket)
+        return sorted(seen)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def attribute(self) -> str:
+        """Name of the indexed attribute."""
+        return self._attribute
+
+    @property
+    def position(self) -> int:
+        """Tuple position of the indexed attribute."""
+        return self._position
+
+    @property
+    def num_values(self) -> int:
+        """Distinct attribute values currently indexed."""
+        return len(self._tree)
+
+    @property
+    def tree(self) -> BPlusTree:
+        """The underlying B+ tree (exposed for inspection and tests)."""
+        return self._tree

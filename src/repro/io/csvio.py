@@ -1,0 +1,73 @@
+"""CSV loading and writing for the command-line tools.
+
+Values are type-inferred column-wise: a column whose every value parses
+as an integer becomes integers; everything else stays strings.  This is
+the entry path a user takes before the Section 3.1 domain mapping.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import List, Sequence, Tuple
+
+from repro.errors import EncodingError
+
+__all__ = ["read_csv_rows", "write_csv_rows"]
+
+
+def _try_int(value: str):
+    try:
+        return int(value)
+    except ValueError:
+        return None
+
+
+def read_csv_rows(
+    path: str, *, has_header: bool = True
+) -> Tuple[List[str], List[Tuple]]:
+    """Load a CSV as (column names, typed rows).
+
+    Integer columns are detected and converted; ragged rows are rejected
+    (a silent short row would shift attribute values across columns).
+    """
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        rows = [tuple(r) for r in reader if r]
+    if not rows:
+        raise EncodingError(f"{path}: no rows")
+    if has_header:
+        names = list(rows[0])
+        rows = rows[1:]
+        if not rows:
+            raise EncodingError(f"{path}: header only, no data rows")
+    else:
+        names = [f"A{i + 1}" for i in range(len(rows[0]))]
+    arity = len(names)
+    for i, r in enumerate(rows):
+        if len(r) != arity:
+            raise EncodingError(
+                f"{path}: row {i + 1} has {len(r)} fields, expected {arity}"
+            )
+
+    int_column = [
+        all(_try_int(r[c]) is not None for r in rows) for c in range(arity)
+    ]
+    typed = [
+        tuple(
+            int(v) if int_column[c] else v
+            for c, v in enumerate(row)
+        )
+        for row in rows
+    ]
+    return names, typed
+
+
+def write_csv_rows(
+    path: str, names: Sequence[str], rows: Sequence[Sequence]
+) -> None:
+    """Write rows (with a header) to ``path``."""
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(list(names))
+        for row in rows:
+            writer.writerow(list(row))

@@ -1,0 +1,100 @@
+"""JSON (de)serialisation of schemas — the metadata half of the file format.
+
+A stored AVQ relation is useless without its schema: the domain sizes
+define the phi radix, and the domain dictionaries map ordinals back to
+application values.  This module round-trips every
+:mod:`repro.relational.domain` type through a plain-JSON structure:
+
+.. code-block:: json
+
+    {"attributes": [
+        {"name": "department", "domain":
+            {"kind": "categorical", "values": ["mgmt", "sales"]}},
+        {"name": "years", "domain":
+            {"kind": "integer", "lo": 0, "hi": 63}},
+        {"name": "customer", "domain":
+            {"kind": "string", "capacity": 1000, "table": ["acme"]}}
+    ]}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import EncodingError
+from repro.relational.domain import (
+    CategoricalDomain,
+    Domain,
+    IntegerRangeDomain,
+    StringDomain,
+)
+from repro.relational.schema import Attribute, Schema
+
+__all__ = ["schema_to_dict", "schema_from_dict"]
+
+
+def _domain_to_dict(domain: Domain) -> Dict[str, Any]:
+    if isinstance(domain, IntegerRangeDomain):
+        return {"kind": "integer", "lo": domain.lo, "hi": domain.hi}
+    if isinstance(domain, CategoricalDomain):
+        values = domain.values
+        for v in values:
+            if not isinstance(v, (str, int, float, bool)) and v is not None:
+                raise EncodingError(
+                    f"categorical value {v!r} is not JSON-serialisable"
+                )
+        return {"kind": "categorical", "values": values}
+    if isinstance(domain, StringDomain):
+        return {
+            "kind": "string",
+            "capacity": domain.size,
+            "table": [domain.decode(i) for i in range(domain.population)],
+        }
+    raise EncodingError(
+        f"cannot serialise domain type {type(domain).__name__}"
+    )
+
+
+def _domain_from_dict(data: Dict[str, Any]) -> Domain:
+    try:
+        kind = data["kind"]
+    except (KeyError, TypeError):
+        raise EncodingError(f"malformed domain descriptor: {data!r}")
+    if kind == "integer":
+        return IntegerRangeDomain(int(data["lo"]), int(data["hi"]))
+    if kind == "categorical":
+        return CategoricalDomain(data["values"])
+    if kind == "string":
+        return StringDomain(
+            capacity=int(data["capacity"]), values=data.get("table", ())
+        )
+    raise EncodingError(f"unknown domain kind {kind!r}")
+
+
+def schema_to_dict(schema: Schema) -> Dict[str, Any]:
+    """Serialise a schema to a JSON-compatible dictionary."""
+    return {
+        "attributes": [
+            {"name": a.name, "domain": _domain_to_dict(a.domain)}
+            for a in schema.attributes
+        ]
+    }
+
+
+def schema_from_dict(data: Dict[str, Any]) -> Schema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    try:
+        attrs = data["attributes"]
+    except (KeyError, TypeError):
+        raise EncodingError(f"malformed schema descriptor: {data!r}")
+    if not isinstance(attrs, list) or not attrs:
+        raise EncodingError("schema descriptor has no attributes")
+    out = []
+    for entry in attrs:
+        try:
+            out.append(
+                Attribute(entry["name"], _domain_from_dict(entry["domain"]))
+            )
+        except (KeyError, TypeError):
+            raise EncodingError(f"malformed attribute descriptor: {entry!r}")
+    return Schema(out)

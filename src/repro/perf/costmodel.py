@@ -1,0 +1,153 @@
+"""The Section 5.3 analytic response-time model (Equations 5.7 and 5.8).
+
+    C1 = I + N (t1 + t2)      coded relation
+    C2 = I + N (t1 + t3)      uncoded relation
+
+``I`` is index search time, dominated by reading the secondary index's
+blocks, which the paper sizes at 5% of the data blocks; ``N`` is the
+number of data blocks a query touches; ``t1`` the per-block I/O time;
+``t2`` block decode time; ``t3`` plain tuple extraction time.
+
+Everything here reproduces the paper's arithmetic exactly — plugging in
+the Figure 5.8/5.9 constants regenerates rows 5–11 of Figure 5.9 to the
+printed precision (see ``tests/experiments`` and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ReproError
+from repro.perf.machines import MachineProfile
+
+__all__ = [
+    "PAPER_T1_MS",
+    "INDEX_BLOCK_FRACTION",
+    "index_search_time_s",
+    "response_time_s",
+    "improvement_percent",
+    "ResponseTimeRow",
+    "response_time_table",
+]
+
+#: The paper's rounded single-block I/O time (Section 5.3.2).
+PAPER_T1_MS = 30.0
+
+#: "Assuming the number of secondary index blocks to be 5% of the total
+#: number of data blocks" (Section 5.3.1).
+INDEX_BLOCK_FRACTION = 0.05
+
+
+def index_search_time_s(
+    num_data_blocks: float,
+    *,
+    t1_ms: float = PAPER_T1_MS,
+    index_fraction: float = INDEX_BLOCK_FRACTION,
+) -> float:
+    """``I``: time to read the secondary index blocks, in seconds.
+
+    >>> round(index_search_time_s(189), 3)   # paper row 5 prints 0.283
+    0.284
+    >>> round(index_search_time_s(64), 3)    # paper row 6
+    0.096
+    """
+    if num_data_blocks < 0:
+        raise ReproError(f"block count must be >= 0, got {num_data_blocks}")
+    return num_data_blocks * index_fraction * t1_ms / 1000.0
+
+
+def response_time_s(
+    index_time_s: float,
+    blocks_accessed: float,
+    *,
+    t1_ms: float = PAPER_T1_MS,
+    cpu_ms_per_block: float = 0.0,
+) -> float:
+    """Equations 5.7/5.8: ``I + N (t1 + t_cpu)`` in seconds.
+
+    ``cpu_ms_per_block`` is ``t2`` for the coded relation and ``t3`` for
+    the uncoded one.
+    """
+    if blocks_accessed < 0:
+        raise ReproError(f"blocks accessed must be >= 0, got {blocks_accessed}")
+    return index_time_s + blocks_accessed * (t1_ms + cpu_ms_per_block) / 1000.0
+
+
+def improvement_percent(c_coded: float, c_uncoded: float) -> float:
+    """Figure 5.9 row 11: ``100 (1 - C1/C2)``."""
+    if c_uncoded <= 0:
+        raise ReproError(f"uncoded cost must be positive, got {c_uncoded}")
+    return 100.0 * (1.0 - c_coded / c_uncoded)
+
+
+@dataclass(frozen=True)
+class ResponseTimeRow:
+    """One machine's column of Figure 5.9."""
+
+    machine: str
+    coding_ms: float          # row 1
+    decoding_ms: float        # row 2 (t2)
+    t1_ms: float              # row 3
+    extract_ms: float         # row 4 (t3)
+    index_time_uncoded_s: float   # row 5
+    index_time_coded_s: float     # row 6
+    blocks_uncoded: float     # row 7 (N)
+    blocks_coded: float       # row 8 (N)
+    total_uncoded_s: float    # row 9 (C2)
+    total_coded_s: float      # row 10 (C1)
+    improvement_pct: float    # row 11
+
+
+def response_time_table(
+    machines: List[MachineProfile],
+    *,
+    data_blocks_uncoded: float,
+    data_blocks_coded: float,
+    blocks_accessed_uncoded: float,
+    blocks_accessed_coded: float,
+    t1_ms: float = PAPER_T1_MS,
+    index_fraction: float = INDEX_BLOCK_FRACTION,
+) -> List[ResponseTimeRow]:
+    """Assemble the full Figure 5.9 table for a set of machines.
+
+    ``data_blocks_*`` size the index (rows 5-6); ``blocks_accessed_*``
+    are the average ``N`` of the query sweep (rows 7-8).
+    """
+    rows: List[ResponseTimeRow] = []
+    i_uncoded = index_search_time_s(
+        data_blocks_uncoded, t1_ms=t1_ms, index_fraction=index_fraction
+    )
+    i_coded = index_search_time_s(
+        data_blocks_coded, t1_ms=t1_ms, index_fraction=index_fraction
+    )
+    for m in machines:
+        c2 = response_time_s(
+            i_uncoded,
+            blocks_accessed_uncoded,
+            t1_ms=t1_ms,
+            cpu_ms_per_block=m.extract_ms,
+        )
+        c1 = response_time_s(
+            i_coded,
+            blocks_accessed_coded,
+            t1_ms=t1_ms,
+            cpu_ms_per_block=m.decoding_ms,
+        )
+        rows.append(
+            ResponseTimeRow(
+                machine=m.name,
+                coding_ms=m.coding_ms,
+                decoding_ms=m.decoding_ms,
+                t1_ms=t1_ms,
+                extract_ms=m.extract_ms,
+                index_time_uncoded_s=i_uncoded,
+                index_time_coded_s=i_coded,
+                blocks_uncoded=blocks_accessed_uncoded,
+                blocks_coded=blocks_accessed_coded,
+                total_uncoded_s=c2,
+                total_coded_s=c1,
+                improvement_pct=improvement_percent(c1, c2),
+            )
+        )
+    return rows

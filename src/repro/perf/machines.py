@@ -1,0 +1,101 @@
+"""Machine profiles for the Figure 5.9 response-time table.
+
+The paper measured AVQ block coding/decoding and tuple extraction on
+three 1990s workstations.  We obviously cannot rerun those machines
+(DESIGN.md substitution note); instead each
+:class:`MachineProfile` carries the paper's measured per-block constants,
+and :func:`calibrated_profile` builds an equivalent profile for *this*
+host by actually timing the Python codec.
+
+The response-time model only combines these constants linearly
+(``C = I + N (t1 + t_cpu)``), so carrying the constants reproduces the
+paper's table exactly, and the calibrated profile extends it with a
+present-day data point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+__all__ = [
+    "MachineProfile",
+    "HP_9000_735",
+    "SUN_4_50",
+    "DEC_5000_120",
+    "PAPER_MACHINES",
+    "calibrated_profile",
+]
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Per-block CPU costs of one machine (Figure 5.9 rows 1, 2, 4).
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    coding_ms:
+        Time to AVQ-code one 8192-byte block (row 1).
+    decoding_ms:
+        ``t2`` — time to decode one block back to tuples (row 2).
+    extract_ms:
+        ``t3`` — time to parse an *uncoded* block into tuples (row 4).
+    """
+
+    name: str
+    coding_ms: float
+    decoding_ms: float
+    extract_ms: float
+
+    @property
+    def t2_ms(self) -> float:
+        """Alias: the paper's ``t2`` symbol."""
+        return self.decoding_ms
+
+    @property
+    def t3_ms(self) -> float:
+        """Alias: the paper's ``t3`` symbol."""
+        return self.extract_ms
+
+    @property
+    def cpu_overhead_ratio(self) -> float:
+        """Decode cost relative to plain extraction (t2 / t3).
+
+        The paper's thesis is that this CPU premium is worth paying
+        because it buys a large reduction in ``N``.
+        """
+        return self.decoding_ms / self.extract_ms
+
+
+# Figure 5.9 rows 1, 2, 4 — the paper's measured constants.
+HP_9000_735 = MachineProfile("HP 9000/735", 13.91, 13.85, 1.34)
+SUN_4_50 = MachineProfile("Sun 4/50", 40.29, 40.45, 3.70)
+DEC_5000_120 = MachineProfile("Dec 5000/120", 69.92, 61.33, 9.77)
+
+PAPER_MACHINES: List[MachineProfile] = [HP_9000_735, SUN_4_50, DEC_5000_120]
+
+
+def calibrated_profile(
+    code_block: Callable[[], object],
+    decode_block: Callable[[], object],
+    extract_block: Callable[[], object],
+    *,
+    name: str = "local-python",
+    repeats: int = 100,
+) -> MachineProfile:
+    """Measure this host the way Section 5.2 measured its machines.
+
+    Each callable performs the operation on one representative block;
+    it is run ``repeats`` times (the paper used 100) and the mean wall
+    time becomes the profile constant.
+    """
+    from repro.perf.timer import mean_time_ms
+
+    return MachineProfile(
+        name=name,
+        coding_ms=mean_time_ms(code_block, repeats),
+        decoding_ms=mean_time_ms(decode_block, repeats),
+        extract_ms=mean_time_ms(extract_block, repeats),
+    )

@@ -1,0 +1,62 @@
+"""Wall-clock timing helpers matching the paper's Section 5.2 method.
+
+"For each of them, we perform the coding 100 times, and then the
+decoding 100 times.  The average times for each operation are then
+computed."  :func:`mean_time_ms` is exactly that; :class:`Stopwatch` is
+the accumulating variant the experiment drivers use.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = ["mean_time_ms", "Stopwatch"]
+
+
+def mean_time_ms(fn: Callable[[], object], repeats: int = 100) -> float:
+    """Mean wall-clock milliseconds of ``fn()`` over ``repeats`` runs."""
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    elapsed = time.perf_counter() - start
+    return elapsed * 1000.0 / repeats
+
+
+class Stopwatch:
+    """Accumulate wall time across explicitly bracketed sections."""
+
+    def __init__(self):
+        self._total = 0.0
+        self._started = None
+        self._laps = 0
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._total += time.perf_counter() - self._started
+        self._started = None
+        self._laps += 1
+
+    @property
+    def total_ms(self) -> float:
+        """Accumulated milliseconds."""
+        return self._total * 1000.0
+
+    @property
+    def laps(self) -> int:
+        """Number of completed sections."""
+        return self._laps
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean milliseconds per section."""
+        if self._laps == 0:
+            return 0.0
+        return self.total_ms / self._laps

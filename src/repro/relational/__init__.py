@@ -1,0 +1,37 @@
+"""Relational substrate: domains, schemas, encoding, relations, algebra.
+
+Implements the Section 2.2 formalism (relation schemes as cross-products
+of finite domains) and the Section 3.1 attribute-encoding preprocessing.
+"""
+
+from repro.relational.algebra import (
+    RangePredicate,
+    count_matching,
+    project,
+    select,
+)
+from repro.relational.domain import (
+    CategoricalDomain,
+    Domain,
+    IntegerRangeDomain,
+    StringDomain,
+)
+from repro.relational.encoding import SchemaInferencer, encode_relation
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+__all__ = [
+    "Domain",
+    "IntegerRangeDomain",
+    "CategoricalDomain",
+    "StringDomain",
+    "Attribute",
+    "Schema",
+    "Relation",
+    "SchemaInferencer",
+    "encode_relation",
+    "RangePredicate",
+    "select",
+    "project",
+    "count_matching",
+]

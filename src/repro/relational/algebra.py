@@ -1,0 +1,93 @@
+"""Relational algebra operators over in-memory relations.
+
+Only the operators the paper's evaluation needs: selection with
+conjunctive range predicates (the ``sigma_{a <= A_k <= b}`` queries of
+Section 5.3) and projection.  These operate on ordinal tuples and return
+new relations; the *storage-aware* query path lives in :mod:`repro.db`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+__all__ = ["RangePredicate", "select", "project", "count_matching"]
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """``lo <= A_attr <= hi`` over ordinal values (inclusive both ends)."""
+
+    attribute: str
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise QueryError(
+                f"inverted range [{self.lo}, {self.hi}] on {self.attribute!r}"
+            )
+
+    def bind(self, schema: Schema) -> Tuple[int, int, int]:
+        """Resolve to (position, lo, hi), clamped to the attribute's domain."""
+        pos = schema.position(self.attribute)
+        size = schema.domain_sizes[pos]
+        lo = max(0, self.lo)
+        hi = min(size - 1, self.hi)
+        if lo > hi:
+            raise QueryError(
+                f"range [{self.lo}, {self.hi}] misses domain of size {size} "
+                f"on {self.attribute!r}"
+            )
+        return pos, lo, hi
+
+    def matches(self, schema: Schema, values: Sequence[int]) -> bool:
+        """Whether an ordinal tuple satisfies the predicate."""
+        pos, lo, hi = self.bind(schema)
+        return lo <= values[pos] <= hi
+
+
+def select(relation: Relation, predicates: Iterable[RangePredicate]) -> Relation:
+    """``sigma``: tuples satisfying all predicates (conjunction)."""
+    preds = list(predicates)
+    bound = [p.bind(relation.schema) for p in preds]
+    out = Relation(relation.schema)
+    for t in relation:
+        if all(lo <= t[pos] <= hi for pos, lo, hi in bound):
+            out.append(t)
+    return out
+
+
+def count_matching(
+    relation: Relation, predicates: Iterable[RangePredicate]
+) -> int:
+    """Cardinality of ``select`` without materialising the result."""
+    bound = [p.bind(relation.schema) for p in predicates]
+    return sum(
+        1
+        for t in relation
+        if all(lo <= t[pos] <= hi for pos, lo, hi in bound)
+    )
+
+
+def project(relation: Relation, attributes: Sequence[str]) -> Relation:
+    """``pi``: keep only the named attributes (bag semantics, no dedup).
+
+    The projected relation gets a fresh schema with the same domains in
+    the requested order.
+    """
+    if not attributes:
+        raise QueryError("projection needs at least one attribute")
+    schema = relation.schema
+    positions = [schema.position(a) for a in attributes]
+    new_schema = Schema(
+        [Attribute(a, schema.attribute(a).domain) for a in attributes]
+    )
+    out = Relation(new_schema)
+    for t in relation:
+        out.append(tuple(t[p] for p in positions))
+    return out

@@ -1,0 +1,138 @@
+"""In-memory relations: ordered bags of ordinal tuples over a schema.
+
+A :class:`Relation` holds tuples *after* the Section 3.1 domain mapping —
+all attributes are ordinals.  It is the unit handed to the storage layer
+for block partitioning, and the thing the workload generator produces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A bag of ordinal tuples with their schema.
+
+    Tuples are stored in insertion order; :meth:`sorted_by_phi` returns the
+    Section 3.2 re-ordering that AVQ block coding requires.
+    """
+
+    def __init__(self, schema: Schema, tuples: Iterable[Sequence[int]] = ()):
+        self._schema = schema
+        self._tuples: List[Tuple[int, ...]] = []
+        for t in tuples:
+            self.append(t)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, schema: Schema, rows: Iterable[Sequence]) -> "Relation":
+        """Build a relation by domain-mapping raw application rows."""
+        return cls(schema, (schema.encode_tuple(r) for r in rows))
+
+    @classmethod
+    def from_array(cls, schema: Schema, array: np.ndarray) -> "Relation":
+        """Build a relation from a ``(rows, arity)`` ordinal array."""
+        array = np.asarray(array)
+        if array.ndim != 2 or array.shape[1] != schema.arity:
+            raise SchemaError(
+                f"array shape {array.shape} does not match arity {schema.arity}"
+            )
+        rel = cls(schema)
+        sizes = schema.domain_sizes
+        if (array < 0).any() or (array >= np.asarray(sizes)).any():
+            raise SchemaError("array contains out-of-domain ordinals")
+        rel._tuples = [tuple(int(v) for v in row) for row in array]
+        return rel
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The relation's schema."""
+        return self._schema
+
+    def append(self, values: Sequence[int]) -> None:
+        """Add one ordinal tuple (validated against the schema)."""
+        t = tuple(int(v) for v in values)
+        self._schema.mapper.validate(t)
+        self._tuples.append(t)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self._tuples)
+
+    def __getitem__(self, i: int) -> Tuple[int, ...]:
+        return self._tuples[i]
+
+    def __contains__(self, t) -> bool:
+        return tuple(t) in set(self._tuples)
+
+    def __repr__(self) -> str:
+        return f"Relation({self._schema!r}, {len(self._tuples)} tuples)"
+
+    # ------------------------------------------------------------------
+    # AVQ preprocessing views
+    # ------------------------------------------------------------------
+
+    def sorted_by_phi(self) -> List[Tuple[int, ...]]:
+        """Section 3.2 tuple re-ordering: tuples ascending by phi ordinal.
+
+        phi order coincides with plain lexicographic tuple order (the
+        first attribute carries the largest weight), so Python's native
+        tuple sort is both correct and fast.
+        """
+        return sorted(self._tuples)
+
+    def phi_ordinals(self) -> List[int]:
+        """Sorted phi ordinals of all tuples.
+
+        Uses the vectorised phi when the ordinal space fits int64 (the
+        tuples are pre-validated, so the array path is exact); falls back
+        to arbitrary-precision Python integers otherwise.
+        """
+        mapper = self._schema.mapper
+        if self._tuples and mapper.fits_int64:
+            from repro.core.phi import phi_array
+
+            ordinals = phi_array(self.to_array(), mapper.domain_sizes)
+            ordinals.sort()
+            return [int(o) for o in ordinals]
+        return sorted(mapper.phi(t) for t in self._tuples)
+
+    def to_array(self) -> np.ndarray:
+        """The tuples as a ``(rows, arity)`` int64 numpy array."""
+        if not self._tuples:
+            return np.empty((0, self._schema.arity), dtype=np.int64)
+        return np.asarray(self._tuples, dtype=np.int64)
+
+    def decoded_rows(self) -> List[Tuple]:
+        """All tuples mapped back to application values."""
+        return [self._schema.decode_tuple(t) for t in self._tuples]
+
+    # ------------------------------------------------------------------
+    # Size accounting (used by the evaluation)
+    # ------------------------------------------------------------------
+
+    def uncompressed_bytes(self) -> int:
+        """Fixed-width storage size: tuples times the per-tuple byte width.
+
+        This is the "size of the database before coding" denominator of
+        Figure 5.7's compression formula.
+        """
+        from repro.core.runlength import TupleLayout
+
+        return len(self._tuples) * TupleLayout(self._schema.domain_sizes).tuple_bytes

@@ -1,0 +1,40 @@
+"""Storage substrate: blocks, the simulated disk, packing, and files.
+
+* :mod:`repro.storage.block` — the 8192-byte block abstraction (Sec. 3.3)
+* :mod:`repro.storage.disk` — the Section 5.3.2 disk timing model
+* :mod:`repro.storage.packer` — minimal-slack block partitioning (Sec. 3.4)
+* :mod:`repro.storage.heapfile` — the uncoded fixed-width baseline
+* :mod:`repro.storage.avqfile` — AVQ-coded relation storage (Sec. 4.2 ops)
+* :mod:`repro.storage.buffer` — an LRU buffer pool
+"""
+
+from repro.storage.avqfile import AVQFile
+from repro.storage.block import DEFAULT_BLOCK_SIZE, Block
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.disk import DiskModel, DiskStats, SimulatedDisk
+from repro.storage.extsort import bulk_load, external_sort_ordinals
+from repro.storage.heapfile import HeapFile
+from repro.storage.packer import (
+    PackedPartition,
+    PackStats,
+    pack_ordinals,
+    pack_relation,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "Block",
+    "DiskModel",
+    "DiskStats",
+    "SimulatedDisk",
+    "BufferPool",
+    "BufferStats",
+    "PackStats",
+    "PackedPartition",
+    "pack_ordinals",
+    "pack_relation",
+    "HeapFile",
+    "AVQFile",
+    "external_sort_ordinals",
+    "bulk_load",
+]

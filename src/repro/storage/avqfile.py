@@ -1,0 +1,363 @@
+"""AVQ-coded relation storage: blocks of losslessly quantized tuples.
+
+The coded counterpart of :class:`~repro.storage.heapfile.HeapFile`.  A
+relation is phi-sorted, greedily packed (Section 3.3), block-coded
+(Section 3.4) and written to a simulated disk.  The file keeps a small
+in-memory directory of each block's first and last ordinal — the same
+information the primary index of Figure 4.4 holds — so that point and
+range lookups touch only the blocks that can contain matches.
+
+Tuple insertion and deletion follow Section 4.2: locate the block, decode
+it, apply the change, re-encode.  Changes are confined to the affected
+block; an insertion that overflows the block splits it in two, exactly as
+a clustered file would.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.codec import BlockCodec
+from repro.errors import BlockOverflowError, StorageError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.storage.disk import SimulatedDisk
+from repro.storage.packer import pack_ordinals
+
+__all__ = ["AVQFile"]
+
+
+class AVQFile:
+    """A phi-clustered, AVQ-compressed relation on a simulated disk."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        disk: SimulatedDisk,
+        *,
+        codec: Optional[BlockCodec] = None,
+    ):
+        self._schema = schema
+        self._disk = disk
+        self._codec = codec or BlockCodec(schema.domain_sizes)
+        if self._codec.mapper.domain_sizes != schema.domain_sizes:
+            raise StorageError("codec domain sizes do not match the schema")
+        self._block_ids: List[int] = []
+        self._block_min: List[int] = []   # first ordinal in each block
+        self._block_max: List[int] = []   # last ordinal in each block
+        self._block_count: List[int] = []
+        self._num_tuples = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        relation: Relation,
+        disk: SimulatedDisk,
+        *,
+        codec: Optional[BlockCodec] = None,
+    ) -> "AVQFile":
+        """Sort, pack, code, and write a relation to ``disk``.
+
+        The default codec configuration (chained, median representative)
+        takes the vectorised encode path when the ordinal space fits
+        int64; the output is byte-identical to the scalar path
+        (property-tested in ``tests/core/test_fastpack.py``).
+        """
+        f = cls(relation.schema, disk, codec=codec)
+        ordinals = relation.phi_ordinals()
+        if (
+            ordinals
+            and f._codec.chained
+            and getattr(f._codec, "representative_strategy", None) == "median"
+            and f._codec.mapper.fits_int64
+        ):
+            import numpy as np
+
+            from repro.core.fastpack import (
+                FastBlockEncoder,
+                fast_pack_boundaries,
+            )
+
+            arr = np.asarray(ordinals, dtype=np.int64)
+            encoder = FastBlockEncoder(relation.schema.domain_sizes)
+            for start, end in fast_pack_boundaries(
+                arr, relation.schema.domain_sizes, disk.block_size
+            ):
+                run = ordinals[start:end]
+                payload = encoder.encode_run(arr[start:end])
+                f._block_ids.append(f._disk.append_block(payload))
+                f._block_min.append(run[0])
+                f._block_max.append(run[-1])
+                f._block_count.append(len(run))
+                f._num_tuples += len(run)
+            return f
+        partition = pack_ordinals(f._codec, ordinals, disk.block_size)
+        for run in partition.blocks:
+            f._append_run(run)
+        return f
+
+    def _append_run(self, ordinals: Sequence[int]) -> None:
+        payload = self._encode_ordinals(ordinals)
+        self._block_ids.append(self._disk.append_block(payload))
+        self._block_min.append(ordinals[0])
+        self._block_max.append(ordinals[-1])
+        self._block_count.append(len(ordinals))
+        self._num_tuples += len(ordinals)
+
+    def _encode_ordinals(self, ordinals: Sequence[int]) -> bytes:
+        tuples = [self._codec.mapper.phi_inverse(o) for o in ordinals]
+        return self._codec.encode_block(tuples, capacity=self._disk.block_size)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """Schema of the stored relation."""
+        return self._schema
+
+    @property
+    def codec(self) -> BlockCodec:
+        """The block codec used for coding and decoding."""
+        return self._codec
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks occupied on disk — the coded ``N`` of Figure 5.8."""
+        return len(self._block_ids)
+
+    @property
+    def num_tuples(self) -> int:
+        """Tuples stored across all blocks."""
+        return self._num_tuples
+
+    @property
+    def block_ids(self) -> List[int]:
+        """Disk block ids in phi-cluster order."""
+        return list(self._block_ids)
+
+    def block_range(self, position: int) -> Tuple[int, int]:
+        """(first, last) phi ordinal stored in the ``position``-th block."""
+        self._check_position(position)
+        return self._block_min[position], self._block_max[position]
+
+    def block_tuple_count(self, position: int) -> int:
+        """Number of tuples in the ``position``-th block."""
+        self._check_position(position)
+        return self._block_count[position]
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def read_block(self, position: int) -> List[Tuple[int, ...]]:
+        """Read and decode one block (``t1`` I/O plus ``t2`` decode)."""
+        self._check_position(position)
+        payload = self._disk.read_block(self._block_ids[position])
+        return self._codec.decode_block(payload)
+
+    def read_block_ordinals(self, position: int) -> List[int]:
+        """Read one block, decoding only to phi ordinals."""
+        self._check_position(position)
+        payload = self._disk.read_block(self._block_ids[position])
+        return self._codec.decode_ordinals(payload)
+
+    def read_block_id(self, block_id: int) -> List[Tuple[int, ...]]:
+        """Read and decode a block by its stable disk id.
+
+        Indices store disk ids (they survive block splits, unlike
+        positions); this is the access path a query takes after an index
+        probe.
+        """
+        return self._codec.decode_block(self._disk.read_block(block_id))
+
+    def decode_payload(self, payload: bytes) -> List[Tuple[int, ...]]:
+        """Decode a raw block payload (no I/O) — the buffer-pool path."""
+        return self._codec.decode_block(payload)
+
+    def scan(self) -> Iterator[Tuple[int, ...]]:
+        """Full relation scan in phi order."""
+        for position in range(self.num_blocks):
+            yield from self.read_block(position)
+
+    def iter_blocks(self) -> Iterator[Tuple[int, List[Tuple[int, ...]]]]:
+        """Yield ``(block_id, tuples)`` for every block, in phi order."""
+        for position in range(self.num_blocks):
+            yield self._block_ids[position], self.read_block(position)
+
+    def directory(self) -> List[Tuple[int, int]]:
+        """``(first_ordinal, block_id)`` per block — primary-index feed."""
+        return list(zip(self._block_min, self._block_ids))
+
+    def block_of_ordinal(self, ordinal: int) -> Optional[int]:
+        """Directory lookup: position of the block covering ``ordinal``.
+
+        Returns the unique block whose [min, max] range the ordinal falls
+        into, or the block it *would* belong to if inserted (the block with
+        the greatest min <= ordinal, else block 0).  ``None`` for an empty
+        file.
+        """
+        if not self._block_ids:
+            return None
+        pos = bisect.bisect_right(self._block_min, ordinal) - 1
+        return max(pos, 0)
+
+    def contains_ordinal(self, ordinal: int) -> bool:
+        """Point probe: whether a tuple with this phi ordinal is stored.
+
+        Reads one block and walks its difference stream with early exit
+        (:meth:`~repro.core.codec.BlockCodec.probe_block`) — no full
+        block reconstruction.
+        """
+        if not self._block_ids:
+            return False
+        pos = self.block_of_ordinal(ordinal)
+        lo, hi = self.block_range(pos)
+        if not lo <= ordinal <= hi:
+            return False
+        payload = self._disk.read_block(self._block_ids[pos])
+        probe = getattr(self._codec, "probe_block", None)
+        if probe is not None:
+            return probe(payload, ordinal)
+        return ordinal in self._codec.decode_ordinals(payload)
+
+    def blocks_overlapping(self, lo: int, hi: int) -> List[int]:
+        """Positions of blocks whose ordinal range intersects [lo, hi]."""
+        if lo > hi or not self._block_ids:
+            return []
+        start = self.block_of_ordinal(lo)
+        out = []
+        for pos in range(start, self.num_blocks):
+            if self._block_min[pos] > hi:
+                break
+            if self._block_max[pos] >= lo:
+                out.append(pos)
+        return out
+
+    # ------------------------------------------------------------------
+    # Mutation (Section 4.2)
+    # ------------------------------------------------------------------
+
+    def insert(self, values: Sequence[int]) -> int:
+        """Insert one ordinal tuple; returns the block position updated.
+
+        The change is confined to the affected block (re-coded in place);
+        a block that can no longer hold its tuples is split in two.
+        """
+        ordinal = self._schema.mapper.phi(values)
+        if not self._block_ids:
+            self._append_run([ordinal])
+            return 0
+        pos = self.block_of_ordinal(ordinal)
+        ordinals = self.read_block_ordinals(pos)
+        bisect.insort(ordinals, ordinal)
+        try:
+            payload = self._encode_ordinals(ordinals)
+        except BlockOverflowError:
+            self._split_block(pos, ordinals)
+            return pos
+        self._disk.write_block(self._block_ids[pos], payload)
+        self._block_min[pos] = ordinals[0]
+        self._block_max[pos] = ordinals[-1]
+        self._block_count[pos] = len(ordinals)
+        self._num_tuples += 1
+        return pos
+
+    def _split_block(self, position: int, ordinals: List[int]) -> None:
+        """Replace one overfull block with two half-full ones."""
+        mid = len(ordinals) // 2
+        left, right = ordinals[:mid], ordinals[mid:]
+        self._disk.write_block(
+            self._block_ids[position], self._encode_ordinals(left)
+        )
+        right_id = self._disk.append_block(self._encode_ordinals(right))
+        self._block_min[position] = left[0]
+        self._block_max[position] = left[-1]
+        self._block_count[position] = len(left)
+        self._block_ids.insert(position + 1, right_id)
+        self._block_min.insert(position + 1, right[0])
+        self._block_max.insert(position + 1, right[-1])
+        self._block_count.insert(position + 1, len(right))
+        self._num_tuples += 1
+
+    def delete(self, values: Sequence[int]) -> bool:
+        """Delete one occurrence of a tuple; returns whether it was found."""
+        ordinal = self._schema.mapper.phi(values)
+        if not self._block_ids:
+            return False
+        pos = self.block_of_ordinal(ordinal)
+        ordinals = self.read_block_ordinals(pos)
+        idx = bisect.bisect_left(ordinals, ordinal)
+        if idx >= len(ordinals) or ordinals[idx] != ordinal:
+            return False
+        ordinals.pop(idx)
+        if not ordinals:
+            self._block_ids.pop(pos)
+            self._block_min.pop(pos)
+            self._block_max.pop(pos)
+            self._block_count.pop(pos)
+        else:
+            payload = self._encode_ordinals(ordinals)
+            self._disk.write_block(self._block_ids[pos], payload)
+            self._block_min[pos] = ordinals[0]
+            self._block_max[pos] = ordinals[-1]
+            self._block_count[pos] = len(ordinals)
+        self._num_tuples -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def utilisation(self) -> float:
+        """Mean payload fraction of the file's blocks.
+
+        Mutation churn fragments blocks (splits leave two half-full
+        blocks; deletes leave slack); this is the number
+        :meth:`compact` restores.
+        """
+        if not self._block_ids:
+            return 0.0
+        used = 0
+        for position in range(self.num_blocks):
+            ordinals = self.read_block_ordinals(position)
+            used += self._codec.encoded_size_of_ordinals(ordinals)
+        return used / (self.num_blocks * self._disk.block_size)
+
+    def compact(self) -> int:
+        """Repack the whole file at maximal fill; returns blocks saved.
+
+        Reads every block once, re-runs the greedy Section 3.3 packing
+        over the full ordinal sequence, and rewrites the file onto fresh
+        blocks.  Old blocks are abandoned (the simulated disk does not
+        reclaim space; a real implementation would free them).
+        """
+        from repro.storage.packer import pack_ordinals
+
+        ordinals: List[int] = []
+        for position in range(self.num_blocks):
+            ordinals.extend(self.read_block_ordinals(position))
+        old_blocks = self.num_blocks
+
+        partition = pack_ordinals(self._codec, ordinals, self._disk.block_size)
+        self._block_ids = []
+        self._block_min = []
+        self._block_max = []
+        self._block_count = []
+        self._num_tuples = 0
+        for run in partition.blocks:
+            self._append_run(run)
+        return old_blocks - self.num_blocks
+
+    def _check_position(self, position: int) -> None:
+        if not 0 <= position < len(self._block_ids):
+            raise StorageError(
+                f"AVQ file has {len(self._block_ids)} blocks, "
+                f"no position {position}"
+            )

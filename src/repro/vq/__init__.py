@@ -1,0 +1,23 @@
+"""Conventional (lossy) vector quantization — the Section 2.1 background.
+
+AVQ's pitch is that it avoids two costs of classical VQ: iterative
+codebook design (Linde-Buzo-Gray) and codebook search at coding time.
+To make that comparison runnable rather than rhetorical, this package
+implements the classical machinery:
+
+* :mod:`repro.vq.distortion` — squared-error distortion (Equation 2.1)
+* :mod:`repro.vq.lbg` — the Linde-Buzo-Gray iterative codebook algorithm
+* :mod:`repro.vq.lossy` — a conventional coder/decoder pair (lossy!)
+"""
+
+from repro.vq.distortion import mean_squared_distortion, squared_error
+from repro.vq.lbg import LBGResult, lbg_codebook
+from repro.vq.lossy import LossyVectorQuantizer
+
+__all__ = [
+    "squared_error",
+    "mean_squared_distortion",
+    "lbg_codebook",
+    "LBGResult",
+    "LossyVectorQuantizer",
+]

@@ -1,0 +1,55 @@
+"""Distortion measures for conventional VQ (Equation 2.1).
+
+The paper quotes the common squared-error measure
+
+    ``d(x, x_hat) = sum_i (x_i - x_hat_i)^2``
+
+and defines the optimal quantizer as the one minimising it over all inputs.
+These helpers are shared by the LBG design algorithm and the lossy coder.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DomainError
+
+__all__ = ["squared_error", "mean_squared_distortion", "pairwise_squared_error"]
+
+
+def squared_error(x: Sequence[float], x_hat: Sequence[float]) -> float:
+    """Equation 2.1: squared error between a vector and its reproduction."""
+    if len(x) != len(x_hat):
+        raise DomainError(
+            f"vectors have different dimension: {len(x)} vs {len(x_hat)}"
+        )
+    return float(sum((a - b) ** 2 for a, b in zip(x, x_hat)))
+
+
+def pairwise_squared_error(points: np.ndarray, codebook: np.ndarray) -> np.ndarray:
+    """``(num_points, num_codes)`` matrix of squared errors.
+
+    Used by both the LBG partition step and the lossy coder's
+    nearest-neighbour search.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    codebook = np.asarray(codebook, dtype=np.float64)
+    if points.ndim != 2 or codebook.ndim != 2 or points.shape[1] != codebook.shape[1]:
+        raise DomainError(
+            f"incompatible shapes: points {points.shape}, codebook {codebook.shape}"
+        )
+    # ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2, computed without a 3-D blow-up.
+    p2 = (points**2).sum(axis=1, keepdims=True)
+    c2 = (codebook**2).sum(axis=1)
+    cross = points @ codebook.T
+    out = p2 - 2.0 * cross + c2
+    np.maximum(out, 0.0, out=out)  # clamp tiny negative rounding residue
+    return out
+
+
+def mean_squared_distortion(points: np.ndarray, codebook: np.ndarray) -> float:
+    """Average Equation-2.1 distortion of quantizing ``points`` with ``codebook``."""
+    d = pairwise_squared_error(points, codebook)
+    return float(d.min(axis=1).mean())

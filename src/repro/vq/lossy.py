@@ -1,0 +1,89 @@
+"""A conventional lossy vector quantizer (Section 2.1, Figure 2.1).
+
+The coder ``C`` maps each input vector to the index of its nearest
+codebook vector; the decoder ``D`` replaces the index with that vector.
+Information is destroyed in between — running this on a relation and
+observing the damage is the motivating experiment for AVQ, and the
+`examples/lossy_vs_lossless.py` script does exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CodecError, DomainError
+from repro.vq.distortion import pairwise_squared_error
+
+__all__ = ["LossyVectorQuantizer"]
+
+
+class LossyVectorQuantizer:
+    """Classic VQ over an explicit codebook; *not* lossless.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> q = LossyVectorQuantizer(np.array([[0.0, 0.0], [10.0, 10.0]]))
+    >>> q.encode(np.array([[1.0, 2.0], [9.0, 9.0]])).tolist()
+    [0, 1]
+    >>> q.decode([0]).tolist()
+    [[0.0, 0.0]]
+    """
+
+    def __init__(self, codebook: np.ndarray):
+        codebook = np.asarray(codebook, dtype=np.float64)
+        if codebook.ndim != 2 or len(codebook) == 0:
+            raise DomainError(
+                f"codebook must be a non-empty 2-D array, got shape {codebook.shape}"
+            )
+        self._codebook = codebook
+
+    @property
+    def codebook(self) -> np.ndarray:
+        """The output-vector set ``Y`` of Figure 2.1."""
+        return self._codebook.copy()
+
+    @property
+    def num_codes(self) -> int:
+        """Codebook size ``|Y|`` (the codeword alphabet)."""
+        return self._codebook.shape[0]
+
+    @property
+    def codeword_bits(self) -> int:
+        """Bits per codeword: ``ceil(log2 |Y|)`` — the compressed tuple size."""
+        return max(1, int(np.ceil(np.log2(self.num_codes))))
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """The coder ``C``: nearest-codebook index per input vector.
+
+        This is the full-search coder whose cost AVQ's "no searching"
+        property eliminates; its runtime is O(num_points * num_codes * n).
+        """
+        d = pairwise_squared_error(points, self._codebook)
+        return d.argmin(axis=1)
+
+    def decode(self, codewords: Sequence[int]) -> np.ndarray:
+        """The decoder ``D``: replace codewords by their output vectors."""
+        codewords = np.asarray(codewords, dtype=np.int64)
+        if codewords.size and (
+            codewords.min() < 0 or codewords.max() >= self.num_codes
+        ):
+            raise CodecError("codeword outside codebook range")
+        return self._codebook[codewords]
+
+    def reconstruction(self, points: np.ndarray) -> np.ndarray:
+        """Encode-then-decode: the lossy round trip ``D(C(x))``."""
+        return self.decode(self.encode(points))
+
+    def information_loss(self, points: np.ndarray) -> float:
+        """Fraction of input vectors that do NOT survive the round trip.
+
+        This is the headline number motivating AVQ: for any codebook
+        smaller than the distinct input set, some vectors are unrecoverable.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        recon = self.reconstruction(points)
+        damaged = (np.abs(points - recon) > 1e-9).any(axis=1)
+        return float(damaged.mean())

@@ -1,0 +1,37 @@
+"""Synthetic workloads: the Section 5 relations and query sweeps."""
+
+from repro.workload.distributions import (
+    SAMPLERS,
+    get_sampler,
+    skewed_values,
+    uniform_values,
+    zipf_values,
+)
+from repro.workload.generator import (
+    RelationSpec,
+    generate_domain_sizes,
+    generate_relation,
+    paper_test_spec,
+    paper_timing_spec,
+)
+from repro.workload.queries import (
+    paper_query_sweep,
+    random_range_queries,
+    range_query_for_attribute,
+)
+
+__all__ = [
+    "SAMPLERS",
+    "get_sampler",
+    "uniform_values",
+    "skewed_values",
+    "zipf_values",
+    "RelationSpec",
+    "generate_domain_sizes",
+    "generate_relation",
+    "paper_test_spec",
+    "paper_timing_spec",
+    "paper_query_sweep",
+    "range_query_for_attribute",
+    "random_range_queries",
+]

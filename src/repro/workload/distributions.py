@@ -1,0 +1,108 @@
+"""Attribute-value distributions for the Section 5.1 workloads.
+
+The paper evaluates two distributions:
+
+* **uniform** — values drawn uniformly from the domain;
+* **skewed** — "60% of the values were drawn from 40% of the domain".
+
+Both are implemented as vectorised samplers over ``[0, domain_size)``.
+A Zipf sampler is included as an extension (real attribute-value skews
+are often heavier-tailed than the paper's 60/40 rule).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "uniform_values",
+    "skewed_values",
+    "zipf_values",
+    "SAMPLERS",
+    "get_sampler",
+]
+
+Sampler = Callable[[np.random.Generator, int, int], np.ndarray]
+
+
+def uniform_values(
+    rng: np.random.Generator, domain_size: int, count: int
+) -> np.ndarray:
+    """``count`` values uniform over ``[0, domain_size)``."""
+    _check(domain_size, count)
+    return rng.integers(0, domain_size, size=count, dtype=np.int64)
+
+
+def skewed_values(
+    rng: np.random.Generator,
+    domain_size: int,
+    count: int,
+    *,
+    hot_fraction: float = 0.4,
+    hot_probability: float = 0.6,
+) -> np.ndarray:
+    """The paper's 60/40 skew: 60% of draws land in 40% of the domain.
+
+    The "hot" region is the low end of the domain (which end is hot does
+    not affect any measured quantity; compression depends only on value
+    multiplicity, and the paper does not specify a placement).
+    """
+    _check(domain_size, count)
+    if not 0 < hot_fraction <= 1 or not 0 <= hot_probability <= 1:
+        raise WorkloadError(
+            f"bad skew parameters: fraction={hot_fraction}, "
+            f"probability={hot_probability}"
+        )
+    hot_size = max(1, int(round(domain_size * hot_fraction)))
+    hot = rng.random(count) < hot_probability
+    values = rng.integers(0, domain_size, size=count, dtype=np.int64)
+    hot_values = rng.integers(0, hot_size, size=count, dtype=np.int64)
+    return np.where(hot, hot_values, values)
+
+
+def zipf_values(
+    rng: np.random.Generator,
+    domain_size: int,
+    count: int,
+    *,
+    s: float = 1.2,
+) -> np.ndarray:
+    """Zipf-distributed values over ``[0, domain_size)`` (extension).
+
+    Rank ``r`` (0-based) is drawn with probability proportional to
+    ``1 / (r + 1)^s``.
+    """
+    _check(domain_size, count)
+    if s <= 0:
+        raise WorkloadError(f"zipf exponent must be positive, got {s}")
+    weights = 1.0 / np.power(np.arange(1, domain_size + 1, dtype=np.float64), s)
+    weights /= weights.sum()
+    return rng.choice(domain_size, size=count, p=weights).astype(np.int64)
+
+
+def _check(domain_size: int, count: int) -> None:
+    if domain_size < 1:
+        raise WorkloadError(f"domain size must be >= 1, got {domain_size}")
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count}")
+
+
+SAMPLERS: Dict[str, Sampler] = {
+    "uniform": uniform_values,
+    "skewed": skewed_values,
+    "zipf": zipf_values,
+}
+
+
+def get_sampler(name: str) -> Sampler:
+    """Look a sampler up by name ('uniform', 'skewed', 'zipf')."""
+    try:
+        return SAMPLERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown distribution {name!r}; known: {sorted(SAMPLERS)}"
+        )

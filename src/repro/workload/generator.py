@@ -1,0 +1,178 @@
+"""Synthetic relation generation — the Section 5.1 experimental workloads.
+
+The paper varies three things: relation size (tuple count), variance in
+attribute domain size, and attribute-value skew.  Its two variance levels
+are defined by the spread of domain sizes around their average:
+
+* **small** — "differences in domain sizes no more than 10% of the
+  average domain size";
+* **large** — "differences more than 100%".
+
+:class:`RelationSpec` captures one configuration; :func:`generate_relation`
+produces the encoded :class:`~repro.relational.relation.Relation`.  Two
+presets mirror the paper's fixed relations:
+
+* :func:`paper_test_spec` — the Figure 5.7 relations (15 attributes);
+* :func:`paper_timing_spec` — the Section 5.2 relation (16 attributes,
+  38-byte tuples after domain mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.workload.distributions import get_sampler
+
+__all__ = [
+    "RelationSpec",
+    "generate_domain_sizes",
+    "generate_relation",
+    "paper_test_spec",
+    "paper_timing_spec",
+]
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """One synthetic relation configuration (a cell of Figure 5.7 Table (a)).
+
+    Attributes
+    ----------
+    num_tuples:
+        Relation cardinality.
+    num_attributes:
+        Arity; the paper fixes 15 for Figure 5.7 and 16 for Section 5.2.
+    mean_domain_size:
+        Average ``|A_i|`` the variance levels spread around.
+    domain_variance:
+        ``"small"`` (±10% of the mean) or ``"large"`` (>100% spread).
+    skew:
+        ``"uniform"``, ``"skewed"`` (the 60/40 rule), or ``"zipf"``.
+    seed:
+        Deterministic generation seed.
+    domain_sizes:
+        Explicit per-attribute sizes; overrides the variance machinery.
+    """
+
+    num_tuples: int
+    num_attributes: int = 15
+    mean_domain_size: int = 64
+    domain_variance: str = "small"
+    skew: str = "uniform"
+    seed: int = 0
+    domain_sizes: Optional[Sequence[int]] = None
+
+    def __post_init__(self):
+        if self.num_tuples < 0:
+            raise WorkloadError(f"num_tuples must be >= 0, got {self.num_tuples}")
+        if self.num_attributes < 1:
+            raise WorkloadError(
+                f"num_attributes must be >= 1, got {self.num_attributes}"
+            )
+        if self.mean_domain_size < 2:
+            raise WorkloadError(
+                f"mean_domain_size must be >= 2, got {self.mean_domain_size}"
+            )
+        if self.domain_variance not in ("small", "large"):
+            raise WorkloadError(
+                f"domain_variance must be 'small' or 'large', "
+                f"got {self.domain_variance!r}"
+            )
+        get_sampler(self.skew)  # validates the name
+        if self.domain_sizes is not None:
+            object.__setattr__(self, "domain_sizes", tuple(self.domain_sizes))
+            if len(self.domain_sizes) != self.num_attributes:
+                raise WorkloadError(
+                    f"{len(self.domain_sizes)} explicit domain sizes for "
+                    f"{self.num_attributes} attributes"
+                )
+
+
+def generate_domain_sizes(spec: RelationSpec) -> List[int]:
+    """Per-attribute domain sizes realising the spec's variance level.
+
+    * small: sizes uniform in ``[0.95, 1.05] * mean`` — pairwise
+      differences stay within 10% of the mean;
+    * large: sizes log-uniform over ``[mean/8, 8*mean]`` — the spread far
+      exceeds the mean, matching the paper's ">100%" regime.
+    """
+    if spec.domain_sizes is not None:
+        return list(spec.domain_sizes)
+    rng = np.random.default_rng(spec.seed ^ 0x5EED)
+    mean = spec.mean_domain_size
+    if spec.domain_variance == "small":
+        lo, hi = max(2, int(mean * 0.95)), max(3, int(mean * 1.05))
+        sizes = rng.integers(lo, hi + 1, size=spec.num_attributes)
+    else:
+        log_lo, log_hi = np.log(max(2, mean / 8)), np.log(mean * 8)
+        sizes = np.exp(
+            rng.uniform(log_lo, log_hi, size=spec.num_attributes)
+        ).astype(np.int64)
+        sizes = np.maximum(sizes, 2)
+    return [int(s) for s in sizes]
+
+
+def generate_relation(spec: RelationSpec) -> Relation:
+    """Generate the encoded relation described by ``spec``."""
+    sizes = generate_domain_sizes(spec)
+    schema = Schema(
+        [
+            Attribute(f"A{i + 1}", IntegerRangeDomain(0, s - 1))
+            for i, s in enumerate(sizes)
+        ]
+    )
+    rng = np.random.default_rng(spec.seed)
+    sampler = get_sampler(spec.skew)
+    columns = [
+        sampler(rng, s, spec.num_tuples) for s in sizes
+    ]
+    if spec.num_tuples == 0:
+        return Relation(schema)
+    array = np.stack(columns, axis=1)
+    return Relation.from_array(schema, array)
+
+
+def paper_test_spec(
+    num_tuples: int,
+    *,
+    skew: bool,
+    variance: str,
+    seed: int = 0,
+) -> RelationSpec:
+    """A Figure 5.7 test cell: 15 attributes, chosen skew and variance."""
+    return RelationSpec(
+        num_tuples=num_tuples,
+        num_attributes=15,
+        mean_domain_size=64,
+        domain_variance=variance,
+        skew="skewed" if skew else "uniform",
+        seed=seed,
+    )
+
+
+#: Section 5.2 relation: 16 attributes whose fixed-width fields total 38
+#: bytes (ten 2-byte domains and six 3-byte domains), 10^5 tuples.
+_TIMING_DOMAIN_SIZES = tuple([1 << 12] * 10 + [1 << 18] * 6)
+
+
+def paper_timing_spec(num_tuples: int = 100_000, *, seed: int = 0) -> RelationSpec:
+    """The Section 5.2 relation used for coding-time and response-time tests.
+
+    16 attributes of "varying domain sizes" with a 38-byte mapped tuple;
+    we use ten 12-bit and six 18-bit domains (10*2 + 6*3 = 38 bytes).
+    """
+    return RelationSpec(
+        num_tuples=num_tuples,
+        num_attributes=16,
+        domain_variance="large",
+        skew="uniform",
+        seed=seed,
+        domain_sizes=_TIMING_DOMAIN_SIZES,
+    )

@@ -1,0 +1,81 @@
+"""Query workloads for the Section 5.3 response-time experiments.
+
+The paper's query family is ``sigma_{a <= A_k <= b}(R)`` with
+``a = 0.5 * |A_k|``; sweeping ``k`` over every attribute produces the
+Figure 5.8 table.  :func:`paper_query_sweep` generates exactly that
+sweep; :func:`random_range_queries` produces a mixed workload for the
+examples and stress tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.db.query import RangeQuery
+from repro.errors import WorkloadError
+from repro.relational.schema import Schema
+
+__all__ = ["paper_query_sweep", "range_query_for_attribute", "random_range_queries"]
+
+
+def range_query_for_attribute(
+    schema: Schema,
+    attribute: str,
+    *,
+    start_fraction: float = 0.5,
+    selectivity: float = 0.5,
+) -> RangeQuery:
+    """One Section 5.3 query: ``a = start_fraction * |A_k|``, width
+    ``selectivity * |A_k|`` (clamped to the domain)."""
+    if not 0 <= start_fraction <= 1:
+        raise WorkloadError(f"start_fraction must be in [0, 1], got {start_fraction}")
+    if not 0 < selectivity <= 1:
+        raise WorkloadError(f"selectivity must be in (0, 1], got {selectivity}")
+    size = schema.attribute(attribute).domain.size
+    lo = min(size - 1, int(size * start_fraction))
+    hi = min(size - 1, lo + max(0, int(size * selectivity) - 1))
+    return RangeQuery.between(attribute, lo, hi)
+
+
+def paper_query_sweep(
+    schema: Schema,
+    *,
+    start_fraction: float = 0.5,
+    selectivity: float = 0.5,
+) -> Iterator[RangeQuery]:
+    """The Figure 5.8 sweep: one range query per attribute, in order."""
+    for name in schema.names:
+        yield range_query_for_attribute(
+            schema,
+            name,
+            start_fraction=start_fraction,
+            selectivity=selectivity,
+        )
+
+
+def random_range_queries(
+    schema: Schema,
+    count: int,
+    *,
+    seed: int = 0,
+    min_selectivity: float = 0.01,
+    max_selectivity: float = 0.5,
+) -> List[RangeQuery]:
+    """A mixed single-attribute range-query workload."""
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count}")
+    if not 0 < min_selectivity <= max_selectivity <= 1:
+        raise WorkloadError(
+            f"bad selectivity window [{min_selectivity}, {max_selectivity}]"
+        )
+    rng = np.random.default_rng(seed)
+    out: List[RangeQuery] = []
+    for _ in range(count):
+        name = schema.names[int(rng.integers(0, schema.arity))]
+        size = schema.attribute(name).domain.size
+        width = max(1, int(size * rng.uniform(min_selectivity, max_selectivity)))
+        lo = int(rng.integers(0, max(1, size - width + 1)))
+        out.append(RangeQuery.between(name, lo, min(size - 1, lo + width - 1)))
+    return out

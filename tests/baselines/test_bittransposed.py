@@ -1,0 +1,148 @@
+"""Unit tests for the bit-transposed files baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.avq import AVQBaseline
+from repro.baselines.bittransposed import BitTransposedBaseline
+from repro.baselines.nocoding import NoCodingBaseline
+from repro.errors import CodecError
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+DOMAINS = [8, 16, 64, 64, 64]
+
+
+@pytest.fixture
+def codec():
+    return BitTransposedBaseline(DOMAINS)
+
+
+def random_block(n, seed=0):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(8), rng.randrange(16), rng.randrange(64),
+         rng.randrange(64), rng.randrange(64))
+        for _ in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_order_preserving_round_trip(self, codec):
+        block = random_block(100)
+        assert codec.decode_block(codec.encode_block(block)) == block
+
+    def test_single_tuple(self, codec):
+        block = [(7, 15, 63, 63, 63)]
+        assert codec.decode_block(codec.encode_block(block)) == block
+
+    def test_non_multiple_of_eight_tuples(self, codec):
+        for n in (1, 7, 8, 9, 31):
+            block = random_block(n, seed=n)
+            assert codec.decode_block(codec.encode_block(block)) == block
+
+    def test_bits_per_tuple(self, codec):
+        # beta: 3 + 4 + 6 + 6 + 6 = 25 bits
+        assert codec.bits_per_tuple == 25
+
+    def test_empty_block_rejected(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode_block([])
+
+    def test_out_of_domain_rejected(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode_block([(8, 0, 0, 0, 0)])
+
+    def test_truncated_rejected(self, codec):
+        data = codec.encode_block(random_block(20))
+        with pytest.raises(CodecError):
+            codec.decode_block(data[:10])
+
+
+class TestFilterBlock:
+    def test_matches_full_decode(self, codec):
+        block = random_block(200, seed=3)
+        data = codec.encode_block(block)
+        for pos, lo, hi in [(0, 2, 5), (2, 10, 40), (4, 0, 63)]:
+            expected = [
+                i for i, t in enumerate(block) if lo <= t[pos] <= hi
+            ]
+            assert codec.filter_block(data, pos, lo, hi) == expected
+
+    def test_bad_position_rejected(self, codec):
+        data = codec.encode_block(random_block(5))
+        with pytest.raises(CodecError):
+            codec.filter_block(data, 9, 0, 1)
+
+
+class TestSizing:
+    def test_block_bytes_matches_encoding(self, codec):
+        for n in (1, 8, 13, 100):
+            block = random_block(n, seed=n)
+            assert codec.block_bytes(n) == len(codec.encode_block(block))
+
+    def test_tuples_per_block(self, codec):
+        u = codec.tuples_per_block(1024)
+        assert codec.block_bytes(u) <= 1024
+        assert codec.block_bytes(u + 1) > 1024
+
+    def test_tiny_block_rejected(self, codec):
+        with pytest.raises(CodecError):
+            codec.tuples_per_block(4)
+
+    def test_beats_fixed_width_without_any_ordering(self):
+        """BTF removes byte padding: 25 bits/tuple vs 40 fixed."""
+        schema = Schema(
+            [
+                Attribute("a", IntegerRangeDomain(0, 7)),
+                Attribute("b", IntegerRangeDomain(0, 15)),
+                Attribute("c", IntegerRangeDomain(0, 63)),
+                Attribute("d", IntegerRangeDomain(0, 63)),
+                Attribute("e", IntegerRangeDomain(0, 63)),
+            ]
+        )
+        rel = Relation(schema, random_block(3000, seed=5))
+        btf = BitTransposedBaseline(DOMAINS).blocks_needed(rel, 1024)
+        fixed = NoCodingBaseline(DOMAINS).blocks_needed(rel, 1024)
+        assert btf < fixed
+
+    def test_btf_beats_byte_avq_on_tiny_domains(self):
+        """Measured finding: on 2-bit domains the byte-granular AVQ codec
+        pays 8 bits per surviving field while BTF pays the true 2 — the
+        8-bit RLE granularity, not differencing, is the bottleneck there."""
+        sizes = [4] * 12
+        schema = Schema(
+            [Attribute(f"a{i}", IntegerRangeDomain(0, 3)) for i in range(12)]
+        )
+        rng = random.Random(6)
+        rel = Relation(
+            schema,
+            [tuple(rng.randrange(4) for _ in range(12)) for _ in range(5000)],
+        )
+        avq = AVQBaseline(sizes).blocks_needed(rel, 2048)
+        btf = BitTransposedBaseline(sizes).blocks_needed(rel, 2048)
+        assert btf < avq
+
+    def test_golomb_avq_beats_btf_on_same_relation(self):
+        """With granularities equalised (bit-level Golomb gaps), the
+        differencing gain reappears: ~log2(space/n) bits per tuple versus
+        BTF's full sum-of-widths."""
+        from repro.core.golomb import GolombBlockCodec
+
+        sizes = [4] * 12
+        schema = Schema(
+            [Attribute(f"a{i}", IntegerRangeDomain(0, 3)) for i in range(12)]
+        )
+        rng = random.Random(6)
+        rel = Relation(
+            schema,
+            [tuple(rng.randrange(4) for _ in range(12)) for _ in range(5000)],
+        )
+        golomb = GolombBlockCodec(sizes)
+        ordinals = rel.phi_ordinals()
+        golomb_bytes = golomb.encoded_size_of_ordinals(ordinals)
+        btf = BitTransposedBaseline(sizes)
+        btf_bytes = btf.block_bytes(len(rel))
+        assert golomb_bytes < btf_bytes

@@ -1,0 +1,108 @@
+"""Unit tests for the bit-granular stream I/O."""
+
+import random
+
+import pytest
+
+from repro.core.bits import BitReader, BitWriter
+from repro.errors import CodecError
+
+
+class TestBitWriter:
+    def test_single_bits_pack_msb_first(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 1):
+            w.write_bit(bit)
+        assert w.getvalue() == bytes([0b10110000])
+        assert w.bit_length == 4
+
+    def test_write_bits_value(self):
+        w = BitWriter()
+        w.write_bits(0b1011, 4)
+        w.write_bits(0b0001, 4)
+        assert w.getvalue() == bytes([0b10110001])
+
+    def test_cross_byte_boundary(self):
+        w = BitWriter()
+        w.write_bits(0x1FF, 9)  # nine one bits... 0x1FF = 111111111
+        assert w.getvalue() == bytes([0xFF, 0x80])
+        assert w.bit_length == 9
+
+    def test_unary(self):
+        w = BitWriter()
+        w.write_unary(3)
+        w.write_unary(0)
+        assert w.getvalue() == bytes([0b11100000])
+        assert w.bit_length == 5
+
+    def test_empty(self):
+        w = BitWriter()
+        assert w.getvalue() == b""
+        assert w.bit_length == 0
+
+    def test_value_too_wide_rejected(self):
+        w = BitWriter()
+        with pytest.raises(CodecError):
+            w.write_bits(4, 2)
+        with pytest.raises(CodecError):
+            w.write_bits(-1, 8)
+        with pytest.raises(CodecError):
+            w.write_bits(1, -1)
+
+    def test_negative_unary_rejected(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_unary(-1)
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.bit_length == 0
+
+
+class TestBitReader:
+    def test_reads_what_writer_wrote(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_unary(5)
+        w.write_bits(0x7F, 7)
+        r = BitReader(w.getvalue(), w.bit_length)
+        assert r.read_bits(3) == 0b101
+        assert r.read_unary() == 5
+        assert r.read_bits(7) == 0x7F
+        assert r.remaining == 0
+
+    def test_limit_enforced(self):
+        r = BitReader(bytes([0xFF]), bit_length=4)
+        r.read_bits(4)
+        with pytest.raises(CodecError):
+            r.read_bit()
+
+    def test_limit_exceeding_buffer_rejected(self):
+        with pytest.raises(CodecError):
+            BitReader(b"\x00", bit_length=9)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(CodecError):
+            BitReader(b"\xff").read_bits(-1)
+
+    def test_randomized_round_trip(self):
+        rng = random.Random(9)
+        fields = []
+        w = BitWriter()
+        for _ in range(500):
+            if rng.random() < 0.5:
+                width = rng.randrange(0, 40)
+                value = rng.getrandbits(width) if width else 0
+                w.write_bits(value, width)
+                fields.append(("bits", width, value))
+            else:
+                count = rng.randrange(0, 30)
+                w.write_unary(count)
+                fields.append(("unary", None, count))
+        r = BitReader(w.getvalue(), w.bit_length)
+        for kind, width, value in fields:
+            if kind == "bits":
+                assert r.read_bits(width) == value
+            else:
+                assert r.read_unary() == value
+        assert r.remaining == 0

@@ -1,0 +1,81 @@
+"""Unit tests for beta[] and the byte helpers."""
+
+import pytest
+
+from repro.core.bitutils import (
+    beta,
+    byte_width,
+    domain_byte_width,
+    int_from_bytes,
+    int_to_bytes_fixed,
+    leading_zero_bytes,
+)
+from repro.errors import EncodingError
+
+
+class TestBeta:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9), (2**40, 41)],
+    )
+    def test_values(self, x, expected):
+        assert beta(x) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            beta(-1)
+
+
+class TestByteWidth:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(0, 1), (255, 1), (256, 2), (65535, 2), (65536, 3), (2**32, 5)],
+    )
+    def test_values(self, x, expected):
+        assert byte_width(x) == expected
+
+
+class TestDomainByteWidth:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(1, 1), (2, 1), (256, 1), (257, 2), (65536, 2), (65537, 3)],
+    )
+    def test_values(self, size, expected):
+        assert domain_byte_width(size) == expected
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(EncodingError):
+            domain_byte_width(0)
+
+
+class TestFixedBytes:
+    def test_round_trip(self):
+        for x in (0, 1, 255, 256, 65535, 123456789):
+            w = byte_width(x)
+            assert int_from_bytes(int_to_bytes_fixed(x, w)) == x
+
+    def test_padding_is_leading_zeros(self):
+        assert int_to_bytes_fixed(7, 3) == bytes([0, 0, 7])
+
+    def test_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            int_to_bytes_fixed(256, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            int_to_bytes_fixed(-1, 2)
+
+
+class TestLeadingZeroBytes:
+    @pytest.mark.parametrize(
+        "data,expected",
+        [
+            (b"", 0),
+            (bytes([1, 2, 3]), 0),
+            (bytes([0, 1, 0]), 1),
+            (bytes([0, 0, 0]), 3),
+            (bytes([0, 0, 5, 0, 0]), 2),
+        ],
+    )
+    def test_values(self, data, expected):
+        assert leading_zero_bytes(data) == expected

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the core AVQ invariants.
+
+These are the load-bearing guarantees of the paper:
+
+* ``phi`` is a bijection consistent with lexicographic order (Section 2.2);
+* AVQ block coding is lossless for *every* input block (Theorem 2.1);
+* coded blocks never exceed the size the codec predicted for them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codec import BlockCodec
+from repro.core.phi import OrdinalMapper
+from repro.core.quantizer import AVQQuantizer, build_codebook
+from repro.core.runlength import TupleLayout, rle_decode, rle_encode
+
+
+@st.composite
+def schema_and_tuples(draw, max_arity=6, max_domain=300, max_tuples=40):
+    """A random schema plus a non-empty batch of in-domain tuples."""
+    arity = draw(st.integers(1, max_arity))
+    sizes = draw(
+        st.lists(st.integers(1, max_domain), min_size=arity, max_size=arity)
+    )
+    count = draw(st.integers(1, max_tuples))
+    rows = draw(
+        st.lists(
+            st.tuples(*[st.integers(0, s - 1) for s in sizes]),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return sizes, rows
+
+
+@given(schema_and_tuples())
+@settings(max_examples=200, deadline=None)
+def test_phi_round_trip(data):
+    sizes, rows = data
+    mapper = OrdinalMapper(sizes)
+    for row in rows:
+        assert mapper.phi_inverse(mapper.phi(row)) == row
+
+
+@given(schema_and_tuples())
+@settings(max_examples=100, deadline=None)
+def test_phi_order_is_lexicographic(data):
+    sizes, rows = data
+    mapper = OrdinalMapper(sizes)
+    assert sorted(rows) == sorted(rows, key=mapper.phi)
+
+
+@given(schema_and_tuples(), st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_block_codec_lossless(data, chained):
+    """Theorem 2.1, mechanised: every block decodes to its sorted input."""
+    sizes, rows = data
+    codec = BlockCodec(sizes, chained=chained)
+    decoded = codec.decode_block(codec.encode_block(rows))
+    assert decoded == sorted(rows, key=codec.mapper.phi)
+
+
+@given(schema_and_tuples())
+@settings(max_examples=100, deadline=None)
+def test_predicted_size_matches_actual(data):
+    sizes, rows = data
+    codec = BlockCodec(sizes)
+    ordinals = sorted(codec.mapper.phi(t) for t in rows)
+    assert codec.encoded_size_of_ordinals(ordinals) == len(codec.encode_block(rows))
+
+
+@given(schema_and_tuples())
+@settings(max_examples=100, deadline=None)
+def test_rle_round_trip(data):
+    sizes, rows = data
+    layout = TupleLayout(sizes)
+    for row in rows:
+        encoded = rle_encode(layout, row)
+        assert rle_decode(layout, encoded[0], encoded[1:]) == row
+
+
+@given(schema_and_tuples(), st.integers(1, 8))
+@settings(max_examples=100, deadline=None)
+def test_quantizer_lossless(data, num_codes):
+    """Definition 2.1's Q_L is lossless for any codebook built from the data."""
+    sizes, rows = data
+    mapper = OrdinalMapper(sizes)
+    codebook = build_codebook(mapper, rows, num_codes)
+    q = AVQQuantizer(mapper, codebook)
+    for row in rows:
+        assert q.decode(q.encode(row)) == row
+
+
+@given(schema_and_tuples())
+@settings(max_examples=100, deadline=None)
+def test_chaining_never_hurts(data):
+    """Chained differences are consecutive gaps, which are never larger
+    than direct distances to the representative — so a chained block can
+    never encode bigger than an unchained one."""
+    sizes, rows = data
+    chained = BlockCodec(sizes, chained=True)
+    unchained = BlockCodec(sizes, chained=False)
+    assert len(chained.encode_block(rows)) <= len(unchained.encode_block(rows))

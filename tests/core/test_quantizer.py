@@ -1,0 +1,102 @@
+"""Unit tests for the definitional quantizer Q_L (Definition 2.1)."""
+
+import pytest
+
+from repro.core.phi import OrdinalMapper
+from repro.core.quantizer import AVQCode, AVQQuantizer, build_codebook
+from repro.errors import CodecError
+
+DOMAINS = [8, 16, 64]
+
+
+@pytest.fixture
+def mapper():
+    return OrdinalMapper(DOMAINS)
+
+
+class TestCodebookConstruction:
+    def test_codebook_size(self, mapper):
+        tuples = [(a, a, a) for a in range(8)]
+        cb = build_codebook(mapper, tuples, 4)
+        assert len(cb) == 4
+
+    def test_codebook_members_come_from_input(self, mapper):
+        tuples = [(a, 2 * a, 3 * a) for a in range(8)]
+        cb = build_codebook(mapper, tuples, 3)
+        assert all(c in tuples for c in cb)
+
+    def test_codebook_capped_at_input_size(self, mapper):
+        tuples = [(1, 1, 1), (2, 2, 2)]
+        cb = build_codebook(mapper, tuples, 10)
+        assert len(cb) == 2
+
+    def test_single_code_is_global_median(self, mapper):
+        tuples = [(0, 0, 0), (1, 0, 0), (7, 0, 0)]
+        cb = build_codebook(mapper, tuples, 1)
+        assert cb == [(1, 0, 0)]
+
+    def test_empty_input_rejected(self, mapper):
+        with pytest.raises(CodecError):
+            build_codebook(mapper, [], 2)
+
+    def test_zero_codes_rejected(self, mapper):
+        with pytest.raises(CodecError):
+            build_codebook(mapper, [(0, 0, 0)], 0)
+
+
+class TestQuantizer:
+    def test_lossless_round_trip(self, mapper):
+        tuples = [(a % 8, (3 * a) % 16, (7 * a) % 64) for a in range(100)]
+        q = AVQQuantizer(mapper, build_codebook(mapper, tuples, 8))
+        for t in tuples:
+            assert q.decode(q.encode(t)) == t
+
+    def test_representative_encodes_with_zero_difference(self, mapper):
+        cb = [(1, 0, 0), (6, 8, 32)]
+        q = AVQQuantizer(mapper, cb)
+        for c in cb:
+            code = q.encode(c)
+            assert code.difference == 0
+            assert q.decode(code) == c
+
+    def test_nearest_codeword_in_ordinal_distance(self, mapper):
+        cb = [(0, 0, 0), (4, 0, 0)]  # ordinals 0 and 4096
+        q = AVQQuantizer(mapper, cb)
+        assert q.nearest_codeword((0, 0, 5)) == 0      # ordinal 5
+        assert q.nearest_codeword((3, 15, 63)) == 1    # ordinal 4095
+        assert q.nearest_codeword((7, 0, 0)) == 1
+
+    def test_distortion_is_ordinal_distance(self, mapper):
+        q = AVQQuantizer(mapper, [(0, 0, 0)])
+        assert q.distortion((0, 0, 9)) == 9
+        assert q.distortion((0, 1, 0)) == 64
+
+    def test_before_flag_branches(self, mapper):
+        q = AVQQuantizer(mapper, [(4, 0, 0)])
+        lower = q.encode((3, 15, 63))
+        higher = q.encode((4, 0, 1))
+        assert lower.before and not higher.before
+        assert q.decode(lower) == (3, 15, 63)
+        assert q.decode(higher) == (4, 0, 1)
+
+    def test_unsorted_codebook_preserves_codeword_identity(self, mapper):
+        # Codebook given out of phi order: codewords must still map back to
+        # the caller's indices, not the internally sorted positions.
+        cb = [(6, 8, 32), (1, 0, 0)]
+        q = AVQQuantizer(mapper, cb)
+        assert q.nearest_codeword((1, 0, 1)) == 1
+        assert q.nearest_codeword((6, 8, 33)) == 0
+
+    def test_decode_rejects_bad_codeword(self, mapper):
+        q = AVQQuantizer(mapper, [(0, 0, 0)])
+        with pytest.raises(CodecError):
+            q.decode(AVQCode(codeword=5, difference=0, before=True))
+
+    def test_decode_rejects_out_of_space_ordinal(self, mapper):
+        q = AVQQuantizer(mapper, [(0, 0, 0)])
+        with pytest.raises(CodecError):
+            q.decode(AVQCode(codeword=0, difference=1, before=True))
+
+    def test_empty_codebook_rejected(self, mapper):
+        with pytest.raises(CodecError):
+            AVQQuantizer(mapper, [])

@@ -1,0 +1,94 @@
+"""Unit tests for the tuple layout and leading-zero run-length coding."""
+
+import pytest
+
+from repro.core.runlength import TupleLayout, rle_decode, rle_encode, rle_encoded_size
+from repro.errors import CodecError
+
+PAPER_DOMAINS = [8, 16, 64, 64, 64]
+
+
+class TestTupleLayout:
+    def test_paper_domains_are_one_byte_each(self):
+        layout = TupleLayout(PAPER_DOMAINS)
+        assert layout.field_widths == (1, 1, 1, 1, 1)
+        assert layout.tuple_bytes == 5
+
+    def test_wide_domains_get_multibyte_fields(self):
+        layout = TupleLayout([300, 70000, 8])
+        assert layout.field_widths == (2, 3, 1)
+        assert layout.tuple_bytes == 6
+
+    def test_round_trip(self):
+        layout = TupleLayout([300, 70000, 8])
+        t = (299, 69999, 7)
+        assert layout.tuple_from_bytes(layout.tuple_to_bytes(t)) == t
+
+    def test_to_bytes_is_big_endian_concatenation(self):
+        layout = TupleLayout([300, 8])
+        assert layout.tuple_to_bytes((258, 5)) == bytes([1, 2, 5])
+
+    def test_wrong_arity_rejected(self):
+        layout = TupleLayout([8, 8])
+        with pytest.raises(CodecError):
+            layout.tuple_to_bytes((1, 2, 3))
+
+    def test_wrong_byte_length_rejected(self):
+        layout = TupleLayout([8, 8])
+        with pytest.raises(CodecError):
+            layout.tuple_from_bytes(b"\x00")
+
+    def test_oversized_tuple_rejected(self):
+        # 256 one-byte attributes exceed the 255-byte count-field limit.
+        with pytest.raises(CodecError):
+            TupleLayout([256] * 256)
+
+
+class TestRunLength:
+    def test_paper_example_counts(self):
+        """Figure 3.3 Table (d): difference tuples and their run lengths."""
+        layout = TupleLayout(PAPER_DOMAINS)
+        cases = [
+            ((0, 0, 0, 8, 57), 3, bytes([8, 57])),
+            ((0, 0, 4, 5, 23), 2, bytes([4, 5, 23])),
+            ((0, 0, 51, 56, 29), 2, bytes([51, 56, 29])),
+            ((0, 0, 1, 59, 37), 2, bytes([1, 59, 37])),
+        ]
+        for tup, count, tail in cases:
+            encoded = rle_encode(layout, tup)
+            assert encoded[0] == count
+            assert encoded[1:] == tail
+
+    def test_round_trip(self):
+        layout = TupleLayout(PAPER_DOMAINS)
+        for tup in [(0, 0, 0, 0, 0), (7, 15, 63, 63, 63), (0, 0, 0, 0, 1)]:
+            encoded = rle_encode(layout, tup)
+            assert rle_decode(layout, encoded[0], encoded[1:]) == tup
+
+    def test_all_zero_tuple_is_one_byte(self):
+        layout = TupleLayout(PAPER_DOMAINS)
+        encoded = rle_encode(layout, (0, 0, 0, 0, 0))
+        assert encoded == bytes([5])
+
+    def test_encoded_size_matches_encoding(self):
+        layout = TupleLayout(PAPER_DOMAINS)
+        for tup in [(0, 0, 0, 0, 0), (1, 0, 0, 0, 0), (0, 0, 0, 8, 57)]:
+            assert rle_encoded_size(layout, tup) == len(rle_encode(layout, tup))
+
+    def test_decode_validates_count_range(self):
+        layout = TupleLayout(PAPER_DOMAINS)
+        with pytest.raises(CodecError):
+            rle_decode(layout, 6, b"")
+        with pytest.raises(CodecError):
+            rle_decode(layout, -1, b"x" * 6)
+
+    def test_decode_validates_tail_length(self):
+        layout = TupleLayout(PAPER_DOMAINS)
+        with pytest.raises(CodecError):
+            rle_decode(layout, 3, bytes([1]))  # expected 2 tail bytes
+
+    def test_interior_zeros_are_not_elided(self):
+        """Only *leading* zeros are run-length coded; interior zeros stay."""
+        layout = TupleLayout(PAPER_DOMAINS)
+        encoded = rle_encode(layout, (0, 1, 0, 0, 5))
+        assert encoded == bytes([1, 1, 0, 0, 5])

@@ -1,0 +1,100 @@
+"""Unit tests for the bounded stream reader and writer."""
+
+import pytest
+
+from repro.core.stream import StreamReader, StreamWriter
+from repro.errors import BlockOverflowError, CodecError
+
+
+class TestStreamWriter:
+    def test_accumulates_bytes(self):
+        w = StreamWriter()
+        w.write(b"ab")
+        w.write(b"cd")
+        assert w.getvalue() == b"abcd"
+        assert w.size == 4
+
+    def test_unbounded_has_no_remaining(self):
+        w = StreamWriter()
+        assert w.capacity is None
+        assert w.remaining is None
+        assert w.fits(10**9)
+
+    def test_capacity_tracking(self):
+        w = StreamWriter(capacity=4)
+        w.write(b"abc")
+        assert w.remaining == 1
+        assert w.fits(1)
+        assert not w.fits(2)
+
+    def test_overflow_raises(self):
+        w = StreamWriter(capacity=2)
+        with pytest.raises(BlockOverflowError):
+            w.write(b"abc")
+        # failed write must not corrupt state
+        assert w.size == 0
+        w.write(b"ab")
+        assert w.getvalue() == b"ab"
+
+    def test_write_uint(self):
+        w = StreamWriter()
+        w.write_uint(513, 2)
+        assert w.getvalue() == bytes([2, 1])
+
+    def test_write_uint_overflow(self):
+        w = StreamWriter()
+        with pytest.raises(CodecError):
+            w.write_uint(256, 1)
+
+    def test_write_uint_negative(self):
+        w = StreamWriter()
+        with pytest.raises(CodecError):
+            w.write_uint(-1, 2)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CodecError):
+            StreamWriter(capacity=-1)
+
+
+class TestStreamReader:
+    def test_sequential_reads(self):
+        r = StreamReader(b"abcdef")
+        assert r.read(2) == b"ab"
+        assert r.read(3) == b"cde"
+        assert r.remaining == 1
+        assert not r.exhausted
+        assert r.read(1) == b"f"
+        assert r.exhausted
+
+    def test_read_uint(self):
+        r = StreamReader(bytes([2, 1, 255]))
+        assert r.read_uint(2) == 513
+        assert r.read_uint(1) == 255
+
+    def test_short_read_raises(self):
+        r = StreamReader(b"ab")
+        with pytest.raises(CodecError):
+            r.read(3)
+
+    def test_negative_read_raises(self):
+        r = StreamReader(b"ab")
+        with pytest.raises(CodecError):
+            r.read(-1)
+
+    def test_windowed_reader(self):
+        r = StreamReader(b"abcdef", start=2, end=4)
+        assert r.read(2) == b"cd"
+        assert r.exhausted
+        with pytest.raises(CodecError):
+            r.read(1)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(CodecError):
+            StreamReader(b"abc", start=2, end=1)
+        with pytest.raises(CodecError):
+            StreamReader(b"abc", start=0, end=10)
+
+    def test_zero_length_read(self):
+        r = StreamReader(b"ab")
+        assert r.read(0) == b""
+        assert r.position == 0

@@ -1,0 +1,165 @@
+"""Unit tests for range aggregates over compressed tables."""
+
+import random
+
+import pytest
+
+from repro.db.aggregates import aggregate
+from repro.db.query import RangeQuery
+from repro.db.table import Table
+from repro.errors import QueryError
+from repro.relational.algebra import RangePredicate
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = Schema(
+        [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(3)]
+    )
+    rng = random.Random(13)
+    rel = Relation(
+        schema,
+        [tuple(rng.randrange(64) for _ in range(3)) for _ in range(3000)],
+    )
+    disk = SimulatedDisk(block_size=512)
+    table = Table.from_relation("t", rel, disk, secondary_on=["a1"])
+    return rel, table
+
+
+def reference(rel, bound):
+    return [
+        t for t in rel if all(lo <= t[pos] <= hi for pos, lo, hi in bound)
+    ]
+
+
+class TestAggregateCorrectness:
+    @pytest.mark.parametrize("func", ["count", "sum", "min", "max", "avg"])
+    def test_matches_reference_on_secondary_path(self, setup, func):
+        rel, table = setup
+        query = RangeQuery.between("a1", 10, 30)
+        bound = [p.bind(rel.schema) for p in query.predicates]
+        matching = reference(rel, bound)
+        result = aggregate(table, func, "a2", query)
+        assert result.tuples_matched == len(matching)
+        values = [t[2] for t in matching]
+        expected = {
+            "count": float(len(values)),
+            "sum": float(sum(values)),
+            "min": float(min(values)),
+            "max": float(max(values)),
+            "avg": sum(values) / len(values),
+        }[func]
+        assert result.value == pytest.approx(expected)
+        assert result.access_path == "secondary:a1"
+
+    def test_count_without_attribute(self, setup):
+        rel, table = setup
+        result = aggregate(table, "count", None, RangeQuery([]))
+        assert result.value == len(rel)
+        assert result.access_path == "scan"
+
+    def test_empty_match_returns_none(self, setup):
+        rel, table = setup
+        query = RangeQuery(
+            [RangePredicate("a1", 5, 5), RangePredicate("a2", 63, 63),
+             RangePredicate("a0", 0, 0)]
+        )
+        # such a conjunction is (almost surely) empty in 3000 tuples
+        bound = [p.bind(rel.schema) for p in query.predicates]
+        if reference(rel, bound):  # pragma: no cover - improbable
+            pytest.skip("random collision")
+        result = aggregate(table, "min", "a2", query)
+        assert result.value is None
+        assert result.tuples_matched == 0
+
+    def test_aggregate_requires_attribute(self, setup):
+        _, table = setup
+        with pytest.raises(QueryError):
+            aggregate(table, "sum", None, RangeQuery([]))
+
+    def test_unknown_function_rejected(self, setup):
+        _, table = setup
+        with pytest.raises(QueryError):
+            aggregate(table, "median", "a2", RangeQuery([]))
+
+
+class TestDirectoryPruning:
+    def test_count_on_clustered_range_skips_interior_decodes(self, setup):
+        """Blocks wholly inside the leading-attribute range are counted
+        from the directory; only boundary blocks get decoded."""
+        rel, table = setup
+        query = RangeQuery.between("a0", 10, 50)
+        result = aggregate(table, "count", None, query)
+        bound = [p.bind(rel.schema) for p in query.predicates]
+        assert result.tuples_matched == len(reference(rel, bound))
+        assert result.blocks_answered_from_directory > 0
+        assert result.blocks_read <= 3  # boundary blocks only
+        assert result.access_path == "primary"
+
+    def test_min_max_of_leading_attribute_from_directory(self, setup):
+        rel, table = setup
+        query = RangeQuery.between("a0", 5, 60)
+        bound = [p.bind(rel.schema) for p in query.predicates]
+        matching = reference(rel, bound)
+        mn = aggregate(table, "min", "a0", query)
+        mx = aggregate(table, "max", "a0", query)
+        assert mn.value == min(t[0] for t in matching)
+        assert mx.value == max(t[0] for t in matching)
+        assert mn.blocks_answered_from_directory > 0
+
+    def test_non_leading_aggregate_decodes_blocks(self, setup):
+        """MIN over a non-clustering attribute cannot be answered from
+        the directory."""
+        rel, table = setup
+        query = RangeQuery.between("a0", 10, 50)
+        result = aggregate(table, "min", "a2", query)
+        bound = [p.bind(rel.schema) for p in query.predicates]
+        matching = reference(rel, bound)
+        assert result.value == min(t[2] for t in matching)
+        assert result.blocks_answered_from_directory == 0
+        assert result.blocks_read > 0
+
+    def test_sum_never_uses_directory(self, setup):
+        rel, table = setup
+        result = aggregate(table, "sum", "a0",
+                           RangeQuery.between("a0", 0, 63))
+        assert result.blocks_answered_from_directory == 0
+        assert result.value == sum(t[0] for t in rel)
+
+
+class TestApplicationValueShift:
+    def test_integer_domain_offset_applied(self):
+        """Domains not starting at zero must aggregate application values."""
+        schema = Schema([Attribute("age", IntegerRangeDomain(18, 65))])
+        rel = Relation.from_values(schema, [(20,), (30,), (40,)])
+        disk = SimulatedDisk(block_size=512)
+        table = Table.from_relation("t", rel, disk)
+        q = RangeQuery([])
+        assert aggregate(table, "sum", "age", q).value == 90.0
+        assert aggregate(table, "avg", "age", q).value == pytest.approx(30.0)
+        assert aggregate(table, "min", "age", q).value == 20.0
+        assert aggregate(table, "max", "age", q).value == 40.0
+        assert aggregate(table, "count", None, q).value == 3.0
+
+
+class TestHeapTableAggregates:
+    def test_heap_storage_still_aggregates(self):
+        schema = Schema(
+            [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(3)]
+        )
+        rng = random.Random(14)
+        rel = Relation(
+            schema,
+            [tuple(rng.randrange(64) for _ in range(3)) for _ in range(500)],
+        )
+        disk = SimulatedDisk(block_size=512)
+        table = Table.from_relation("h", rel, disk, compressed=False)
+        result = aggregate(table, "count", None,
+                           RangeQuery.between("a1", 0, 31))
+        expected = sum(1 for t in rel if t[1] <= 31)
+        assert result.value == expected
+        assert result.blocks_answered_from_directory == 0

@@ -1,0 +1,142 @@
+"""Unit tests for equi-joins over compressed tables."""
+
+import random
+
+import pytest
+
+from repro.db.join import block_nested_loop_join, index_nested_loop_join
+from repro.db.table import Table
+from repro.errors import QueryError
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture(scope="module")
+def tables():
+    # employees(dept_id, years, empno) join departments(dept_id, budget)
+    emp_schema = Schema(
+        [
+            Attribute("dept_id", IntegerRangeDomain(0, 15)),
+            Attribute("years", IntegerRangeDomain(0, 63)),
+            Attribute("empno", IntegerRangeDomain(0, 999)),
+        ]
+    )
+    dept_schema = Schema(
+        [
+            Attribute("dept_id", IntegerRangeDomain(0, 15)),
+            Attribute("budget", IntegerRangeDomain(0, 255)),
+        ]
+    )
+    rng = random.Random(21)
+    employees = Relation(
+        emp_schema,
+        [(rng.randrange(16), rng.randrange(64), i) for i in range(600)],
+    )
+    departments = Relation(
+        dept_schema,
+        [(d, rng.randrange(256)) for d in range(12)],  # depts 12..15 missing
+    )
+    emp_disk, dept_disk = SimulatedDisk(256), SimulatedDisk(256)
+    emp_table = Table.from_relation("emp", employees, emp_disk)
+    dept_table = Table.from_relation("dept", departments, dept_disk,
+                                     secondary_on=["dept_id"])
+    return employees, departments, emp_table, dept_table
+
+
+def reference_join(employees, departments):
+    out = []
+    for e in employees:
+        for d in departments:
+            if e[0] == d[0]:
+                out.append(tuple(e) + tuple(d))
+    return sorted(out)
+
+
+class TestJoinCorrectness:
+    def test_index_nested_loop_matches_reference(self, tables):
+        employees, departments, emp_table, dept_table = tables
+        result = index_nested_loop_join(emp_table, "dept_id",
+                                        dept_table, "dept_id")
+        assert sorted(result.tuples) == reference_join(employees, departments)
+        assert result.algorithm == "index-nested-loop"
+        assert result.index_probes > 0
+
+    def test_block_nested_loop_matches_reference(self, tables):
+        employees, departments, emp_table, dept_table = tables
+        result = block_nested_loop_join(emp_table, "dept_id",
+                                        dept_table, "dept_id")
+        assert sorted(result.tuples) == reference_join(employees, departments)
+        assert result.algorithm == "block-nested-loop"
+
+    def test_hash_index_probe_path(self, tables):
+        employees, departments, emp_table, dept_table = tables
+        dept_table.create_hash_index("dept_id")
+        result = index_nested_loop_join(emp_table, "dept_id",
+                                        dept_table, "dept_id")
+        assert sorted(result.tuples) == reference_join(employees, departments)
+
+    def test_combined_schema_names(self, tables):
+        _, _, emp_table, dept_table = tables
+        result = index_nested_loop_join(emp_table, "dept_id",
+                                        dept_table, "dept_id")
+        assert result.schema.names == [
+            "emp.dept_id", "emp.years", "emp.empno",
+            "dept.dept_id", "dept.budget",
+        ]
+
+    def test_unmatched_outer_tuples_dropped(self, tables):
+        """Employees in departments 12..15 have no join partner."""
+        employees, departments, emp_table, dept_table = tables
+        result = index_nested_loop_join(emp_table, "dept_id",
+                                        dept_table, "dept_id")
+        matched_depts = {t[0] for t in result.tuples}
+        assert matched_depts <= set(range(12))
+
+
+class TestJoinValidation:
+    def test_missing_inner_index_rejected(self, tables):
+        _, _, emp_table, dept_table = tables
+        with pytest.raises(QueryError):
+            index_nested_loop_join(dept_table, "dept_id", emp_table, "dept_id")
+
+    def test_mismatched_domains_rejected(self, tables):
+        _, _, emp_table, dept_table = tables
+        with pytest.raises(QueryError):
+            index_nested_loop_join(emp_table, "years", dept_table, "dept_id")
+
+
+class TestJoinEfficiency:
+    def test_index_join_reads_fewer_inner_blocks_than_bnl(self):
+        """With a large inner table and a selective outer, index probes
+        read only matching inner blocks."""
+        inner_schema = Schema(
+            [
+                Attribute("k", IntegerRangeDomain(0, 4095)),
+                Attribute("v", IntegerRangeDomain(0, 63)),
+            ]
+        )
+        outer_schema = Schema(
+            [
+                Attribute("k", IntegerRangeDomain(0, 4095)),
+                Attribute("w", IntegerRangeDomain(0, 63)),
+            ]
+        )
+        rng = random.Random(22)
+        inner_rel = Relation(
+            inner_schema,
+            [(rng.randrange(4096), rng.randrange(64)) for _ in range(4000)],
+        )
+        outer_rel = Relation(
+            outer_schema,
+            [(rng.randrange(4096), rng.randrange(64)) for _ in range(10)],
+        )
+        inner = Table.from_relation(
+            "inner", inner_rel, SimulatedDisk(512), secondary_on=["k"]
+        )
+        outer = Table.from_relation("outer", outer_rel, SimulatedDisk(512))
+        inl = index_nested_loop_join(outer, "k", inner, "k")
+        bnl = block_nested_loop_join(outer, "k", inner, "k")
+        assert sorted(inl.tuples) == sorted(bnl.tuples)
+        assert inl.inner_blocks_read < bnl.inner_blocks_read

@@ -1,0 +1,67 @@
+"""Direct tests for the query/result dataclasses."""
+
+import pytest
+
+from repro.db.query import QueryResult, RangeQuery
+from repro.errors import QueryError
+from repro.relational.algebra import RangePredicate
+
+
+class TestRangeQuery:
+    def test_between_constructor(self):
+        q = RangeQuery.between("years", 20, 30)
+        (pred,) = q.predicates
+        assert (pred.attribute, pred.lo, pred.hi) == ("years", 20, 30)
+
+    def test_equals_constructor(self):
+        q = RangeQuery.equals("dept", 3)
+        (pred,) = q.predicates
+        assert pred.lo == pred.hi == 3
+
+    def test_conjunction(self):
+        q = RangeQuery(
+            [RangePredicate("a", 1, 2), RangePredicate("b", 3, 4)]
+        )
+        assert len(q.predicates) == 2
+
+    def test_repr_is_readable(self):
+        q = RangeQuery(
+            [RangePredicate("a", 1, 2), RangePredicate("b", 3, 4)]
+        )
+        assert repr(q) == "RangeQuery(1 <= a <= 2 AND 3 <= b <= 4)"
+
+    def test_predicates_are_immutable_tuple(self):
+        q = RangeQuery.between("a", 0, 1)
+        assert isinstance(q.predicates, tuple)
+        with pytest.raises(AttributeError):
+            q.predicates = ()
+
+    def test_inverted_range_rejected_at_construction(self):
+        with pytest.raises(QueryError):
+            RangeQuery.between("a", 5, 4)
+
+
+class TestQueryResult:
+    def make(self, tuples=(), examined=0, blocks=0):
+        return QueryResult(
+            tuples=list(tuples),
+            blocks_read=blocks,
+            tuples_examined=examined,
+            access_path="scan",
+        )
+
+    def test_cardinality(self):
+        assert self.make(tuples=[(1,), (2,)]).cardinality == 2
+
+    def test_selectivity(self):
+        r = self.make(tuples=[(1,)], examined=4)
+        assert r.selectivity == 0.25
+
+    def test_selectivity_with_nothing_examined(self):
+        assert self.make().selectivity == 0.0
+
+    def test_defaults(self):
+        r = self.make()
+        assert r.io_ms == 0.0
+        assert r.index_probes == 0
+        assert r.candidate_blocks == []

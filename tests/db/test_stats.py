@@ -1,0 +1,144 @@
+"""Unit tests for histograms, Yao's formula, and table statistics."""
+
+import random
+
+import pytest
+
+from repro.db.stats import (
+    AttributeHistogram,
+    TableStatistics,
+    yao_blocks_touched,
+)
+from repro.errors import QueryError
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.storage.avqfile import AVQFile
+from repro.storage.disk import SimulatedDisk
+
+
+class TestYao:
+    def test_boundary_cases(self):
+        assert yao_blocks_touched(1000, 10, 0) == 0.0
+        assert yao_blocks_touched(1000, 10, 1000) == 10.0
+        assert yao_blocks_touched(0, 10, 5) == 0.0
+        assert yao_blocks_touched(1000, 0, 5) == 0.0
+
+    def test_monotone_in_k(self):
+        values = [yao_blocks_touched(10_000, 100, k) for k in range(0, 10_000, 500)]
+        assert values == sorted(values)
+        assert all(v <= 100 for v in values)
+
+    def test_oversized_k_clamped(self):
+        assert yao_blocks_touched(100, 10, 10**6) == 10.0
+
+    def test_small_k_touches_roughly_k_blocks(self):
+        # with many blocks and few picks, each pick lands in its own block
+        assert yao_blocks_touched(100_000, 1000, 5) == pytest.approx(5, rel=0.05)
+
+
+class TestHistogram:
+    def test_exact_for_one_value_per_bucket(self):
+        h = AttributeHistogram(domain_size=8, num_buckets=8)
+        for v in [0, 1, 1, 7, 7, 7]:
+            h.add(v)
+        assert h.estimate_count(1, 1) == 2
+        assert h.estimate_count(7, 7) == 3
+        assert h.estimate_count(0, 7) == 6
+        assert h.estimate_count(2, 6) == 0
+
+    def test_pro_rata_partial_buckets(self):
+        h = AttributeHistogram(domain_size=100, num_buckets=10)
+        for v in range(100):
+            h.add(v)
+        # exactly uniform: every range estimate equals its width
+        assert h.estimate_count(0, 49) == pytest.approx(50)
+        assert h.estimate_count(25, 34) == pytest.approx(10)
+        assert h.estimate_selectivity(0, 99) == pytest.approx(1.0)
+
+    def test_empty_histogram(self):
+        h = AttributeHistogram(domain_size=10)
+        assert h.estimate_count(0, 9) == 0.0
+        assert h.estimate_selectivity(0, 9) == 0.0
+
+    def test_bounds_clamped(self):
+        h = AttributeHistogram(domain_size=10, num_buckets=5)
+        for v in range(10):
+            h.add(v)
+        assert h.estimate_count(-100, 100) == pytest.approx(10)
+        assert h.estimate_count(5, 3) == 0.0
+
+    def test_distinct_values(self):
+        h = AttributeHistogram(domain_size=100)
+        for v in [1, 1, 2, 50]:
+            h.add(v)
+        assert h.distinct_values() == 3
+
+    def test_out_of_domain_rejected(self):
+        h = AttributeHistogram(domain_size=10)
+        with pytest.raises(QueryError):
+            h.add(10)
+        with pytest.raises(QueryError):
+            h.add(-1)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(QueryError):
+            AttributeHistogram(0)
+        with pytest.raises(QueryError):
+            AttributeHistogram(10, num_buckets=0)
+
+    def test_more_buckets_than_domain_values(self):
+        h = AttributeHistogram(domain_size=3, num_buckets=100)
+        assert h.num_buckets == 3
+        for v in (0, 1, 2):
+            h.add(v)
+        assert h.estimate_count(1, 1) == pytest.approx(1)
+
+
+class TestTableStatistics:
+    @pytest.fixture
+    def setup(self):
+        schema = Schema(
+            [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(3)]
+        )
+        rng = random.Random(4)
+        rel = Relation(
+            schema,
+            [tuple(rng.randrange(64) for _ in range(3)) for _ in range(2000)],
+        )
+        disk = SimulatedDisk(block_size=512)
+        f = AVQFile.build(rel, disk)
+        stats = TableStatistics.collect(schema, f.iter_blocks())
+        return rel, f, stats
+
+    def test_counts(self, setup):
+        rel, f, stats = setup
+        assert stats.num_tuples == 2000
+        assert stats.num_blocks == f.num_blocks
+        assert stats.histogram("a1").total == 2000
+
+    def test_estimates_track_reality(self, setup):
+        rel, f, stats = setup
+        actual = sum(1 for t in rel if 10 <= t[1] <= 30)
+        estimate = stats.estimate_matching_tuples("a1", 10, 30)
+        assert estimate == pytest.approx(actual, rel=0.25)
+
+    def test_scattered_estimate_close_to_measured_n(self, setup):
+        rel, f, stats = setup
+        from repro.index.secondary import SecondaryIndex
+
+        idx = SecondaryIndex.build("a1", 1, f.iter_blocks())
+        measured = len(idx.range_lookup(10, 30))
+        estimated = stats.estimate_blocks_scattered("a1", 10, 30)
+        assert estimated == pytest.approx(measured, rel=0.3)
+
+    def test_clustered_estimate_is_a_fraction(self, setup):
+        rel, f, stats = setup
+        est = stats.estimate_blocks_clustered("a0", 0, 15)
+        assert 0 < est < stats.num_blocks
+        assert est == pytest.approx(stats.num_blocks * 0.25 + 1, rel=0.3)
+
+    def test_unknown_attribute_rejected(self, setup):
+        _, _, stats = setup
+        with pytest.raises(QueryError):
+            stats.histogram("zz")

@@ -1,0 +1,102 @@
+"""Tests for hash-index access paths and their mutation maintenance."""
+
+import random
+
+import pytest
+
+from repro.db.query import RangeQuery
+from repro.db.table import Table
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def setup():
+    schema = Schema(
+        [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(4)]
+    )
+    rng = random.Random(3)
+    rel = Relation(
+        schema,
+        [tuple(rng.randrange(64) for _ in range(4)) for _ in range(800)],
+    )
+    disk = SimulatedDisk(block_size=256)
+    table = Table.from_relation("t", rel, disk)
+    table.create_hash_index("a2")
+    return rel, table
+
+
+class TestHashAccessPath:
+    def test_equality_query_uses_hash_index(self, setup):
+        rel, table = setup
+        result = table.select(RangeQuery.equals("a2", 17))
+        assert result.access_path == "hash:a2"
+        expected = sorted(
+            (t for t in rel if t[2] == 17), key=rel.schema.mapper.phi
+        )
+        assert sorted(result.tuples, key=rel.schema.mapper.phi) == expected
+
+    def test_range_query_cannot_use_hash_index(self, setup):
+        rel, table = setup
+        result = table.select(RangeQuery.between("a2", 10, 20))
+        assert result.access_path == "scan"
+
+    def test_secondary_beats_hash_when_smaller(self, setup):
+        """With both index kinds on the same attribute, whichever yields
+        the fewer candidate blocks wins; for equality they tie, and the
+        hash path (checked first) is kept."""
+        rel, table = setup
+        table.create_secondary_index("a2")
+        result = table.select(RangeQuery.equals("a2", 17))
+        assert result.access_path in ("hash:a2", "secondary:a2")
+        secondary = table.secondary_indices["a2"].range_lookup(17, 17)
+        hashed = table.hash_indices["a2"].lookup(17)
+        assert hashed == secondary
+
+    def test_create_hash_index_idempotent(self, setup):
+        _, table = setup
+        a = table.create_hash_index("a2")
+        b = table.create_hash_index("a2")
+        assert a is b
+
+
+class TestHashMaintenance:
+    def test_insert_updates_hash_index(self, setup):
+        _, table = setup
+        table.insert((1, 2, 59, 4))
+        result = table.select(RangeQuery.equals("a2", 59))
+        assert (1, 2, 59, 4) in result.tuples
+
+    def test_delete_updates_hash_index(self, setup):
+        rel, table = setup
+        victim = next(t for t in rel if t[2] == 17)
+        assert table.delete(victim)
+        result = table.select(RangeQuery.equals("a2", 17))
+        remaining = [t for t in rel if t[2] == 17]
+        remaining.remove(victim)
+        assert sorted(result.tuples) == sorted(remaining)
+
+    def test_split_churn_keeps_hash_index_consistent(self):
+        schema = Schema(
+            [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(4)]
+        )
+        disk = SimulatedDisk(block_size=64)  # tiny blocks -> constant splits
+        table = Table.from_relation("t", Relation(schema), disk)
+        table.create_hash_index("a1")
+        rng = random.Random(5)
+        live = []
+        for i in range(400):
+            t = tuple(rng.randrange(64) for _ in range(4))
+            table.insert(t)
+            live.append(t)
+            if rng.random() < 0.3 and live:
+                victim = live.pop(rng.randrange(len(live)))
+                assert table.delete(victim)
+        idx = table.hash_indices["a1"]
+        idx.check_invariants()
+        for value in range(64):
+            expected = sorted(t for t in live if t[1] == value)
+            result = table.select(RangeQuery.equals("a1", value))
+            assert sorted(result.tuples) == expected

@@ -1,0 +1,150 @@
+"""Tests for undo-log transactions over compressed tables."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.db.query import RangeQuery
+from repro.db.table import Table
+from repro.db.transactions import Transaction
+from repro.errors import QueryError
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def table():
+    schema = Schema(
+        [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(3)]
+    )
+    rng = random.Random(1)
+    rel = Relation(
+        schema,
+        [tuple(rng.randrange(64) for _ in range(3)) for _ in range(300)],
+    )
+    return Table.from_relation(
+        "t", rel, SimulatedDisk(256), secondary_on=["a1"]
+    )
+
+
+def snapshot(table):
+    return Counter(table.storage.scan())
+
+
+class TestCommit:
+    def test_commit_keeps_changes(self, table):
+        with Transaction(table) as txn:
+            txn.insert((1, 2, 3))
+            txn.insert((4, 5, 6))
+        assert txn.state == "committed"
+        assert table.contains((1, 2, 3))
+        assert table.contains((4, 5, 6))
+
+    def test_explicit_commit(self, table):
+        txn = Transaction(table)
+        txn.insert((9, 9, 9))
+        txn.commit()
+        assert table.contains((9, 9, 9))
+        with pytest.raises(QueryError):
+            txn.insert((1, 1, 1))
+
+
+class TestRollback:
+    def test_exception_rolls_back(self, table):
+        before = snapshot(table)
+        with pytest.raises(RuntimeError):
+            with Transaction(table) as txn:
+                txn.insert((1, 2, 3))
+                txn.insert((4, 5, 6))
+                raise RuntimeError("abort")
+        assert txn.state == "rolled-back"
+        assert snapshot(table) == before
+
+    def test_rollback_restores_deletes(self, table):
+        before = snapshot(table)
+        victim = next(iter(before))
+        txn = Transaction(table)
+        assert txn.delete(victim)
+        assert not table.contains(victim) or before[victim] > 1
+        txn.rollback()
+        assert snapshot(table) == before
+
+    def test_rollback_mixed_operations_in_order(self, table):
+        before = snapshot(table)
+        victims = list(before)[:5]
+        rng = random.Random(2)
+        txn = Transaction(table)
+        for v in victims:
+            txn.delete(v)
+        for _ in range(10):
+            txn.insert(tuple(rng.randrange(64) for _ in range(3)))
+        txn.update(list(before)[10], (0, 0, 0))
+        txn.rollback()
+        assert snapshot(table) == before
+
+    def test_rollback_with_block_splits(self, table):
+        """Inserts that split blocks must still undo cleanly."""
+        before = snapshot(table)
+        blocks_before = table.num_blocks
+        rng = random.Random(3)
+        with pytest.raises(RuntimeError):
+            with Transaction(table) as txn:
+                for _ in range(200):
+                    txn.insert(tuple(rng.randrange(64) for _ in range(3)))
+                raise RuntimeError("abort")
+        assert snapshot(table) == before
+        # splits are not merged back (undo is logical), but content is exact
+        assert table.num_blocks >= blocks_before
+
+    def test_indices_consistent_after_rollback(self, table):
+        before = snapshot(table)
+        with pytest.raises(RuntimeError):
+            with Transaction(table) as txn:
+                txn.insert((7, 33, 7))
+                raise RuntimeError("abort")
+        result = table.select(RangeQuery.equals("a1", 33))
+        expected = Counter(
+            {t: n for t, n in before.items() if t[1] == 33}
+        )
+        assert Counter(result.tuples) == expected
+
+
+class TestStateMachine:
+    def test_no_reuse_after_rollback(self, table):
+        txn = Transaction(table)
+        txn.rollback()
+        with pytest.raises(QueryError):
+            txn.delete((0, 0, 0))
+        with pytest.raises(QueryError):
+            txn.commit()
+
+    def test_delete_missing_is_not_logged(self, table):
+        txn = Transaction(table)
+        assert not txn.delete((63, 63, 62))
+        assert txn.operations == 0
+        txn.commit()
+
+    def test_update_missing_returns_false(self, table):
+        with Transaction(table) as txn:
+            assert not txn.update((63, 63, 62), (1, 1, 1))
+
+    def test_explicit_resolution_inside_block_wins(self, table):
+        with Transaction(table) as txn:
+            txn.insert((2, 2, 2))
+            txn.rollback()
+        assert txn.state == "rolled-back"
+        assert not table.contains((2, 2, 2))
+
+    def test_heap_table_rejected(self):
+        schema = Schema([Attribute("a", IntegerRangeDomain(0, 3))])
+        table = Table.from_relation(
+            "h",
+            Relation(schema, [(1,)]),
+            SimulatedDisk(64),
+            compressed=False,
+        )
+        with pytest.raises(QueryError):
+            Transaction(table)

@@ -1,0 +1,46 @@
+"""Tests for the ablation driver and its structural claims."""
+
+import pytest
+
+from repro.experiments.ablations import run_ablations
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_ablations(num_tuples=2_000, seed=3)
+
+
+class TestAblationReport:
+    def test_all_sections_render(self, report):
+        text = str(report)
+        for heading in (
+            "Chaining", "Representative strategy", "Block size",
+            "Attribute ordering", "Coding granularity",
+        ):
+            assert heading in text
+
+    def test_chaining_section_shows_both_variants(self, report):
+        assert "chained" in report.chaining
+        assert "unchained" in report.chaining
+
+    def test_representative_section_lists_all_strategies(self, report):
+        for name in ("median", "first", "last", "nearest-mean"):
+            assert name in report.representative
+
+    def test_block_size_section_covers_sweep(self, report):
+        assert "1024" in report.block_size
+        assert "65536" in report.block_size
+        assert "t1 (ms)" in report.block_size
+
+    def test_granularity_section_lists_coders(self, report):
+        assert "byte AVQ" in report.granularity
+        assert "Golomb" in report.granularity
+        assert "bit-transposed" in report.granularity
+
+    def test_attribute_order_small_first_best(self, report):
+        """Parse the table: small-first must use the fewest blocks."""
+        rows = {}
+        for line in report.attribute_order.splitlines()[2:]:
+            name, blocks = line.split()
+            rows[name] = int(blocks)
+        assert rows["small-first"] == min(rows.values())

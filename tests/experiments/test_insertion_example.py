@@ -1,0 +1,79 @@
+"""Figure 4.6: the paper's tuple-insertion worked example.
+
+The paper inserts "(3, 08, 32, 25, 64)" into block 4.  (As printed, that
+tuple is out of domain — |A_5| = 64 allows 0..63; its own ordinal
+arithmetic, 14812755 + 45 = 14812800, identifies the intended tuple as
+(3, 08, 32, 26, 00).)  After insertion the paper's recomputed
+differences are 45 and 524 for the two tuples below the representative.
+
+Two implementation notes this test pins down:
+
+* the paper keeps the *old* representative after insertion (it only
+  recomputes differences on one side); our codec re-picks the median of
+  the grown block.  Both are lossless; with chaining the stored
+  differences are the consecutive gaps either way, so the paper's
+  printed difference values 45, 524, 16727 appear verbatim in our
+  encoding too;
+* the change stays confined to the affected block (Section 4.2), which
+  the AVQFile mutation test asserts via disk counters.
+"""
+
+import pytest
+
+from repro.core.codec import BlockCodec
+from repro.core.phi import OrdinalMapper
+from repro.experiments.worked_example import PAPER_DOMAIN_SIZES, paper_blocks
+
+# Figure 4.6's unquantized block (the Figure 3.3 block 4).
+BLOCK4_ORDINALS = [14812755, 14813324, 14830051, 15042560, 15050469]
+
+
+@pytest.fixture
+def mapper():
+    return OrdinalMapper(PAPER_DOMAIN_SIZES)
+
+
+class TestFigure46:
+    def test_paper_block_is_block_4(self, mapper):
+        block = paper_blocks()[3]
+        assert [mapper.phi(t) for t in block] == BLOCK4_ORDINALS
+
+    def test_inserted_tuple_normalises(self, mapper):
+        """(3,08,32,25,64) == ordinal 14812800 == (3,08,32,26,00)."""
+        assert mapper.phi((3, 8, 32, 26, 0)) == 14812800
+        assert 14812800 - 14812755 == 45  # the paper's first new difference
+
+    def test_recomputed_differences_match_paper(self, mapper):
+        """Figure 4.6's lower-right table: differences 45, 524, 16727
+        below the representative; 212509, 7909 above (unchanged)."""
+        codec = BlockCodec(PAPER_DOMAIN_SIZES)
+        grown = sorted(BLOCK4_ORDINALS + [14812800])
+        rep = (len(grown) - 1) // 2
+        diffs = codec._differences(grown, rep)
+        # chained gaps, in block order; the paper's three recomputed
+        # below-representative values all appear
+        assert 45 in diffs
+        assert 524 in diffs
+        assert 16727 in diffs
+        # the above-representative side is untouched by the insertion
+        assert 212509 in diffs
+        assert 7909 in diffs
+
+    def test_difference_tuples_match_paper(self, mapper):
+        assert mapper.phi_inverse(45) == (0, 0, 0, 0, 45)
+        assert mapper.phi_inverse(524) == (0, 0, 0, 8, 12)
+
+    def test_insertion_round_trips(self, mapper):
+        codec = BlockCodec(PAPER_DOMAIN_SIZES)
+        grown = sorted(BLOCK4_ORDINALS + [14812800])
+        tuples = [mapper.phi_inverse(o) for o in grown]
+        assert codec.decode_block(codec.encode_block(tuples)) == tuples
+
+    def test_deletion_restores_original_block(self, mapper):
+        """Section 4.2: deletion is the inverse edit, same locality."""
+        codec = BlockCodec(PAPER_DOMAIN_SIZES)
+        grown = sorted(BLOCK4_ORDINALS + [14812800])
+        shrunk = [o for o in grown if o != 14812800]
+        tuples = [mapper.phi_inverse(o) for o in shrunk]
+        original = [mapper.phi_inverse(o) for o in BLOCK4_ORDINALS]
+        assert codec.decode_block(codec.encode_block(tuples)) == original

@@ -1,0 +1,167 @@
+"""The Figure 2.2 worked example, checked against the paper's printed data.
+
+Every number asserted here is printed in the paper: the Table (c) phi
+ordinals, the Table (d) difference tuples, and the Figure 3.3 coded
+stream.  Passing this module means our pipeline reproduces the paper's
+own illustration end to end.
+"""
+
+import pytest
+
+from repro.core.codec import HEADER_BYTES
+from repro.core.phi import OrdinalMapper
+from repro.experiments.worked_example import (
+    PAPER_BLOCK_TUPLES,
+    PAPER_DOMAIN_SIZES,
+    encode_paper_blocks,
+    paper_blocks,
+    paper_codec,
+    paper_ordinals,
+    paper_relation,
+    paper_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def mapper():
+    return OrdinalMapper(PAPER_DOMAIN_SIZES)
+
+
+class TestRelationStructure:
+    def test_fifty_tuples(self):
+        assert len(paper_ordinals()) == 50
+        assert len(paper_relation()) == 50
+
+    def test_ordinals_strictly_ascending(self):
+        ords = paper_ordinals()
+        assert all(a < b for a, b in zip(ords, ords[1:]))
+
+    def test_empno_is_a_unique_key(self):
+        """Table (a) numbers employees 0..49 — A5 takes each value once."""
+        rel = paper_relation()
+        empnos = [t[4] for t in rel]
+        assert empnos == list(range(50))
+
+    def test_known_rows_of_table_b(self, mapper):
+        """Spot-check Table (b) rows printed in the paper."""
+        rel = paper_relation()
+        assert rel[0] == (3, 9, 24, 32, 0)    # production part-time 24 32 00
+        assert rel[1] == (4, 12, 12, 31, 1)   # marketing director 12 31 01
+        assert rel[2] == (2, 6, 29, 21, 2)    # management worker1 29 21 02
+        assert rel[49] == (4, 7, 39, 31, 49)  # marketing worker2 39 31 49
+
+    def test_schema_decodes_named_values(self):
+        rel = paper_relation()
+        decoded = rel.schema.decode_tuple(rel[0])
+        assert decoded == ("production", "part-time", 24, 32, 0)
+
+    def test_blocks_are_ten_runs_of_five(self):
+        blocks = paper_blocks()
+        assert len(blocks) == 10
+        assert all(len(b) == PAPER_BLOCK_TUPLES for b in blocks)
+
+
+class TestTableDDifferences:
+    """The Table (d) coded difference tuples, block by block."""
+
+    def assert_block_diffs(self, mapper, block_index, expected_diffs):
+        codec = paper_codec()
+        block = paper_blocks()[block_index]
+        ordinals = [mapper.phi(t) for t in block]
+        diffs = codec._differences(ordinals, (len(ordinals) - 1) // 2)
+        assert diffs == expected_diffs
+
+    def test_block_1(self, mapper):
+        # Table (d) rows 1-5: diffs 12318, 1040770, [rep], 2637701, 229372
+        self.assert_block_diffs(mapper, 0, [12318, 1040770, 2637701, 229372])
+        assert mapper.phi_inverse(12318) == (0, 0, 3, 0, 30)
+        assert mapper.phi_inverse(1040770) == (0, 3, 62, 6, 2)
+        assert mapper.phi_inverse(2637701) == (0, 10, 3, 62, 5)
+        assert mapper.phi_inverse(229372) == (0, 0, 55, 63, 60)
+
+    def test_block_2(self, mapper):
+        self.assert_block_diffs(mapper, 1, [24955, 254529, 7505, 246168])
+        assert mapper.phi_inverse(24955) == (0, 0, 6, 5, 59)
+        assert mapper.phi_inverse(254529) == (0, 0, 62, 9, 1)
+        assert mapper.phi_inverse(7505) == (0, 0, 1, 53, 17)
+        assert mapper.phi_inverse(246168) == (0, 0, 60, 6, 24)
+
+    def test_block_4_matches_figure_33(self, mapper):
+        self.assert_block_diffs(mapper, 3, [569, 16727, 212509, 7909])
+
+    def test_block_4_representatives(self, mapper):
+        block = paper_blocks()[3]
+        assert block[2] == (3, 8, 36, 39, 35)  # Figure 3.3's representative
+
+
+class TestFigure44Index:
+    """Figure 4.4: an order-3 primary B+ tree over the example's blocks."""
+
+    def test_order_3_index_locates_every_tuple(self, mapper):
+        from repro.index.primary import PrimaryIndex
+
+        blocks = paper_blocks()
+        directory = [
+            (mapper.phi(block[0]), block_id)
+            for block_id, block in enumerate(blocks)
+        ]
+        idx = PrimaryIndex.build(mapper, directory, order=3)
+        assert idx.num_blocks == 10
+        for block_id, block in enumerate(blocks):
+            for t in block:
+                assert idx.locate(t) == block_id
+
+    def test_papers_query_example(self, mapper):
+        """Section 4.1 walks the lookup of (4,07,39,37,08); it lives in
+        the paper's data block 7 (1-indexed; our block id 6)."""
+        from repro.index.primary import PrimaryIndex
+
+        blocks = paper_blocks()
+        directory = [
+            (mapper.phi(block[0]), block_id)
+            for block_id, block in enumerate(blocks)
+        ]
+        idx = PrimaryIndex.build(mapper, directory, order=3)
+        target = (4, 7, 39, 37, 8)
+        block_id = idx.locate(target)
+        assert target in blocks[block_id]
+
+    def test_figure_45_secondary_on_a5(self, mapper):
+        """Figure 4.5: a secondary index on A_5 finds the block of any
+        employee number through its bucket indirection."""
+        from repro.index.secondary import SecondaryIndex
+
+        blocks = paper_blocks()
+        idx = SecondaryIndex.build(
+            "empno", 4, list(enumerate(blocks)), order=3
+        )
+        # sigma_{A5 = 34}: the paper says the tuple resides via bucket 5
+        (block_id,) = idx.lookup(34)
+        assert any(t[4] == 34 for t in blocks[block_id])
+        # every employee number resolves to exactly one block
+        for e in range(50):
+            found = idx.lookup(e)
+            assert len(found) == 1
+            assert any(t[4] == e for t in blocks[found[0]])
+
+
+class TestCodedStream:
+    def test_block_4_stream_is_the_papers(self):
+        """Figure 3.3: 3 08 36 39 35 | 3 08 57 | 2 04 05 23 | 2 51 56 29
+        | 2 01 59 37 (after our 4-byte header)."""
+        coded = encode_paper_blocks()[3]
+        expected = bytes(
+            [3, 8, 36, 39, 35, 3, 8, 57, 2, 4, 5, 23, 2, 51, 56, 29,
+             2, 1, 59, 37]
+        )
+        assert coded[HEADER_BYTES:] == expected
+
+    def test_every_block_round_trips(self):
+        codec = paper_codec()
+        for block, coded in zip(paper_blocks(), encode_paper_blocks()):
+            assert codec.decode_block(coded) == block
+
+    def test_coding_compresses_the_example(self):
+        """Total coded size beats 5 bytes/tuple fixed width."""
+        total = sum(len(c) - HEADER_BYTES for c in encode_paper_blocks())
+        assert total < 50 * 5

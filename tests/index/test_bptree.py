@@ -1,0 +1,206 @@
+"""Unit and randomized tests for the B+ tree."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.bptree import BPlusTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        t = BPlusTree(order=3)
+        assert len(t) == 0
+        assert t.get(1) is None
+        assert t.get(1, "d") == "d"
+        assert 1 not in t
+        assert list(t.items()) == []
+        assert t.floor_item(10) is None
+
+    def test_insert_and_get(self):
+        t = BPlusTree(order=3)
+        for k in [5, 1, 9, 3, 7]:
+            t.insert(k, k * 10)
+        assert len(t) == 5
+        for k in [5, 1, 9, 3, 7]:
+            assert t.get(k) == k * 10
+        assert 5 in t and 6 not in t
+
+    def test_replace_existing_key(self):
+        t = BPlusTree(order=3)
+        t.insert(1, "a")
+        t.insert(1, "b")
+        assert len(t) == 1
+        assert t.get(1) == "b"
+
+    def test_duplicate_rejected_with_replace_false(self):
+        t = BPlusTree(order=3)
+        t.insert(1, "a")
+        with pytest.raises(IndexError_):
+            t.insert(1, "b", replace=False)
+
+    def test_order_below_three_rejected(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=2)
+
+    def test_items_sorted(self):
+        t = BPlusTree(order=4)
+        keys = random.Random(1).sample(range(1000), 200)
+        for k in keys:
+            t.insert(k, -k)
+        assert [k for k, _ in t.items()] == sorted(keys)
+        assert list(t.keys()) == sorted(keys)
+
+
+class TestFloor:
+    def test_floor_exact_match(self):
+        t = BPlusTree(order=3)
+        for k in [10, 20, 30]:
+            t.insert(k, str(k))
+        assert t.floor_item(20) == (20, "20")
+
+    def test_floor_between_keys(self):
+        t = BPlusTree(order=3)
+        for k in [10, 20, 30]:
+            t.insert(k, str(k))
+        assert t.floor_item(25) == (20, "20")
+        assert t.floor_item(10**9) == (30, "30")
+
+    def test_floor_below_all_keys(self):
+        t = BPlusTree(order=3)
+        for k in [10, 20, 30]:
+            t.insert(k, str(k))
+        assert t.floor_item(5) is None
+
+    def test_floor_across_leaf_boundaries(self):
+        """Regression: floor must find the max of a left sibling subtree."""
+        t = BPlusTree(order=3)
+        for k in range(0, 100, 10):
+            t.insert(k, k)
+        for probe in range(100):
+            expected = (probe // 10) * 10
+            assert t.floor_item(probe) == (expected, expected)
+
+    def test_floor_randomized_against_reference(self):
+        rng = random.Random(7)
+        keys = sorted(rng.sample(range(10000), 300))
+        t = BPlusTree(order=5)
+        for k in keys:
+            t.insert(k, k)
+        for _ in range(500):
+            probe = rng.randrange(-100, 10100)
+            expected = None
+            for k in keys:
+                if k <= probe:
+                    expected = k
+                else:
+                    break
+            got = t.floor_item(probe)
+            if expected is None:
+                assert got is None
+            else:
+                assert got == (expected, expected)
+
+
+class TestRange:
+    def test_range_inclusive(self):
+        t = BPlusTree(order=3)
+        for k in range(10):
+            t.insert(k, k)
+        assert [k for k, _ in t.range_items(3, 6)] == [3, 4, 5, 6]
+
+    def test_range_empty_when_inverted(self):
+        t = BPlusTree(order=3)
+        t.insert(1, 1)
+        assert list(t.range_items(5, 3)) == []
+
+    def test_range_spanning_many_leaves(self):
+        t = BPlusTree(order=3)
+        for k in range(200):
+            t.insert(k, k)
+        assert [k for k, _ in t.range_items(17, 183)] == list(range(17, 184))
+
+    def test_range_outside_key_space(self):
+        t = BPlusTree(order=3)
+        for k in [10, 20]:
+            t.insert(k, k)
+        assert list(t.range_items(100, 200)) == []
+        assert [k for k, _ in t.range_items(-10, 5)] == []
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        t = BPlusTree(order=3)
+        for k in range(20):
+            t.insert(k, k)
+        assert t.delete(7)
+        assert 7 not in t
+        assert len(t) == 19
+        t.check_invariants()
+
+    def test_delete_missing_returns_false(self):
+        t = BPlusTree(order=3)
+        t.insert(1, 1)
+        assert not t.delete(2)
+        assert len(t) == 1
+
+    def test_delete_everything(self):
+        t = BPlusTree(order=3)
+        keys = list(range(50))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            t.insert(k, k)
+        random.Random(4).shuffle(keys)
+        for k in keys:
+            assert t.delete(k)
+            t.check_invariants()
+        assert len(t) == 0
+        assert list(t.items()) == []
+
+    def test_reinsert_after_delete(self):
+        t = BPlusTree(order=4)
+        for k in range(30):
+            t.insert(k, k)
+        for k in range(0, 30, 2):
+            t.delete(k)
+        for k in range(0, 30, 2):
+            t.insert(k, -k)
+        assert len(t) == 30
+        assert t.get(4) == -4
+        assert t.get(5) == 5
+        t.check_invariants()
+
+
+@pytest.mark.parametrize("order", [3, 4, 5, 8, 32])
+class TestRandomizedAgainstDict:
+    def test_mixed_workload_matches_reference(self, order):
+        rng = random.Random(order)
+        t = BPlusTree(order=order)
+        reference = {}
+        for step in range(3000):
+            op = rng.random()
+            key = rng.randrange(500)
+            if op < 0.55:
+                t.insert(key, step)
+                reference[key] = step
+            elif op < 0.85:
+                assert t.get(key) == reference.get(key)
+            else:
+                assert t.delete(key) == (key in reference)
+                reference.pop(key, None)
+            if step % 500 == 0:
+                t.check_invariants()
+        t.check_invariants()
+        assert dict(t.items()) == reference
+        assert len(t) == len(reference)
+
+    def test_height_stays_logarithmic(self, order):
+        t = BPlusTree(order=order)
+        for k in range(2000):
+            t.insert(k, k)
+        # generous bound: ceil(log_{order/2}(2000)) + 2
+        import math
+
+        bound = math.ceil(math.log(2000, max(2, order // 2))) + 2
+        assert t.height <= bound

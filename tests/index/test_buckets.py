@@ -1,0 +1,40 @@
+"""Unit tests for secondary-index buckets."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.buckets import Bucket
+
+
+class TestBucket:
+    def test_add_keeps_sorted_and_deduplicated(self):
+        b = Bucket()
+        for blk in [5, 1, 5, 3, 1]:
+            b.add(blk)
+        assert b.blocks == [1, 3, 5]
+        assert len(b) == 3
+
+    def test_construct_from_iterable(self):
+        assert Bucket([3, 1, 2, 2]).blocks == [1, 2, 3]
+
+    def test_contains(self):
+        b = Bucket([1, 3])
+        assert 1 in b and 2 not in b
+
+    def test_discard(self):
+        b = Bucket([1, 2, 3])
+        assert b.discard(2)
+        assert not b.discard(2)
+        assert b.blocks == [1, 3]
+
+    def test_iteration_order(self):
+        assert list(Bucket([9, 4, 7])) == [4, 7, 9]
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(IndexError_):
+            Bucket().add(-1)
+
+    def test_blocks_returns_copy(self):
+        b = Bucket([1])
+        b.blocks.append(99)
+        assert b.blocks == [1]

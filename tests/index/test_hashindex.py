@@ -1,0 +1,137 @@
+"""Unit and randomized tests for the extendible hash index."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.hashindex import ExtendibleHashIndex
+
+
+class TestBasics:
+    def test_add_and_lookup(self):
+        idx = ExtendibleHashIndex("a", 0)
+        idx.add(5, 10)
+        idx.add(5, 3)
+        idx.add(7, 10)
+        assert idx.lookup(5) == [3, 10]
+        assert idx.lookup(7) == [10]
+        assert idx.lookup(99) == []
+
+    def test_duplicate_block_deduplicated(self):
+        idx = ExtendibleHashIndex("a", 0)
+        idx.add(5, 1)
+        idx.add(5, 1)
+        assert idx.lookup(5) == [1]
+
+    def test_discard(self):
+        idx = ExtendibleHashIndex("a", 0)
+        idx.add(5, 1)
+        idx.add(5, 2)
+        assert idx.discard(5, 1)
+        assert idx.lookup(5) == [2]
+        assert idx.discard(5, 2)
+        assert idx.lookup(5) == []
+        assert not idx.discard(5, 2)
+        assert not idx.discard(42, 1)
+
+    def test_reindex_block(self):
+        idx = ExtendibleHashIndex("a", 0)
+        idx.add(1, 7)
+        idx.add(2, 7)
+        idx.reindex_block(7, [(1,), (2,)], [(2,), (3,)])
+        assert idx.lookup(1) == []
+        assert idx.lookup(2) == [7]
+        assert idx.lookup(3) == [7]
+
+    def test_bad_parameters(self):
+        with pytest.raises(IndexError_):
+            ExtendibleHashIndex("a", -1)
+        with pytest.raises(IndexError_):
+            ExtendibleHashIndex("a", 0, bucket_capacity=0)
+
+    def test_string_keys(self):
+        idx = ExtendibleHashIndex("dept", 0, bucket_capacity=2)
+        for i, name in enumerate(["mgmt", "sales", "eng", "hr", "legal"]):
+            idx.add(name, i)
+        assert idx.lookup("eng") == [2]
+        idx.check_invariants()
+
+
+class TestSplitting:
+    def test_directory_grows_under_load(self):
+        idx = ExtendibleHashIndex("a", 0, bucket_capacity=2)
+        for v in range(100):
+            idx.add(v, v % 7)
+        assert idx.global_depth > 1
+        assert idx.num_values == 100
+        idx.check_invariants()
+        for v in range(100):
+            assert idx.lookup(v) == [v % 7]
+
+    def test_num_buckets_grows(self):
+        idx = ExtendibleHashIndex("a", 0, bucket_capacity=4)
+        before = idx.num_buckets
+        for v in range(200):
+            idx.add(v, 0)
+        assert idx.num_buckets > before
+        idx.check_invariants()
+
+    def test_randomized_against_dict(self):
+        rng = random.Random(31)
+        idx = ExtendibleHashIndex("a", 0, bucket_capacity=3)
+        reference = {}
+        for step in range(4000):
+            op = rng.random()
+            key = rng.randrange(300)
+            block = rng.randrange(40)
+            if op < 0.7:
+                idx.add(key, block)
+                reference.setdefault(key, set()).add(block)
+            else:
+                removed = idx.discard(key, block)
+                expected = block in reference.get(key, set())
+                assert removed == expected
+                if removed:
+                    reference[key].discard(block)
+                    if not reference[key]:
+                        del reference[key]
+            if step % 500 == 0:
+                idx.check_invariants()
+        idx.check_invariants()
+        for key, blocks in reference.items():
+            assert idx.lookup(key) == sorted(blocks)
+        assert idx.num_values == len(reference)
+
+
+class TestAgainstStorage:
+    def test_build_from_avq_file(self):
+        from repro.relational.domain import IntegerRangeDomain
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Attribute, Schema
+        from repro.storage.avqfile import AVQFile
+        from repro.storage.disk import SimulatedDisk
+
+        schema = Schema(
+            [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(3)]
+        )
+        rng = random.Random(8)
+        rel = Relation(
+            schema,
+            [tuple(rng.randrange(64) for _ in range(3)) for _ in range(500)],
+        )
+        disk = SimulatedDisk(block_size=256)
+        f = AVQFile.build(rel, disk)
+        idx = ExtendibleHashIndex.build("a1", 1, f.iter_blocks(),
+                                        bucket_capacity=4)
+        idx.check_invariants()
+        for value in (0, 17, 63):
+            for block_id in idx.lookup(value):
+                assert any(
+                    t[1] == value for t in f.read_block_id(block_id)
+                )
+        # completeness: every block containing the value is indexed
+        for block_id, tuples in f.iter_blocks():
+            values = {t[1] for t in tuples}
+            for v in values:
+                assert block_id in idx.lookup(v)

@@ -1,0 +1,114 @@
+"""End-to-end tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io.csvio import read_csv_rows, write_csv_rows
+
+import random as _random
+
+_rng = _random.Random(7)
+_DEPTS = ["management", "marketing", "personnel", "production"]
+ROWS = [
+    (
+        _rng.choice(_DEPTS),
+        _rng.randrange(0, 45),
+        _rng.randrange(10, 60),
+        i,
+    )
+    for i in range(250)
+]
+NAMES = ["dept", "years", "hours", "empno"]
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = str(tmp_path / "in.csv")
+    write_csv_rows(path, NAMES, ROWS)
+    return path
+
+
+class TestCompressDecompress:
+    def test_round_trip(self, csv_path, tmp_path, capsys):
+        avq = str(tmp_path / "data.avq")
+        out = str(tmp_path / "out.csv")
+        assert main(["compress", csv_path, avq, "--block-size", "512"]) == 0
+        assert main(["decompress", avq, out]) == 0
+        names, rows = read_csv_rows(out)
+        assert names == NAMES
+        assert sorted(rows) == sorted(ROWS)
+        printed = capsys.readouterr().out
+        assert "blocks" in printed
+
+    def test_compress_reports_reduction(self, csv_path, tmp_path, capsys):
+        avq = str(tmp_path / "data.avq")
+        main(["compress", csv_path, avq])
+        assert "% smaller" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_describes_container(self, csv_path, tmp_path, capsys):
+        avq = str(tmp_path / "data.avq")
+        main(["compress", csv_path, avq, "--block-size", "512"])
+        assert main(["info", avq, "--blocks"]) == 0
+        out = capsys.readouterr().out
+        assert "tuples:      250" in out
+        assert "dept" in out and "empno" in out
+        assert "block directory" in out
+
+
+class TestQuery:
+    def test_range_query_counts_match(self, csv_path, tmp_path, capsys):
+        avq = str(tmp_path / "data.avq")
+        main(["compress", csv_path, avq, "--block-size", "512"])
+        assert main(
+            ["query", avq, "--attr", "years", "--between", "20", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        expected = sum(1 for r in ROWS if 20 <= r[1] <= 30)
+        assert f"-- {expected} matching rows" in out
+
+    def test_clustered_query_decodes_fewer_blocks(
+        self, csv_path, tmp_path, capsys
+    ):
+        avq = str(tmp_path / "data.avq")
+        main(["compress", csv_path, avq, "--block-size", "512"])
+        main(["query", avq, "--attr", "dept",
+              "--between", "management", "management"])
+        out = capsys.readouterr().out
+        # "decoded X of Y blocks" with X < Y for the clustering attribute
+        tail = out.rsplit("decoded ", 1)[1]
+        x, y = int(tail.split()[0]), int(tail.split()[2])
+        assert x < y
+
+    def test_inverted_range_fails_cleanly(self, csv_path, tmp_path, capsys):
+        avq = str(tmp_path / "data.avq")
+        main(["compress", csv_path, avq])
+        rc = main(["query", avq, "--attr", "dept",
+                   "--between", "production", "management"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_reports_every_attribute(self, csv_path, tmp_path, capsys):
+        avq = str(tmp_path / "data.avq")
+        main(["compress", csv_path, avq, "--block-size", "512"])
+        assert main(["stats", avq]) == 0
+        out = capsys.readouterr().out
+        for name in NAMES:
+            assert name in out
+        assert "250 tuples" in out
+        assert "distinct >=" in out
+
+
+class TestErrors:
+    def test_missing_input_file(self, tmp_path, capsys):
+        rc = main(["info", str(tmp_path / "nope.avq")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compress_missing_csv(self, tmp_path, capsys):
+        rc = main(["compress", str(tmp_path / "nope.csv"),
+                   str(tmp_path / "x.avq")])
+        assert rc == 1

@@ -1,0 +1,100 @@
+"""Corruption fuzzing: any byte flip in a container must be *detected*.
+
+Differential coding amplifies damage — one flipped payload byte shifts
+every subsequent tuple in the block — so silent mis-decoding is the
+failure mode to rule out.  Every payload is CRC32-protected; header
+bytes are length-checked and schema-validated.  This fuzz flips bytes
+all over a valid container and requires that reading either fails with
+a library error (never an arbitrary crash) or — only for flips in the
+JSON header that stay parseable — produces a consistent container.
+"""
+
+import random
+import zlib
+
+import pytest
+
+from repro.errors import ReproError
+from repro.io.format import AVQFileReader, write_avq_file
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+
+@pytest.fixture(scope="module")
+def container_bytes(tmp_path_factory):
+    schema = Schema(
+        [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(4)]
+    )
+    rng = random.Random(3)
+    rel = Relation(
+        schema,
+        [tuple(rng.randrange(64) for _ in range(4)) for _ in range(1500)],
+    )
+    path = tmp_path_factory.mktemp("fuzz") / "base.avq"
+    write_avq_file(str(path), rel, block_size=512)
+    return open(path, "rb").read(), rel
+
+
+def try_read_all(path):
+    with AVQFileReader(path) as reader:
+        return list(reader.scan())
+
+
+class TestCorruptionDetection:
+    def test_payload_flips_always_detected(self, container_bytes, tmp_path):
+        """Flipping any payload byte must raise a ReproError (CRC)."""
+        data, rel = container_bytes
+        header_len = int.from_bytes(data[6:10], "big")
+        payload_start = 10 + header_len
+        rng = random.Random(7)
+        path = str(tmp_path / "corrupt.avq")
+        for _ in range(200):
+            pos = rng.randrange(payload_start, len(data))
+            corrupted = bytearray(data)
+            corrupted[pos] ^= 1 << rng.randrange(8)
+            open(path, "wb").write(bytes(corrupted))
+            with pytest.raises(ReproError):
+                try_read_all(path)
+
+    def test_arbitrary_flips_never_crash_uncontrolled(
+        self, container_bytes, tmp_path
+    ):
+        """Flips anywhere (header included) either raise a ReproError or
+        leave a still-consistent container — never an arbitrary crash or
+        silently wrong tuples."""
+        data, rel = container_bytes
+        expected = rel.sorted_by_phi()
+        rng = random.Random(8)
+        path = str(tmp_path / "corrupt.avq")
+        silent_ok = 0
+        for _ in range(300):
+            pos = rng.randrange(len(data))
+            corrupted = bytearray(data)
+            corrupted[pos] ^= 1 << rng.randrange(8)
+            open(path, "wb").write(bytes(corrupted))
+            try:
+                tuples = try_read_all(path)
+            except ReproError:
+                continue
+            except (ValueError, UnicodeDecodeError) as exc:  # pragma: no cover
+                pytest.fail(f"uncontrolled error {exc!r} at byte {pos}")
+            # A flip that survives must not have changed the data
+            # (e.g. a flip inside an unused JSON character is impossible
+            # here because CRCs cover payloads and JSON parsing covers
+            # the header, but count it if it happens benignly).
+            assert tuples == expected
+            silent_ok += 1
+        # Overwhelmingly, flips must be *detected*:
+        assert silent_ok <= 3
+
+    def test_crc_actually_stored(self, container_bytes, tmp_path):
+        data, _ = container_bytes
+        path = str(tmp_path / "ok.avq")
+        open(path, "wb").write(data)
+        with AVQFileReader(path) as reader:
+            entry = reader._entries[0]
+            assert entry.crc32 is not None
+            reader._file.seek(entry.offset)
+            payload = reader._file.read(entry.length)
+            assert zlib.crc32(payload) == entry.crc32

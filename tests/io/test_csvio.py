@@ -1,0 +1,60 @@
+"""Unit tests for CSV loading and writing."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.io.csvio import read_csv_rows, write_csv_rows
+
+
+def write(tmp_path, text, name="data.csv"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+class TestReadCsv:
+    def test_header_and_type_inference(self, tmp_path):
+        path = write(tmp_path, "dept,years\nsales,12\neng,7\n")
+        names, rows = read_csv_rows(path)
+        assert names == ["dept", "years"]
+        assert rows == [("sales", 12), ("eng", 7)]
+
+    def test_no_header(self, tmp_path):
+        path = write(tmp_path, "sales,12\neng,7\n")
+        names, rows = read_csv_rows(path, has_header=False)
+        assert names == ["A1", "A2"]
+        assert rows == [("sales", 12), ("eng", 7)]
+
+    def test_mixed_column_stays_string(self, tmp_path):
+        path = write(tmp_path, "x\n12\nabc\n")
+        _, rows = read_csv_rows(path)
+        assert rows == [("12",), ("abc",)]
+
+    def test_negative_integers(self, tmp_path):
+        path = write(tmp_path, "x\n-5\n10\n")
+        _, rows = read_csv_rows(path)
+        assert rows == [(-5,), (10,)]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = write(tmp_path, "")
+        with pytest.raises(EncodingError):
+            read_csv_rows(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = write(tmp_path, "a,b\n")
+        with pytest.raises(EncodingError):
+            read_csv_rows(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = write(tmp_path, "a,b\n1,2\n3\n")
+        with pytest.raises(EncodingError):
+            read_csv_rows(path)
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_csv_rows(path, ["dept", "n"], [("sales", 1), ("eng", 2)])
+        names, rows = read_csv_rows(path)
+        assert names == ["dept", "n"]
+        assert rows == [("sales", 1), ("eng", 2)]

@@ -1,0 +1,119 @@
+"""Tests: the replayed simulation agrees with the analytic cost model."""
+
+import random
+
+import pytest
+
+from repro.db.query import RangeQuery
+from repro.db.table import Table
+from repro.errors import QueryError
+from repro.perf.machines import DEC_5000_120, HP_9000_735
+from repro.perf.simulation import predicted_workload_cost, simulate_workload
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture(scope="module")
+def tables():
+    schema = Schema(
+        [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(5)]
+    )
+    rng = random.Random(17)
+    rel = Relation(
+        schema,
+        [tuple(rng.randrange(64) for _ in range(5)) for _ in range(4000)],
+    )
+    coded = Table.from_relation(
+        "coded", rel, SimulatedDisk(2048), secondary_on=["a2"]
+    )
+    # the uncoded comparator stores natural int16-style fields, as the
+    # paper's relation does (DESIGN.md substitution table)
+    from repro.storage.heapfile import HeapFile
+
+    heap_storage = HeapFile.build(
+        rel, SimulatedDisk(2048), min_field_bytes=2
+    )
+    heap = Table("heap", schema, heap_storage)
+    heap.create_secondary_index("a2")
+    return rel, coded, heap
+
+
+def workload(schema, n=20, seed=5):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        lo = rng.randrange(0, 56)
+        out.append(RangeQuery.between("a2", lo, min(63, lo + 8)))
+    return out
+
+
+class TestSimulation:
+    def test_components_add_up(self, tables):
+        _, coded, _ = tables
+        queries = workload(coded.schema)
+        cost = simulate_workload(coded, queries, HP_9000_735)
+        assert cost.total_ms == pytest.approx(
+            cost.io_ms + cost.cpu_ms + cost.index_ms
+        )
+        assert cost.queries == len(queries)
+        assert cost.blocks_read > 0
+        assert cost.mean_query_ms > 0
+
+    def test_simulation_matches_analytic_prediction(self, tables):
+        """Feeding the model the workload's true average N must reproduce
+        the simulated total exactly — the paper's formula is precisely
+        the bookkeeping the execution performs."""
+        _, coded, heap = tables
+        queries = workload(coded.schema)
+        for table in (coded, heap):
+            cost = simulate_workload(table, queries, HP_9000_735)
+            avg_n = cost.blocks_read / cost.queries
+            predicted = predicted_workload_cost(
+                table, avg_n, len(queries), HP_9000_735
+            )
+            assert cost.total_ms == pytest.approx(predicted, rel=1e-9)
+
+    def test_coded_beats_heap_on_fast_cpu(self, tables):
+        """The paper's HP column: compression wins end to end."""
+        _, coded, heap = tables
+        queries = workload(coded.schema)
+        c_coded = simulate_workload(coded, queries, HP_9000_735)
+        c_heap = simulate_workload(heap, queries, HP_9000_735)
+        assert c_coded.blocks_read < c_heap.blocks_read
+        assert c_coded.total_ms < c_heap.total_ms
+
+    def test_improvement_shrinks_on_slow_cpu(self, tables):
+        """The paper's DEC column: decode cost eats more of the win."""
+        _, coded, heap = tables
+        queries = workload(coded.schema)
+
+        def improvement(machine):
+            c1 = simulate_workload(coded, queries, machine).total_ms
+            c2 = simulate_workload(heap, queries, machine).total_ms
+            return 1.0 - c1 / c2
+
+        assert improvement(HP_9000_735) > improvement(DEC_5000_120)
+
+    def test_cpu_charge_depends_on_storage_kind(self, tables):
+        _, coded, heap = tables
+        queries = workload(coded.schema, n=5)
+        c_coded = simulate_workload(coded, queries, DEC_5000_120)
+        c_heap = simulate_workload(heap, queries, DEC_5000_120)
+        assert c_coded.cpu_ms / max(1, c_coded.blocks_read) == pytest.approx(
+            DEC_5000_120.decoding_ms
+        )
+        assert c_heap.cpu_ms / max(1, c_heap.blocks_read) == pytest.approx(
+            DEC_5000_120.extract_ms
+        )
+
+    def test_rejects_non_table(self):
+        with pytest.raises(QueryError):
+            simulate_workload(object(), [], HP_9000_735)
+
+    def test_empty_workload(self, tables):
+        _, coded, _ = tables
+        cost = simulate_workload(coded, [], HP_9000_735)
+        assert cost.total_ms == 0.0
+        assert cost.mean_query_ms == 0.0

@@ -1,0 +1,55 @@
+"""Unit tests for the timing helpers."""
+
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf.machines import calibrated_profile
+from repro.perf.timer import Stopwatch, mean_time_ms
+
+
+class TestMeanTime:
+    def test_measures_sleep_roughly(self):
+        ms = mean_time_ms(lambda: time.sleep(0.002), repeats=5)
+        assert 1.5 < ms < 20  # generous upper bound for CI noise
+
+    def test_fast_function_is_small(self):
+        ms = mean_time_ms(lambda: None, repeats=100)
+        assert ms < 1.0
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ReproError):
+            mean_time_ms(lambda: None, repeats=0)
+
+
+class TestStopwatch:
+    def test_accumulates_sections(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw:
+                time.sleep(0.001)
+        assert sw.laps == 3
+        assert sw.total_ms >= 3 * 0.5
+        assert sw.mean_ms == pytest.approx(sw.total_ms / 3)
+
+    def test_empty_stopwatch(self):
+        sw = Stopwatch()
+        assert sw.laps == 0
+        assert sw.total_ms == 0.0
+        assert sw.mean_ms == 0.0
+
+
+class TestCalibratedProfile:
+    def test_builds_profile_from_callables(self):
+        profile = calibrated_profile(
+            lambda: sum(range(1000)),
+            lambda: sum(range(500)),
+            lambda: sum(range(100)),
+            name="test-host",
+            repeats=10,
+        )
+        assert profile.name == "test-host"
+        assert profile.coding_ms > 0
+        assert profile.decoding_ms > 0
+        assert profile.extract_ms > 0

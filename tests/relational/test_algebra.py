@@ -1,0 +1,94 @@
+"""Unit tests for the relational algebra operators."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.algebra import (
+    RangePredicate,
+    count_matching,
+    project,
+    select,
+)
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(
+        [
+            Attribute("a", IntegerRangeDomain(0, 9)),
+            Attribute("b", IntegerRangeDomain(0, 9)),
+        ]
+    )
+    return Relation(schema, [(i, 9 - i) for i in range(10)])
+
+
+class TestRangePredicate:
+    def test_inclusive_bounds(self, relation):
+        p = RangePredicate("a", 3, 5)
+        assert p.matches(relation.schema, (3, 0))
+        assert p.matches(relation.schema, (5, 0))
+        assert not p.matches(relation.schema, (6, 0))
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(QueryError):
+            RangePredicate("a", 5, 3)
+
+    def test_bind_clamps_to_domain(self, relation):
+        pos, lo, hi = RangePredicate("a", -5, 100).bind(relation.schema)
+        assert (pos, lo, hi) == (0, 0, 9)
+
+    def test_bind_rejects_disjoint_range(self, relation):
+        with pytest.raises(QueryError):
+            RangePredicate("a", 50, 60).bind(relation.schema)
+
+    def test_unknown_attribute_rejected(self, relation):
+        with pytest.raises(Exception):
+            RangePredicate("z", 0, 1).bind(relation.schema)
+
+
+class TestSelect:
+    def test_single_predicate(self, relation):
+        out = select(relation, [RangePredicate("a", 2, 4)])
+        assert list(out) == [(2, 7), (3, 6), (4, 5)]
+
+    def test_conjunction(self, relation):
+        out = select(
+            relation,
+            [RangePredicate("a", 2, 8), RangePredicate("b", 5, 9)],
+        )
+        assert list(out) == [(2, 7), (3, 6), (4, 5)]
+
+    def test_empty_result(self, relation):
+        out = select(
+            relation,
+            [RangePredicate("a", 0, 0), RangePredicate("b", 0, 0)],
+        )
+        assert len(out) == 0
+
+    def test_no_predicates_selects_all(self, relation):
+        assert len(select(relation, [])) == len(relation)
+
+    def test_count_matching_agrees_with_select(self, relation):
+        preds = [RangePredicate("a", 1, 7)]
+        assert count_matching(relation, preds) == len(select(relation, preds))
+
+
+class TestProject:
+    def test_keeps_named_columns_in_order(self, relation):
+        out = project(relation, ["b", "a"])
+        assert out.schema.names == ["b", "a"]
+        assert out[0] == (9, 0)
+
+    def test_bag_semantics_no_dedup(self, relation):
+        # all 'a' values distinct, but projecting a constant-like column
+        schema = relation.schema
+        rel = Relation(schema, [(1, 5), (2, 5)])
+        out = project(rel, ["b"])
+        assert list(out) == [(5,), (5,)]
+
+    def test_empty_projection_rejected(self, relation):
+        with pytest.raises(QueryError):
+            project(relation, [])

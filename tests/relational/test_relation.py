@@ -1,0 +1,85 @@
+"""Unit tests for in-memory relations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError, SchemaError
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Attribute("a", IntegerRangeDomain(0, 7)),
+            Attribute("b", IntegerRangeDomain(0, 15)),
+        ]
+    )
+
+
+class TestRelationBasics:
+    def test_append_and_iterate(self, schema):
+        rel = Relation(schema)
+        rel.append((1, 2))
+        rel.append((3, 4))
+        assert len(rel) == 2
+        assert list(rel) == [(1, 2), (3, 4)]
+        assert rel[1] == (3, 4)
+
+    def test_append_validates_domains(self, schema):
+        rel = Relation(schema)
+        with pytest.raises(DomainError):
+            rel.append((8, 0))
+
+    def test_contains(self, schema):
+        rel = Relation(schema, [(1, 2)])
+        assert (1, 2) in rel
+        assert (2, 1) not in rel
+
+    def test_duplicates_allowed(self, schema):
+        rel = Relation(schema, [(1, 2), (1, 2)])
+        assert len(rel) == 2
+
+
+class TestConstruction:
+    def test_from_values_applies_domain_mapping(self):
+        schema = Schema([Attribute("age", IntegerRangeDomain(18, 65))])
+        rel = Relation.from_values(schema, [[30], [18]])
+        assert list(rel) == [(12,), (0,)]
+        assert rel.decoded_rows() == [(30,), (18,)]
+
+    def test_from_array(self, schema):
+        arr = np.array([[1, 2], [3, 4]])
+        rel = Relation.from_array(schema, arr)
+        assert list(rel) == [(1, 2), (3, 4)]
+
+    def test_from_array_validates(self, schema):
+        with pytest.raises(SchemaError):
+            Relation.from_array(schema, np.array([[9, 0]]))
+        with pytest.raises(SchemaError):
+            Relation.from_array(schema, np.array([[1, 2, 3]]))
+
+    def test_to_array_round_trip(self, schema):
+        rel = Relation(schema, [(1, 2), (3, 4)])
+        back = Relation.from_array(schema, rel.to_array())
+        assert list(back) == list(rel)
+
+    def test_to_array_empty(self, schema):
+        assert Relation(schema).to_array().shape == (0, 2)
+
+
+class TestOrdering:
+    def test_sorted_by_phi(self, schema):
+        rel = Relation(schema, [(3, 0), (0, 5), (3, 1), (0, 0)])
+        assert rel.sorted_by_phi() == [(0, 0), (0, 5), (3, 0), (3, 1)]
+
+    def test_phi_ordinals_sorted(self, schema):
+        rel = Relation(schema, [(1, 0), (0, 1)])
+        assert rel.phi_ordinals() == [1, 16]
+
+    def test_uncompressed_bytes(self, schema):
+        # both domains fit one byte -> 2 bytes per tuple
+        rel = Relation(schema, [(0, 0)] * 10)
+        assert rel.uncompressed_bytes() == 20

@@ -1,0 +1,99 @@
+"""Unit tests for schemas and whole-tuple encode/decode."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.domain import (
+    CategoricalDomain,
+    IntegerRangeDomain,
+)
+from repro.relational.schema import Attribute, Schema
+
+
+def paper_schema():
+    """The Example 3.1 employee relation: domains of size 8,16,64,64,64."""
+    return Schema(
+        [
+            Attribute("department", IntegerRangeDomain(0, 7)),
+            Attribute("job_title", IntegerRangeDomain(0, 15)),
+            Attribute("years", IntegerRangeDomain(0, 63)),
+            Attribute("hours", IntegerRangeDomain(0, 63)),
+            Attribute("empno", IntegerRangeDomain(0, 63)),
+        ]
+    )
+
+
+class TestSchemaBasics:
+    def test_domain_sizes(self):
+        assert paper_schema().domain_sizes == (8, 16, 64, 64, 64)
+
+    def test_space_size(self):
+        assert paper_schema().space_size == 8 * 16 * 64 * 64 * 64
+
+    def test_names_and_positions(self):
+        s = paper_schema()
+        assert s.names[0] == "department"
+        assert s.position("empno") == 4
+        assert s.attribute("hours").domain.size == 64
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            paper_schema().position("salary")
+
+    def test_duplicate_names_rejected(self):
+        d = IntegerRangeDomain(0, 1)
+        with pytest.raises(SchemaError):
+            Schema([Attribute("x", d), Attribute("x", d)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", IntegerRangeDomain(0, 1))
+
+    def test_len(self):
+        assert len(paper_schema()) == 5
+
+
+class TestEncodeDecode:
+    def test_round_trip_with_mixed_domains(self):
+        s = Schema(
+            [
+                Attribute("dept", CategoricalDomain(["prod", "mkt", "mgmt"])),
+                Attribute("years", IntegerRangeDomain(18, 65)),
+            ]
+        )
+        enc = s.encode_tuple(["mkt", 30])
+        assert enc == (1, 12)
+        assert s.decode_tuple(enc) == ("mkt", 30)
+
+    def test_wrong_arity_rejected(self):
+        s = paper_schema()
+        with pytest.raises(SchemaError):
+            s.encode_tuple([1, 2, 3])
+        with pytest.raises(SchemaError):
+            s.decode_tuple([1, 2, 3])
+
+    def test_phi_shorthand(self):
+        s = paper_schema()
+        assert s.phi((3, 8, 36, 39, 35)) == 14830051
+
+
+class TestReorder:
+    def test_reordered_schema_permutes_attributes(self):
+        s = paper_schema()
+        r = s.reordered(["empno", "hours", "years", "job_title", "department"])
+        assert r.names == ["empno", "hours", "years", "job_title", "department"]
+        assert r.domain_sizes == (64, 64, 64, 16, 8)
+
+    def test_reorder_changes_phi_clustering(self):
+        s = paper_schema()
+        r = s.reordered(["empno", "hours", "years", "job_title", "department"])
+        assert s.phi((3, 8, 36, 39, 35)) != r.phi((35, 39, 36, 8, 3))
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(SchemaError):
+            paper_schema().reordered(["department", "department", "years",
+                                      "hours", "empno"])

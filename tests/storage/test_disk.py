@@ -1,0 +1,100 @@
+"""Unit tests for the disk timing model and simulated disk."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.block import DEFAULT_BLOCK_SIZE, Block
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+class TestDiskModel:
+    def test_paper_t1_is_about_30ms(self):
+        """Section 5.3.2: 20 + 8 + 8192b/3Mb + 2 ~ 30 ms."""
+        t1 = DiskModel().block_io_ms(8192)
+        assert 30.0 <= t1 <= 35.0
+
+    def test_transfer_time_component(self):
+        model = DiskModel()
+        # 3 MB at 3 MB/s is exactly one second
+        assert model.transfer_ms(3 * 10**6) == pytest.approx(1000.0)
+
+    def test_larger_blocks_cost_more(self):
+        model = DiskModel()
+        assert model.block_io_ms(65536) > model.block_io_ms(8192)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(StorageError):
+            DiskModel(transfer_mb_per_s=0)
+        with pytest.raises(StorageError):
+            DiskModel(seek_ms=-1)
+
+
+class TestBlock:
+    def test_slack_accounting(self):
+        b = Block(b"abc", block_size=10)
+        assert b.used == 3
+        assert b.slack == 7
+        assert b.utilisation == pytest.approx(0.3)
+
+    def test_padded_image(self):
+        b = Block(b"abc", block_size=5)
+        assert b.padded() == b"abc\x00\x00"
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(StorageError):
+            Block(b"abcdef", block_size=3)
+
+    def test_default_block_size(self):
+        assert Block(b"").block_size == DEFAULT_BLOCK_SIZE == 8192
+
+
+class TestSimulatedDisk:
+    def test_write_read_round_trip(self):
+        disk = SimulatedDisk(block_size=64)
+        bid = disk.append_block(b"hello")
+        assert disk.read_block(bid) == b"hello"
+
+    def test_stats_accumulate(self):
+        disk = SimulatedDisk(block_size=8192)
+        bid = disk.append_block(b"x")
+        disk.read_block(bid)
+        disk.read_block(bid)
+        assert disk.stats.blocks_written == 1
+        assert disk.stats.blocks_read == 2
+        expected = 3 * disk.model.block_io_ms(8192)
+        assert disk.stats.elapsed_ms == pytest.approx(expected)
+
+    def test_stats_reset(self):
+        disk = SimulatedDisk(block_size=64)
+        disk.append_block(b"x")
+        disk.stats.reset()
+        assert disk.stats.blocks_written == 0
+        assert disk.stats.elapsed_ms == 0.0
+
+    def test_read_unwritten_block_rejected(self):
+        disk = SimulatedDisk(block_size=64)
+        with pytest.raises(StorageError):
+            disk.read_block(0)
+
+    def test_write_unallocated_block_rejected(self):
+        disk = SimulatedDisk(block_size=64)
+        with pytest.raises(StorageError):
+            disk.write_block(5, b"x")
+
+    def test_oversized_write_rejected(self):
+        disk = SimulatedDisk(block_size=4)
+        bid = disk.allocate()
+        with pytest.raises(StorageError):
+            disk.write_block(bid, b"abcde")
+
+    def test_rewrite_in_place(self):
+        disk = SimulatedDisk(block_size=64)
+        bid = disk.append_block(b"old")
+        disk.write_block(bid, b"new")
+        assert disk.read_block(bid) == b"new"
+
+    def test_block_ids_ordering(self):
+        disk = SimulatedDisk(block_size=64)
+        ids = [disk.append_block(bytes([i])) for i in range(3)]
+        assert disk.block_ids() == ids == [0, 1, 2]
+        assert disk.num_blocks == 3

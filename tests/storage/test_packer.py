@@ -1,0 +1,129 @@
+"""Unit tests for minimal-slack block packing."""
+
+import random
+
+import pytest
+
+from repro.core.codec import HEADER_BYTES, BlockCodec
+from repro.errors import StorageError
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.storage.packer import pack_ordinals, pack_relation
+
+DOMAINS = [8, 16, 64, 64, 64]
+
+
+@pytest.fixture
+def codec():
+    return BlockCodec(DOMAINS)
+
+
+def random_ordinals(codec, n, seed=0):
+    rng = random.Random(seed)
+    return sorted(rng.randrange(codec.mapper.space_size) for _ in range(n))
+
+
+class TestPackOrdinals:
+    def test_every_block_fits(self, codec):
+        ordinals = random_ordinals(codec, 500)
+        partition = pack_ordinals(codec, ordinals, block_size=256)
+        for run in partition.blocks:
+            assert codec.encoded_size_of_ordinals(run) <= 256
+
+    def test_partition_preserves_all_tuples_in_order(self, codec):
+        ordinals = random_ordinals(codec, 300, seed=1)
+        partition = pack_ordinals(codec, ordinals, block_size=128)
+        flattened = [o for run in partition.blocks for o in run]
+        assert flattened == ordinals
+
+    def test_greedy_fill_is_maximal(self, codec):
+        """No block could absorb the first tuple of the next block."""
+        ordinals = random_ordinals(codec, 400, seed=2)
+        partition = pack_ordinals(codec, ordinals, block_size=128)
+        for k in range(len(partition.blocks) - 1):
+            run = partition.blocks[k]
+            next_first = partition.blocks[k + 1][0]
+            grown = codec.encoded_size_of_ordinals(run + [next_first])
+            assert grown > 128
+
+    def test_stats_payload_matches_encodings(self, codec):
+        ordinals = random_ordinals(codec, 200, seed=3)
+        partition = pack_ordinals(codec, ordinals, block_size=256)
+        actual = sum(
+            codec.encoded_size_of_ordinals(run) for run in partition.blocks
+        )
+        assert partition.stats.payload_bytes == actual
+        assert partition.stats.num_tuples == 200
+        assert partition.stats.num_blocks == len(partition.blocks)
+        assert partition.stats.slack_bytes == (
+            partition.stats.total_bytes - actual
+        )
+        assert 0 < partition.stats.utilisation <= 1
+
+    def test_single_tuple(self, codec):
+        partition = pack_ordinals(codec, [42], block_size=64)
+        assert partition.blocks == [[42]]
+        assert partition.stats.tuples_per_block == 1
+
+    def test_duplicate_ordinals_pack_densely(self, codec):
+        # 1000 identical tuples: each extra tuple costs one count byte
+        partition = pack_ordinals(codec, [7] * 1000, block_size=128)
+        cap = 128 - HEADER_BYTES - codec.tuple_bytes + 1
+        assert partition.blocks[0] == [7] * cap
+
+    def test_unsorted_input_rejected(self, codec):
+        with pytest.raises(StorageError):
+            pack_ordinals(codec, [5, 3], block_size=128)
+
+    def test_too_small_block_rejected(self, codec):
+        with pytest.raises(StorageError):
+            pack_ordinals(codec, [1], block_size=HEADER_BYTES + codec.tuple_bytes - 1)
+
+    def test_unchained_codec_packs_correctly(self):
+        codec = BlockCodec(DOMAINS, chained=False)
+        ordinals = random_ordinals(codec, 200, seed=4)
+        partition = pack_ordinals(codec, ordinals, block_size=256)
+        flattened = [o for run in partition.blocks for o in run]
+        assert flattened == ordinals
+        for run in partition.blocks:
+            assert codec.encoded_size_of_ordinals(run) <= 256
+
+    def test_empty_input(self, codec):
+        partition = pack_ordinals(codec, [], block_size=128)
+        assert partition.blocks == []
+        assert partition.stats.num_blocks == 0
+        assert partition.stats.utilisation == 0.0
+
+
+class TestPackRelation:
+    def test_clustered_relation_packs_tighter_than_scattered(self):
+        """Tuples close in phi space produce smaller gaps, hence fewer blocks."""
+        schema = Schema(
+            [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(5)]
+        )
+        rng = random.Random(9)
+        clustered = Relation(
+            schema,
+            [(0, 0, rng.randrange(4), rng.randrange(4), rng.randrange(64))
+             for _ in range(2000)],
+        )
+        scattered = Relation(
+            schema,
+            [tuple(rng.randrange(64) for _ in range(5)) for _ in range(2000)],
+        )
+        p_clustered = pack_relation(clustered, block_size=512)
+        p_scattered = pack_relation(scattered, block_size=512)
+        assert p_clustered.stats.num_blocks < p_scattered.stats.num_blocks
+
+    def test_compression_beats_fixed_width(self):
+        schema = Schema(
+            [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(5)]
+        )
+        rng = random.Random(10)
+        rel = Relation(
+            schema,
+            [tuple(rng.randrange(64) for _ in range(5)) for _ in range(5000)],
+        )
+        partition = pack_relation(rel, block_size=8192)
+        assert partition.stats.payload_bytes < rel.uncompressed_bytes()

@@ -1,0 +1,41 @@
+"""The exception hierarchy: every library error must be a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SchemaError,
+    errors.DomainError,
+    errors.EncodingError,
+    errors.CodecError,
+    errors.BlockOverflowError,
+    errors.StorageError,
+    errors.IndexError_,
+    errors.QueryError,
+    errors.WorkloadError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_block_overflow_is_a_codec_error():
+    assert issubclass(errors.BlockOverflowError, errors.CodecError)
+
+
+def test_index_error_does_not_shadow_builtin():
+    assert errors.IndexError_ is not IndexError
+    assert not issubclass(errors.IndexError_, IndexError)
+
+
+def test_single_except_catches_everything():
+    for exc in ALL_ERRORS:
+        try:
+            raise exc("boom")
+        except errors.ReproError as caught:
+            assert str(caught) == "boom"

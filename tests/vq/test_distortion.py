@@ -1,0 +1,55 @@
+"""Unit tests for the Equation 2.1 distortion measures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.vq.distortion import (
+    mean_squared_distortion,
+    pairwise_squared_error,
+    squared_error,
+)
+
+
+class TestSquaredError:
+    def test_matches_equation_21(self):
+        assert squared_error([1, 2, 3], [1, 2, 3]) == 0.0
+        assert squared_error([0, 0], [3, 4]) == 25.0
+        assert squared_error([1, 1, 1], [2, 3, 4]) == 1 + 4 + 9
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DomainError):
+            squared_error([1, 2], [1, 2, 3])
+
+
+class TestPairwise:
+    def test_matches_naive_computation(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(20, 4))
+        codes = rng.normal(size=(5, 4))
+        fast = pairwise_squared_error(points, codes)
+        naive = np.array(
+            [[squared_error(p, c) for c in codes] for p in points]
+        )
+        np.testing.assert_allclose(fast, naive, atol=1e-9)
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(50, 3)) * 1e6
+        d = pairwise_squared_error(points, points[:7])
+        assert (d >= 0).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DomainError):
+            pairwise_squared_error(np.zeros((3, 2)), np.zeros((2, 3)))
+
+
+class TestMeanDistortion:
+    def test_zero_when_codebook_covers_points(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert mean_squared_distortion(points, points) == 0.0
+
+    def test_single_code_is_mean_variance(self):
+        points = np.array([[0.0], [2.0]])
+        codebook = np.array([[1.0]])
+        assert mean_squared_distortion(points, codebook) == 1.0

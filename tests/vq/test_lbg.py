@@ -1,0 +1,70 @@
+"""Unit tests for the Linde-Buzo-Gray codebook design algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.vq.lbg import lbg_codebook
+from repro.vq.distortion import mean_squared_distortion
+
+
+def two_cluster_data(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=(0, 0), scale=0.5, size=(n // 2, 2))
+    b = rng.normal(loc=(10, 10), scale=0.5, size=(n // 2, 2))
+    return np.concatenate([a, b])
+
+
+class TestLBG:
+    def test_finds_two_obvious_clusters(self):
+        points = two_cluster_data()
+        result = lbg_codebook(points, 2, seed=1)
+        assert result.codebook.shape == (2, 2)
+        centers = sorted(result.codebook.tolist())
+        assert np.allclose(centers[0], [0, 0], atol=0.5)
+        assert np.allclose(centers[1], [10, 10], atol=0.5)
+
+    def test_distortion_decreases_with_codebook_size(self):
+        points = two_cluster_data(seed=2)
+        d1 = lbg_codebook(points, 1, seed=1).distortion
+        d2 = lbg_codebook(points, 2, seed=1).distortion
+        d4 = lbg_codebook(points, 4, seed=1).distortion
+        assert d1 > d2 >= d4
+
+    def test_reported_distortion_matches_codebook(self):
+        points = two_cluster_data(seed=3)
+        result = lbg_codebook(points, 4, seed=1)
+        assert result.distortion == pytest.approx(
+            mean_squared_distortion(points, result.codebook), rel=1e-9
+        )
+
+    def test_iteration_counts_are_recorded(self):
+        points = two_cluster_data(seed=4)
+        result = lbg_codebook(points, 4, seed=1)
+        # one entry for the initial centroid plus one per doubling (1->2->4)
+        assert len(result.lloyd_iterations) == 3
+        assert result.total_iterations == sum(result.lloyd_iterations)
+        assert result.total_iterations >= 3
+
+    def test_non_power_of_two_codebook_size(self):
+        points = two_cluster_data(seed=5)
+        result = lbg_codebook(points, 3, seed=1)
+        assert result.codebook.shape == (3, 2)
+
+    def test_single_point_training_set(self):
+        result = lbg_codebook(np.array([[5.0, 5.0]]), 2, seed=1)
+        assert result.distortion == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(DomainError):
+            lbg_codebook(np.empty((0, 2)), 2)
+
+    def test_zero_codes_rejected(self):
+        with pytest.raises(DomainError):
+            lbg_codebook(np.zeros((3, 2)), 0)
+
+    def test_deterministic_given_seed(self):
+        points = two_cluster_data(seed=6)
+        a = lbg_codebook(points, 4, seed=9)
+        b = lbg_codebook(points, 4, seed=9)
+        np.testing.assert_array_equal(a.codebook, b.codebook)

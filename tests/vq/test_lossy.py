@@ -1,0 +1,58 @@
+"""Unit tests for the conventional lossy VQ coder/decoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError, DomainError
+from repro.vq.lossy import LossyVectorQuantizer
+
+
+@pytest.fixture
+def quantizer():
+    return LossyVectorQuantizer(np.array([[0.0, 0.0], [10.0, 10.0], [20.0, 0.0]]))
+
+
+class TestLossyVQ:
+    def test_encode_picks_nearest_code(self, quantizer):
+        points = np.array([[1.0, 1.0], [9.0, 11.0], [19.0, 1.0]])
+        assert quantizer.encode(points).tolist() == [0, 1, 2]
+
+    def test_decode_returns_output_vectors(self, quantizer):
+        np.testing.assert_array_equal(
+            quantizer.decode([2, 0]), [[20.0, 0.0], [0.0, 0.0]]
+        )
+
+    def test_round_trip_is_lossy_for_non_code_points(self, quantizer):
+        points = np.array([[1.0, 1.0]])
+        recon = quantizer.reconstruction(points)
+        assert not np.array_equal(points, recon)
+
+    def test_round_trip_preserves_code_points(self, quantizer):
+        codes = quantizer.codebook
+        np.testing.assert_array_equal(quantizer.reconstruction(codes), codes)
+
+    def test_information_loss_fraction(self, quantizer):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [10.0, 10.0], [5.0, 5.0]])
+        # two of the four points are exactly code vectors
+        assert quantizer.information_loss(points) == 0.5
+
+    def test_codeword_bits(self):
+        assert LossyVectorQuantizer(np.zeros((1, 2))).codeword_bits == 1
+        assert LossyVectorQuantizer(np.zeros((2, 2))).codeword_bits == 1
+        assert LossyVectorQuantizer(np.zeros((3, 2))).codeword_bits == 2
+        assert LossyVectorQuantizer(np.zeros((256, 2))).codeword_bits == 8
+
+    def test_bad_codeword_rejected(self, quantizer):
+        with pytest.raises(CodecError):
+            quantizer.decode([3])
+        with pytest.raises(CodecError):
+            quantizer.decode([-1])
+
+    def test_empty_codebook_rejected(self):
+        with pytest.raises(DomainError):
+            LossyVectorQuantizer(np.empty((0, 2)))
+
+    def test_codebook_copy_is_defensive(self, quantizer):
+        cb = quantizer.codebook
+        cb[0, 0] = 999.0
+        assert quantizer.codebook[0, 0] == 0.0

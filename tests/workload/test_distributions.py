@@ -1,0 +1,89 @@
+"""Unit tests for the workload value distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.distributions import (
+    get_sampler,
+    skewed_values,
+    uniform_values,
+    zipf_values,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestUniform:
+    def test_values_in_domain(self, rng):
+        v = uniform_values(rng, 64, 10_000)
+        assert v.min() >= 0 and v.max() < 64
+        assert len(v) == 10_000
+
+    def test_roughly_flat(self, rng):
+        v = uniform_values(rng, 8, 80_000)
+        counts = np.bincount(v, minlength=8)
+        assert counts.min() > 9_000  # expected 10_000 each
+
+    def test_zero_count(self, rng):
+        assert len(uniform_values(rng, 8, 0)) == 0
+
+    def test_bad_parameters(self, rng):
+        with pytest.raises(WorkloadError):
+            uniform_values(rng, 0, 10)
+        with pytest.raises(WorkloadError):
+            uniform_values(rng, 8, -1)
+
+
+class TestSkewed:
+    def test_values_in_domain(self, rng):
+        v = skewed_values(rng, 64, 10_000)
+        assert v.min() >= 0 and v.max() < 64
+
+    def test_paper_60_40_rule(self, rng):
+        """About 60% of draws must land in the hot 40% of the domain
+        (plus the uniform draws that land there by chance)."""
+        domain = 100
+        v = skewed_values(rng, domain, 200_000)
+        hot = (v < 40).mean()
+        # hot mass = 0.6 + 0.4 * 0.4 = 0.76
+        assert 0.73 < hot < 0.79
+
+    def test_degenerate_domain(self, rng):
+        v = skewed_values(rng, 1, 100)
+        assert (v == 0).all()
+
+    def test_bad_skew_parameters(self, rng):
+        with pytest.raises(WorkloadError):
+            skewed_values(rng, 8, 10, hot_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            skewed_values(rng, 8, 10, hot_probability=1.5)
+
+
+class TestZipf:
+    def test_values_in_domain(self, rng):
+        v = zipf_values(rng, 50, 5_000)
+        assert v.min() >= 0 and v.max() < 50
+
+    def test_head_heavier_than_tail(self, rng):
+        v = zipf_values(rng, 50, 50_000)
+        counts = np.bincount(v, minlength=50)
+        assert counts[0] > counts[10] > counts[40]
+
+    def test_bad_exponent(self, rng):
+        with pytest.raises(WorkloadError):
+            zipf_values(rng, 8, 10, s=0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_sampler("uniform") is uniform_values
+        assert get_sampler("skewed") is skewed_values
+        assert get_sampler("zipf") is zipf_values
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            get_sampler("gaussian")

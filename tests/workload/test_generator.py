@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic relation generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generator import (
+    RelationSpec,
+    generate_domain_sizes,
+    generate_relation,
+    paper_test_spec,
+    paper_timing_spec,
+)
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = RelationSpec(num_tuples=100)
+        assert spec.num_attributes == 15
+        assert spec.domain_variance == "small"
+        assert spec.skew == "uniform"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_tuples": -1},
+            {"num_tuples": 1, "num_attributes": 0},
+            {"num_tuples": 1, "mean_domain_size": 1},
+            {"num_tuples": 1, "domain_variance": "medium"},
+            {"num_tuples": 1, "skew": "weird"},
+            {"num_tuples": 1, "domain_sizes": (4, 4)},  # wrong count for 15
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            RelationSpec(**kwargs)
+
+
+class TestDomainSizes:
+    def test_small_variance_is_tight(self):
+        spec = RelationSpec(num_tuples=1, mean_domain_size=64,
+                            domain_variance="small", seed=3)
+        sizes = generate_domain_sizes(spec)
+        assert len(sizes) == 15
+        mean = sum(sizes) / len(sizes)
+        # pairwise differences within 10% of the average (paper's criterion)
+        assert max(sizes) - min(sizes) <= 0.10 * mean + 1
+
+    def test_large_variance_is_wide(self):
+        spec = RelationSpec(num_tuples=1, mean_domain_size=64,
+                            domain_variance="large", seed=3)
+        sizes = generate_domain_sizes(spec)
+        mean = sum(sizes) / len(sizes)
+        assert max(sizes) - min(sizes) > 1.0 * mean  # >100% of average
+
+    def test_explicit_sizes_pass_through(self):
+        spec = RelationSpec(num_tuples=1, num_attributes=3,
+                            domain_sizes=(5, 6, 7))
+        assert generate_domain_sizes(spec) == [5, 6, 7]
+
+    def test_deterministic_per_seed(self):
+        a = generate_domain_sizes(RelationSpec(num_tuples=1, seed=9))
+        b = generate_domain_sizes(RelationSpec(num_tuples=1, seed=9))
+        assert a == b
+
+
+class TestGenerateRelation:
+    def test_shape_and_domains(self):
+        spec = RelationSpec(num_tuples=500, num_attributes=4,
+                            mean_domain_size=16, seed=1)
+        rel = generate_relation(spec)
+        assert len(rel) == 500
+        assert rel.schema.arity == 4
+        sizes = rel.schema.domain_sizes
+        for t in rel:
+            assert all(0 <= v < s for v, s in zip(t, sizes))
+
+    def test_deterministic_per_seed(self):
+        spec = RelationSpec(num_tuples=50, seed=7)
+        assert list(generate_relation(spec)) == list(generate_relation(spec))
+
+    def test_different_seeds_differ(self):
+        a = generate_relation(RelationSpec(num_tuples=50, seed=1))
+        b = generate_relation(RelationSpec(num_tuples=50, seed=2))
+        assert list(a) != list(b)
+
+    def test_zero_tuples(self):
+        rel = generate_relation(RelationSpec(num_tuples=0))
+        assert len(rel) == 0
+
+    def test_skewed_relation_shows_skew(self):
+        spec = RelationSpec(num_tuples=20_000, num_attributes=2,
+                            mean_domain_size=100, skew="skewed", seed=5)
+        rel = generate_relation(spec)
+        arr = rel.to_array()
+        size = rel.schema.domain_sizes[0]
+        hot = (arr[:, 0] < 0.4 * size).mean()
+        assert hot > 0.7
+
+
+class TestPresets:
+    def test_paper_test_spec(self):
+        spec = paper_test_spec(10_000, skew=True, variance="large")
+        assert spec.num_attributes == 15
+        assert spec.skew == "skewed"
+        assert spec.domain_variance == "large"
+
+    def test_paper_timing_spec_is_38_bytes(self):
+        """Section 5.2: 16 attributes, 38-byte tuples after mapping."""
+        from repro.core.runlength import TupleLayout
+
+        spec = paper_timing_spec(1000)
+        rel = generate_relation(spec)
+        layout = TupleLayout(rel.schema.domain_sizes)
+        assert rel.schema.arity == 16
+        assert layout.tuple_bytes == 38

@@ -1,0 +1,72 @@
+"""Unit tests for the query workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.schema import Attribute, Schema
+from repro.workload.queries import (
+    paper_query_sweep,
+    random_range_queries,
+    range_query_for_attribute,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [Attribute(f"A{i + 1}", IntegerRangeDomain(0, 63)) for i in range(5)]
+    )
+
+
+class TestPaperQuery:
+    def test_default_is_upper_half_of_domain(self, schema):
+        q = range_query_for_attribute(schema, "A2")
+        (pred,) = q.predicates
+        assert pred.attribute == "A2"
+        assert pred.lo == 32
+        assert pred.hi == 63
+
+    def test_selectivity_shrinks_range(self, schema):
+        q = range_query_for_attribute(schema, "A1", selectivity=0.25)
+        (pred,) = q.predicates
+        assert pred.hi - pred.lo + 1 == 16
+
+    def test_bounds_clamped_to_domain(self, schema):
+        q = range_query_for_attribute(
+            schema, "A1", start_fraction=0.99, selectivity=1.0
+        )
+        (pred,) = q.predicates
+        assert pred.hi <= 63
+
+    def test_bad_parameters(self, schema):
+        with pytest.raises(WorkloadError):
+            range_query_for_attribute(schema, "A1", start_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            range_query_for_attribute(schema, "A1", selectivity=0)
+
+    def test_sweep_covers_every_attribute_in_order(self, schema):
+        queries = list(paper_query_sweep(schema))
+        assert [q.predicates[0].attribute for q in queries] == schema.names
+
+
+class TestRandomQueries:
+    def test_count_and_validity(self, schema):
+        queries = random_range_queries(schema, 100, seed=3)
+        assert len(queries) == 100
+        for q in queries:
+            (pred,) = q.predicates
+            size = schema.attribute(pred.attribute).domain.size
+            assert 0 <= pred.lo <= pred.hi < size
+
+    def test_deterministic_per_seed(self, schema):
+        a = random_range_queries(schema, 20, seed=5)
+        b = random_range_queries(schema, 20, seed=5)
+        assert [repr(q) for q in a] == [repr(q) for q in b]
+
+    def test_bad_parameters(self, schema):
+        with pytest.raises(WorkloadError):
+            random_range_queries(schema, -1)
+        with pytest.raises(WorkloadError):
+            random_range_queries(schema, 1, min_selectivity=0.9,
+                                 max_selectivity=0.1)
