@@ -1,0 +1,59 @@
+"""Self-hosted static analysis for the AVQ reproduction.
+
+An AST-based lint pass encoding the invariants the codec's lossless
+guarantee relies on — error-hierarchy discipline, no swallowed
+exceptions on decode paths, byte-width symmetry, reproducible
+randomness — plus the plumbing to run it::
+
+    python -m repro.analysis src/repro          # text report, exit 0/1/2
+    python -m repro.analysis --format json ...  # stable JSON schema
+    python -m repro lint                        # same, via the main CLI
+
+The pass is *self-hosted*: ``tests/analysis/test_self_lint.py`` fails
+the tier-1 suite whenever ``src/repro`` violates any rule, so the
+invariants hold even where CI is unavailable.  Rules live in
+:mod:`repro.analysis.rules`; see ``docs/ANALYSIS.md`` for the rule
+catalogue and the ``# repro: noqa[R00x]`` suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rule_ids,
+    get_rule,
+    iter_rules,
+    register,
+)
+from repro.analysis.report import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_rules,
+    render_text,
+)
+from repro.analysis.runner import ScanResult, analyze_source, scan_paths
+
+# Importing the module registers the built-in rule set.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "ScanResult",
+    "all_rule_ids",
+    "analyze_source",
+    "get_rule",
+    "iter_rules",
+    "main",
+    "register",
+    "render_json",
+    "render_rules",
+    "render_text",
+    "scan_paths",
+]
+
+from repro.analysis.cli import main

@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — run the lint pass from the shell."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

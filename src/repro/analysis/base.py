@@ -1,0 +1,208 @@
+"""Core abstractions for the :mod:`repro.analysis` static-analysis pass.
+
+The framework is deliberately small: a :class:`Rule` inspects one parsed
+module (:class:`ModuleContext`) and yields :class:`Finding` objects.
+Rules register themselves in a module-level registry via
+:func:`register`, so adding a rule is one class definition away and the
+CLI, the reporters, and the self-hosting test all discover it for free.
+
+Severities mirror the two ways a violation can hurt the codec:
+
+* ``error`` — the violation can break the lossless round-trip guarantee
+  (silently swallowed corruption, truncating byte widths, validation
+  that vanishes under ``python -O``).
+* ``warning`` — the violation erodes reproducibility or API hygiene but
+  cannot by itself corrupt data.
+
+Both severities fail the build; the distinction exists for reporting
+and for future per-rule policy.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rule_ids",
+    "get_rule",
+    "iter_rules",
+    "register",
+    "resolve_rule_ids",
+    "walk_without_functions",
+]
+
+#: Severity levels, ordered from most to least serious.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def suppress(self) -> "Finding":
+        """A copy of this finding marked as suppressed by ``noqa``."""
+        return replace(self, suppressed=True)
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering: by file, then location, then rule id."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may need to know about one module under scan.
+
+    The context is built once per file by the runner and shared by every
+    rule, so rules never re-read or re-parse sources.
+    """
+
+    path: Path
+    source: str
+    tree: ast.Module
+    #: ``repro.core.bits``-style dotted name, or the stem if the file
+    #: does not live under a recognisable package root.
+    module_name: str
+    #: Lines carrying ``# repro: noqa`` pragmas -> suppressed rule ids
+    #: (the empty frozenset means "suppress every rule on this line").
+    noqa: Dict[int, frozenset] = field(default_factory=dict)
+
+    @property
+    def is_dunder_main(self) -> bool:
+        """True for ``__main__.py`` entry-point modules."""
+        return self.path.name == "__main__.py"
+
+    @property
+    def is_package_init(self) -> bool:
+        """True for ``__init__.py`` package modules."""
+        return self.path.name == "__init__.py"
+
+    @property
+    def is_workload(self) -> bool:
+        """True inside :mod:`repro.workload` (exempt from R007)."""
+        return "workload" in self.module_name.split(".")
+
+    def lines(self) -> List[str]:
+        """The source split into lines (1-indexed via ``lines()[n-1]``)."""
+        return self.source.splitlines()
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Subclasses set the class attributes and implement :meth:`run`.
+    Rules must be stateless across modules — the runner reuses one
+    instance for the whole scan.
+    """
+
+    #: Stable identifier, e.g. ``"R001"``.
+    rule_id: str = ""
+    #: ``"error"`` or ``"warning"``.
+    severity: str = "error"
+    #: One-line human summary shown by ``--list-rules``.
+    summary: str = ""
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module.  Subclasses override."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        *,
+        line: Optional[int] = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node`` (or ``line``)."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=str(ctx.path),
+            line=line if line is not None else getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise AnalysisError(f"rule class {cls.__name__} has no rule_id")
+    if cls.severity not in SEVERITIES:
+        raise AnalysisError(
+            f"rule {cls.rule_id}: unknown severity {cls.severity!r}"
+        )
+    if cls.rule_id in _REGISTRY:
+        raise AnalysisError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls()
+    return cls
+
+
+def iter_rules() -> List[Rule]:
+    """All registered rules, ordered by rule id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def all_rule_ids() -> List[str]:
+    """Sorted ids of every registered rule."""
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError as exc:
+        raise AnalysisError(
+            f"unknown rule {rule_id!r} (known: {', '.join(sorted(_REGISTRY))})"
+        ) from exc
+
+
+def resolve_rule_ids(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """The rule set implied by ``--select``/``--ignore`` arguments.
+
+    ``select`` limits the scan to the named rules; ``ignore`` removes
+    rules from whatever ``select`` produced.  Unknown ids raise
+    :class:`~repro.errors.AnalysisError` (a CLI usage error, exit 2).
+    """
+    chosen = list(select) if select else all_rule_ids()
+    for rule_id in list(chosen) + list(ignore or []):
+        get_rule(rule_id)  # raises on unknown ids
+    dropped = frozenset(ignore or [])
+    return [get_rule(rule_id) for rule_id in chosen if rule_id not in dropped]
+
+
+def walk_without_functions(node: ast.AST) -> Iterable[ast.AST]:
+    """Yield ``node`` and descendants, not descending into nested defs.
+
+    Useful for "does this handler re-raise" style checks where a
+    ``raise`` inside a nested function does not count.
+    """
+    yield node
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from walk_without_functions(child)

@@ -1,0 +1,97 @@
+"""Command-line front end for the static-analysis pass.
+
+Exit codes (mirrored by ``repro lint`` and asserted by
+``tests/analysis/test_cli.py``):
+
+* ``0`` — scan ran, no active findings
+* ``1`` — scan ran, at least one active finding
+* ``2`` — usage error (unknown rule id, missing path, bad flag)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.report import render_json, render_rules, render_text
+from repro.analysis.runner import scan_paths
+from repro.errors import AnalysisError
+
+__all__ = ["build_parser", "main"]
+
+USAGE_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.analysis`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST lint for repro codec invariants (R001-R007); "
+            "see docs/ANALYSIS.md"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings waived by # repro: noqa",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    try:
+        result = scan_paths(
+            paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except AnalysisError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return USAGE_ERROR
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return result.exit_code

@@ -1,0 +1,70 @@
+"""``# repro: noqa`` suppression-comment parsing.
+
+Two forms are recognised, anywhere in a physical line (normally a
+trailing comment on the flagged statement)::
+
+    x = risky()  # repro: noqa            -- suppress every rule here
+    x = risky()  # repro: noqa[R002]      -- suppress only R002
+    x = risky()  # repro: noqa[R001,R003] -- suppress several rules
+
+The bracket list is comma-separated and whitespace-tolerant.  A bare
+``# noqa`` (flake8 style) is deliberately *not* honoured: suppressions
+of codec invariants must be explicit about which invariant they waive,
+and greppable as ``repro: noqa``.
+
+Suppressed findings still appear in JSON reports (flagged
+``"suppressed": true``) so audits can count waived invariants; they do
+not affect the exit code.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+__all__ = ["NOQA_ALL", "is_suppressed", "parse_noqa"]
+
+#: Sentinel value meaning "every rule is suppressed on this line".
+NOQA_ALL: FrozenSet[str] = frozenset()
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+def parse_noqa(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-indexed line numbers to the rule ids suppressed there.
+
+    The value :data:`NOQA_ALL` (an empty frozenset) means the bare form
+    was used and every rule is suppressed on that line.
+    """
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line or "noqa" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            out[lineno] = NOQA_ALL
+            continue
+        ids = frozenset(
+            part.strip().upper()
+            for part in rules.split(",")
+            if part.strip()
+        )
+        # ``# repro: noqa[]`` names no rules: treat as the bare form
+        # rather than a silent no-op.
+        out[lineno] = ids if ids else NOQA_ALL
+    return out
+
+
+def is_suppressed(
+    noqa: Dict[int, FrozenSet[str]], line: int, rule_id: str
+) -> bool:
+    """True when ``rule_id`` is waived on ``line`` by a noqa pragma."""
+    ids = noqa.get(line)
+    if ids is None:
+        return False
+    return ids == NOQA_ALL or rule_id in ids

@@ -1,0 +1,102 @@
+"""Text and JSON rendering of a :class:`~repro.analysis.runner.ScanResult`.
+
+The JSON schema is versioned and stable so CI tooling can parse it::
+
+    {
+      "version": 1,
+      "files_scanned": 42,
+      "summary": {"active": 2, "suppressed": 1, "by_rule": {"R002": 2}},
+      "findings": [
+        {"file": "src/repro/io/format.py", "line": 155, "col": 8,
+         "rule": "R002", "severity": "error",
+         "message": "...", "suppressed": false},
+        ...
+      ]
+    }
+
+``by_rule`` counts only active findings — suppressed ones appear in the
+findings list (with ``"suppressed": true``) so waived invariants stay
+auditable, but they never fail a build.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict
+
+from repro.analysis.base import iter_rules
+from repro.analysis.runner import ScanResult
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_rules", "render_text"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: ScanResult, *, show_suppressed: bool = False) -> str:
+    """Human-oriented ``path:line:col: RULE severity: message`` lines."""
+    lines = []
+    for f in result.findings:
+        if f.suppressed and not show_suppressed:
+            continue
+        tag = " (suppressed)" if f.suppressed else ""
+        lines.append(
+            f"{f.path}:{f.line}:{f.col}: {f.rule_id} "
+            f"{f.severity}: {f.message}{tag}"
+        )
+    active = result.active
+    if active:
+        by_rule = Counter(f.rule_id for f in active)
+        counts = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(
+            f"{len(active)} finding(s) in {result.files_scanned} "
+            f"file(s) [{counts}]"
+        )
+    else:
+        lines.append(
+            f"clean: {result.files_scanned} file(s), 0 findings"
+            + (
+                f" ({len(result.suppressed)} suppressed)"
+                if result.suppressed
+                else ""
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: ScanResult) -> str:
+    """Machine-oriented report (schema above), stable key order."""
+    payload: Dict[str, Any] = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "summary": {
+            "active": len(result.active),
+            "suppressed": len(result.suppressed),
+            "by_rule": dict(
+                sorted(Counter(f.rule_id for f in result.active).items())
+            ),
+        },
+        "findings": [
+            {
+                "file": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule_id,
+                "severity": f.severity,
+                "message": f.message,
+                "suppressed": f.suppressed,
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_rules() -> str:
+    """The ``--list-rules`` table."""
+    lines = []
+    for rule in iter_rules():
+        lines.append(f"{rule.rule_id}  [{rule.severity:7s}] {rule.summary}")
+    return "\n".join(lines)

@@ -1,0 +1,589 @@
+"""The repo-specific rule set (R001–R007).
+
+Each rule guards an invariant the AVQ codec's lossless round-trip
+guarantee (Theorem 2.1) silently relies on.  Differential coders fail
+*catastrophically* on unchecked edge cases — a flipped bit or a
+truncated width corrupts every tuple after it — so the failure classes
+below are worth a dedicated static pass rather than runtime faith.
+
+See ``docs/ANALYSIS.md`` for the full rationale, examples, and the
+suppression syntax (``# repro: noqa[R00x]``).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    register,
+    walk_without_functions,
+)
+
+__all__ = [
+    "AssertValidationRule",
+    "BroadExceptRule",
+    "ByteWidthRule",
+    "DunderAllRule",
+    "MutableDefaultRule",
+    "RaiseBuiltinRule",
+    "UnseededRandomRule",
+]
+
+
+def _attribute_chain(node: ast.AST) -> List[str]:
+    """Flatten ``a.b.c`` into ``["a", "b", "c"]`` (empty if not names)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+def _exception_name(node: Optional[ast.AST]) -> Optional[str]:
+    """The class name behind ``raise X`` / ``raise X(...)``, if static."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+#: Builtin exceptions a library module may legitimately raise: protocol
+#: sentinels and control-flow exceptions, never error reports.
+_R001_ALLOWED = frozenset(
+    {
+        "NotImplementedError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "KeyboardInterrupt",
+        "SystemExit",
+        "GeneratorExit",
+    }
+)
+
+
+@register
+class RaiseBuiltinRule(Rule):
+    """R001: raise only :class:`repro.errors.ReproError` subclasses."""
+
+    rule_id = "R001"
+    severity = "error"
+    summary = (
+        "library code must raise ReproError subclasses, not builtin "
+        "exceptions (callers catch ReproError to distinguish library "
+        "failures from bugs)"
+    )
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _exception_name(node.exc)
+            if name is None:  # bare ``raise`` (re-raise) or dynamic
+                continue
+            if name in _BUILTIN_EXCEPTIONS and name not in _R001_ALLOWED:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raises builtin {name}; raise a repro.errors."
+                    f"ReproError subclass so callers can catch library "
+                    f"failures precisely",
+                )
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:`` or ``except (Base)Exception``."""
+    if handler.type is None:
+        return True
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = [_exception_name(e) for e in handler.type.elts]
+    else:
+        names = [_exception_name(handler.type)]
+    return any(n in ("Exception", "BaseException") for n in names)
+
+
+@register
+class BroadExceptRule(Rule):
+    """R002: no broad ``except`` that swallows without re-raising."""
+
+    rule_id = "R002"
+    severity = "error"
+    summary = (
+        "bare/broad except clauses must re-raise: a swallowed decode "
+        "error turns corruption into silently wrong tuples"
+    )
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_handler(node):
+                continue
+            reraises = any(
+                isinstance(inner, ast.Raise)
+                for stmt in node.body
+                for inner in walk_without_functions(stmt)
+            )
+            if not reraises:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "broad except swallows the error; re-raise, narrow "
+                    "the exception type, or justify with "
+                    "# repro: noqa[R002]",
+                )
+
+
+@register
+class AssertValidationRule(Rule):
+    """R003: no ``assert`` for runtime validation in library code."""
+
+    rule_id = "R003"
+    severity = "error"
+    summary = (
+        "assert statements vanish under python -O; validate with an "
+        "explicit raise of a ReproError subclass"
+    )
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "assert is stripped by python -O; use an explicit "
+                    "raise for runtime validation",
+                )
+
+
+_MUTABLE_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "defaultdict",
+        "deque",
+        "Counter",
+        "OrderedDict",
+    }
+)
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        name = _exception_name(node.func)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """R004: no mutable default arguments."""
+
+    rule_id = "R004"
+    severity = "warning"
+    summary = (
+        "mutable default arguments are shared across calls; default to "
+        "None and allocate inside the function"
+    )
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"{name}() has a mutable default argument; use "
+                        f"None and allocate per call",
+                    )
+
+
+def _extract_dunder_all(
+    tree: ast.Module,
+) -> Tuple[Optional[ast.stmt], Optional[List[str]]]:
+    """The ``__all__`` assignment node and its names, if literal."""
+    for stmt in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if not (isinstance(target, ast.Name) and target.id == "__all__"):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            return stmt, [e.value for e in value.elts]
+        return stmt, None
+    return None, None
+
+
+def _top_level_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level (defs, classes, assigns, imports)."""
+    bound: Set[str] = set()
+
+    def add_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                add_target(elt)
+        elif isinstance(target, ast.Starred):
+            add_target(target.value)
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                add_target(target)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            add_target(stmt.target)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                name = alias.asname or alias.name
+                bound.add(name.split(".")[0])
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # TYPE_CHECKING blocks and import fallbacks bind names too.
+            for inner in ast.walk(stmt):
+                if isinstance(inner, (ast.Import, ast.ImportFrom)):
+                    for alias in inner.names:
+                        name = alias.asname or alias.name
+                        bound.add(name.split(".")[0])
+                elif isinstance(
+                    inner,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    bound.add(inner.name)
+                elif isinstance(inner, ast.Assign):
+                    for target in inner.targets:
+                        add_target(target)
+    return bound
+
+
+@register
+class DunderAllRule(Rule):
+    """R005: ``__all__`` declared and consistent with public names."""
+
+    rule_id = "R005"
+    severity = "warning"
+    summary = (
+        "every module declares __all__, every listed name exists, and "
+        "every public def/class is listed (the public API is explicit)"
+    )
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.is_dunder_main:
+            return  # entry-point scripts have no importable API
+        stmt, names = _extract_dunder_all(ctx.tree)
+        if stmt is None:
+            yield self.finding(
+                ctx,
+                ctx.tree,
+                "module does not declare __all__; the public API must "
+                "be explicit",
+                line=1,
+            )
+            return
+        if names is None:
+            yield self.finding(
+                ctx,
+                stmt,
+                "__all__ must be a literal list/tuple of string names",
+            )
+            return
+        bound = _top_level_bindings(ctx.tree)
+        for name in names:
+            if name not in bound:
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"__all__ lists {name!r} but the module never binds "
+                    f"it",
+                )
+        listed = set(names)
+        for node in ctx.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_") or node.name in listed:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"public name {node.name!r} is not in __all__; export "
+                f"it or rename it with a leading underscore",
+            )
+
+
+def _literal_int(node: Optional[ast.AST]) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _call_arg(
+    node: ast.Call, position: int, keyword: str
+) -> Optional[ast.expr]:
+    if len(node.args) > position:
+        return node.args[position]
+    for kw in node.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    return None
+
+
+def _read_width(data: Optional[ast.expr]) -> Optional[int]:
+    """Literal byte width implied by a ``from_bytes`` data expression.
+
+    Recognises ``buf[:N]`` slices and single-literal-argument calls
+    such as ``f.read(N)``.
+    """
+    if isinstance(data, ast.Subscript) and isinstance(data.slice, ast.Slice):
+        sl = data.slice
+        if sl.lower is None and sl.step is None:
+            return _literal_int(sl.upper)
+        lo, hi = _literal_int(sl.lower), _literal_int(sl.upper)
+        if lo is not None and hi is not None and sl.step is None:
+            return hi - lo
+    if isinstance(data, ast.Call) and len(data.args) == 1:
+        return _literal_int(data.args[0])
+    return None
+
+
+@register
+class ByteWidthRule(Rule):
+    """R006: fixed-width byte I/O is explicit and write/read symmetric."""
+
+    rule_id = "R006"
+    severity = "error"
+    summary = (
+        "to_bytes/from_bytes must pass the literal byteorder 'big', and "
+        "literal write widths must have matching literal reads in the "
+        "same module (a 2-byte write read back as 4 bytes truncates "
+        "silently)"
+    )
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        writes: List[Tuple[int, ast.Call]] = []
+        reads: List[Tuple[int, ast.Call]] = []
+        pack_fmts: List[Tuple[str, ast.Call]] = []
+        unpack_fmts: List[Tuple[str, ast.Call]] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            attr = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else None
+            )
+            chain = _attribute_chain(node.func)
+            if attr == "to_bytes":
+                yield from self._check_byteorder(ctx, node, position=1)
+                width = _literal_int(_call_arg(node, 0, "length"))
+                if width is not None:
+                    writes.append((width, node))
+            elif attr == "from_bytes":
+                yield from self._check_byteorder(ctx, node, position=1)
+                width = _read_width(_call_arg(node, 0, "bytes"))
+                if width is not None:
+                    reads.append((width, node))
+            elif chain[:1] == ["struct"] and attr in ("pack", "unpack"):
+                fmt = _call_arg(node, 0, "format")
+                if isinstance(fmt, ast.Constant) and isinstance(
+                    fmt.value, str
+                ):
+                    dest = pack_fmts if attr == "pack" else unpack_fmts
+                    dest.append((fmt.value, node))
+
+        if writes and reads:
+            write_widths = {w for w, _ in writes}
+            read_widths = {w for w, _ in reads}
+            for width, node in writes:
+                if width not in read_widths:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"writes a {width}-byte field but this module "
+                        f"reads only {sorted(read_widths)}-byte fields; "
+                        f"width mismatch truncates or misaligns the "
+                        f"stream",
+                    )
+            for width, node in reads:
+                if width not in write_widths:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"reads a {width}-byte field but this module "
+                        f"writes only {sorted(write_widths)}-byte "
+                        f"fields; width mismatch truncates or misaligns "
+                        f"the stream",
+                    )
+        if pack_fmts and unpack_fmts:
+            pack_set = {f for f, _ in pack_fmts}
+            unpack_set = {f for f, _ in unpack_fmts}
+            for fmt, node in pack_fmts:
+                if fmt not in unpack_set:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"struct.pack format {fmt!r} has no matching "
+                        f"struct.unpack in this module",
+                    )
+            for fmt, node in unpack_fmts:
+                if fmt not in pack_set:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"struct.unpack format {fmt!r} has no matching "
+                        f"struct.pack in this module",
+                    )
+
+    def _check_byteorder(
+        self, ctx: ModuleContext, node: ast.Call, *, position: int
+    ) -> Iterator[Finding]:
+        byteorder = _call_arg(node, position, "byteorder")
+        if byteorder is None:
+            yield self.finding(
+                ctx,
+                node,
+                "to_bytes/from_bytes without an explicit byteorder "
+                "(defaults only exist on python >= 3.11; the container "
+                "format is big-endian)",
+            )
+        elif not (
+            isinstance(byteorder, ast.Constant) and byteorder.value == "big"
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                "byteorder must be the literal 'big'; the container "
+                "format is canonically big-endian",
+            )
+
+
+_NUMPY_LEGACY_RANDOM = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "poisson",
+        "exponential",
+        "zipf",
+        "seed",
+        "bytes",
+    }
+)
+
+
+@register
+class UnseededRandomRule(Rule):
+    """R007: no unseeded randomness outside :mod:`repro.workload`."""
+
+    rule_id = "R007"
+    severity = "warning"
+    summary = (
+        "experiments must be reproducible: no stdlib random, no legacy "
+        "numpy global RNG, no default_rng() without a seed outside "
+        "repro.workload"
+    )
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.is_workload:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "stdlib random uses hidden global state; "
+                            "use numpy.random.default_rng(seed) or "
+                            "move the code into repro.workload",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "stdlib random uses hidden global state; use "
+                        "numpy.random.default_rng(seed) or move the "
+                        "code into repro.workload",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(
+        self, ctx: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        chain = _attribute_chain(node.func)
+        if not chain:
+            return
+        if chain[-1] == "default_rng":
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() without a seed is entropy-seeded; "
+                    "pass an explicit seed for reproducible runs",
+                )
+            return
+        if (
+            len(chain) >= 3
+            and chain[-2] == "random"
+            and chain[0] in ("np", "numpy")
+            and chain[-1] in _NUMPY_LEGACY_RANDOM
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"numpy legacy global RNG call np.random.{chain[-1]}(); "
+                f"use a seeded default_rng Generator instead",
+            )

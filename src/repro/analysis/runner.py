@@ -1,0 +1,135 @@
+"""Scan orchestration: find files, parse once, run every rule.
+
+The runner is the only layer that touches the filesystem; rules see a
+pre-parsed :class:`~repro.analysis.base.ModuleContext` and the
+reporters see a finished :class:`ScanResult`.  That separation keeps
+rules trivially unit-testable from source strings (see
+``tests/analysis/``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    resolve_rule_ids,
+)
+from repro.analysis.noqa import is_suppressed, parse_noqa
+from repro.errors import AnalysisError
+
+__all__ = ["ScanResult", "analyze_source", "collect_files", "scan_paths"]
+
+
+@dataclass
+class ScanResult:
+    """Outcome of one analysis run."""
+
+    files_scanned: int = 0
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings not waived by a ``# repro: noqa`` pragma."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        """Findings waived by a ``# repro: noqa`` pragma."""
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any active finding remains."""
+        return 1 if self.active else 0
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name, rooted at the nearest ``src`` or package dir."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for root in ("src",):
+        if root in parts:
+            parts = parts[parts.index(root) + 1 :]
+            break
+    else:
+        # Walk up while parent dirs are packages (have __init__.py).
+        keep = [parts[-1]] if parts else []
+        probe = path.parent
+        while (probe / "__init__.py").exists():
+            keep.insert(0, probe.name)
+            probe = probe.parent
+        parts = keep
+    return ".".join(parts) if parts else path.stem
+
+
+def analyze_source(
+    source: str,
+    path: Path,
+    rules: Sequence[Rule],
+    *,
+    module_name: Optional[str] = None,
+) -> List[Finding]:
+    """Run ``rules`` over one module's source text.
+
+    Findings suppressed by ``# repro: noqa`` pragmas are *returned* but
+    marked ``suppressed`` — callers decide whether to show them.
+    """
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: cannot parse: {exc}") from exc
+    ctx = ModuleContext(
+        path=path,
+        source=source,
+        tree=tree,
+        module_name=module_name or _module_name(path),
+        noqa=parse_noqa(source),
+    )
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.run(ctx):
+            if is_suppressed(ctx.noqa, finding.line, finding.rule_id):
+                finding = finding.suppress()
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise AnalysisError(f"{path}: no such file or directory")
+    return out
+
+
+def scan_paths(
+    paths: Iterable[Path],
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> ScanResult:
+    """Scan files and directories with the selected rule set."""
+    rules = resolve_rule_ids(select, ignore)
+    result = ScanResult()
+    for path in collect_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"{path}: cannot read: {exc}") from exc
+        result.findings.extend(analyze_source(source, path, rules))
+        result.files_scanned += 1
+    result.findings.sort(key=Finding.sort_key)
+    return result

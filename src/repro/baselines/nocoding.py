@@ -8,7 +8,7 @@ from repro.baselines.base import BaselineCodec
 from repro.core.runlength import TupleLayout
 from repro.errors import CodecError
 
-__all__ = ["NoCodingBaseline"]
+__all__ = ["NaturalWidthBaseline", "NoCodingBaseline"]
 
 
 class NoCodingBaseline(BaselineCodec):

@@ -25,7 +25,7 @@ from repro.relational.encoding import SchemaInferencer
 from repro.relational.relation import Relation
 from repro.storage.block import DEFAULT_BLOCK_SIZE
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -139,6 +139,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _coerce(value: str):
     try:
         return int(value)
@@ -179,6 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buckets", type=int, default=16,
                    help="histogram resolution")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis of codec invariants (see docs/ANALYSIS.md)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to scan (default: src/repro)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", metavar="RULES",
+                   help="comma-separated rule ids to run")
+    p.add_argument("--ignore", metavar="RULES",
+                   help="comma-separated rule ids to skip")
+    p.add_argument("--show-suppressed", action="store_true",
+                   help="also print findings waived by # repro: noqa")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("query", help="range-select from a container")
     p.add_argument("input")

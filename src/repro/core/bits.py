@@ -12,6 +12,8 @@ and unary runs — exactly what Golomb-Rice coding consumes.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import CodecError
 
 __all__ = ["BitWriter", "BitReader"]
@@ -22,7 +24,7 @@ class BitWriter:
 
     __slots__ = ("_bytes", "_bitpos")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._bytes = bytearray()
         self._bitpos = 0  # bits used in the last byte (0..7)
 
@@ -68,7 +70,7 @@ class BitReader:
 
     __slots__ = ("_data", "_pos", "_limit")
 
-    def __init__(self, data: bytes, bit_length: int = None):
+    def __init__(self, data: bytes, bit_length: Optional[int] = None) -> None:
         self._data = data
         self._pos = 0
         self._limit = len(data) * 8 if bit_length is None else bit_length

@@ -84,7 +84,7 @@ class BlockCodec:
         *,
         chained: bool = True,
         representative: str = "median",
-    ):
+    ) -> None:
         self._mapper = OrdinalMapper(domain_sizes)
         self._layout = TupleLayout(domain_sizes)
         self._chained = chained

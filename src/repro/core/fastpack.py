@@ -28,13 +28,19 @@ from repro.core.phi import OrdinalMapper
 from repro.core.runlength import TupleLayout
 from repro.errors import DomainError, StorageError
 
-__all__ = ["FastGapSizer", "fast_pack_boundaries", "fast_blocks_needed"]
+__all__ = [
+    "FastBlockEncoder",
+    "FastGapSizer",
+    "fast_blocks_needed",
+    "fast_encode_relation",
+    "fast_pack_boundaries",
+]
 
 
 class FastGapSizer:
     """Vectorised ``leading_zero_bytes`` / RLE cost over gap arrays."""
 
-    def __init__(self, domain_sizes: Sequence[int]):
+    def __init__(self, domain_sizes: Sequence[int]) -> None:
         self._mapper = OrdinalMapper(domain_sizes)
         self._layout = TupleLayout(domain_sizes)
         if not self._mapper.fits_int64:
@@ -148,7 +154,7 @@ class FastBlockEncoder:
     the scalar encoder.
     """
 
-    def __init__(self, domain_sizes: Sequence[int]):
+    def __init__(self, domain_sizes: Sequence[int]) -> None:
         self._sizer = FastGapSizer(domain_sizes)
         self._mapper = self._sizer._mapper
         self._layout = self._sizer._layout

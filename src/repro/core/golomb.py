@@ -67,7 +67,7 @@ class GolombBlockCodec:
     #: Packer protocol: sizes are whole-block, not incremental.
     chained = False
 
-    def __init__(self, domain_sizes: Sequence[int]):
+    def __init__(self, domain_sizes: Sequence[int]) -> None:
         self._mapper = OrdinalMapper(domain_sizes)
         self._layout = TupleLayout(domain_sizes)
 

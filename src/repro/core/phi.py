@@ -62,7 +62,7 @@ class OrdinalMapper:
 
     __slots__ = ("_sizes", "_weights", "_space_size")
 
-    def __init__(self, domain_sizes: Sequence[int]):
+    def __init__(self, domain_sizes: Sequence[int]) -> None:
         self._sizes = _validate_sizes(domain_sizes)
         # weights[i] = prod_{j > i} |A_j|  (weight of the last attribute is 1)
         weights: List[int] = [1] * len(self._sizes)

@@ -86,7 +86,7 @@ class AVQQuantizer:
 
     def __init__(
         self, mapper: OrdinalMapper, codebook: Sequence[Sequence[int]]
-    ):
+    ) -> None:
         if not codebook:
             raise CodecError("codebook must contain at least one representative")
         self._mapper = mapper

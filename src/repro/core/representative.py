@@ -14,12 +14,13 @@ from typing import Callable, Dict, Sequence
 from repro.errors import CodecError
 
 __all__ = [
-    "median_index",
-    "first_index",
-    "last_index",
-    "nearest_mean_index",
     "STRATEGIES",
+    "first_index",
     "get_strategy",
+    "last_index",
+    "median_index",
+    "nearest_mean_index",
+    "total_distortion",
 ]
 
 Strategy = Callable[[Sequence[int]], int]

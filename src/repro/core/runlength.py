@@ -23,8 +23,9 @@ from repro.errors import CodecError
 
 __all__ = [
     "TupleLayout",
-    "rle_encode",
     "rle_decode",
+    "rle_encode",
+    "rle_encoded_size",
 ]
 
 
@@ -46,7 +47,9 @@ class TupleLayout:
 
     __slots__ = ("_widths", "_tuple_bytes")
 
-    def __init__(self, domain_sizes: Sequence[int], *, min_field_bytes: int = 1):
+    def __init__(
+        self, domain_sizes: Sequence[int], *, min_field_bytes: int = 1
+    ) -> None:
         if min_field_bytes < 1:
             raise CodecError(
                 f"min_field_bytes must be >= 1, got {min_field_bytes}"

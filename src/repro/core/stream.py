@@ -12,7 +12,7 @@ abstractions on top of :class:`bytes`:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.errors import BlockOverflowError, CodecError
 
@@ -24,10 +24,10 @@ class StreamWriter:
 
     __slots__ = ("_chunks", "_size", "_capacity")
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 0:
             raise CodecError(f"capacity must be non-negative, got {capacity}")
-        self._chunks: list = []
+        self._chunks: List[bytes] = []
         self._size = 0
         self._capacity = capacity
 
@@ -81,7 +81,9 @@ class StreamReader:
 
     __slots__ = ("_data", "_pos", "_end")
 
-    def __init__(self, data: bytes, start: int = 0, end: Optional[int] = None):
+    def __init__(
+        self, data: bytes, start: int = 0, end: Optional[int] = None
+    ) -> None:
         self._data = data
         self._pos = start
         self._end = len(data) if end is None else end

@@ -7,6 +7,20 @@ still distinguishing the common failure classes below.
 
 from __future__ import annotations
 
+__all__ = [
+    "AnalysisError",
+    "BlockOverflowError",
+    "CodecError",
+    "DomainError",
+    "EncodingError",
+    "IndexError_",
+    "QueryError",
+    "ReproError",
+    "SchemaError",
+    "StorageError",
+    "WorkloadError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -50,3 +64,7 @@ class QueryError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload specification is invalid."""
+
+
+class AnalysisError(ReproError):
+    """A static-analysis run could not start or complete (usage error)."""

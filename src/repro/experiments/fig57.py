@@ -28,9 +28,11 @@ from repro.storage.block import DEFAULT_BLOCK_SIZE
 from repro.workload.generator import RelationSpec, generate_relation
 
 __all__ = [
-    "TEST_CONFIGS",
     "PAPER_REDUCTIONS",
+    "TEST_CONFIGS",
     "CompressionResult",
+    "TestConfig",
+    "measure_relation",
     "run_compression_test",
     "run_figure_57",
 ]

@@ -8,14 +8,17 @@ the entry path a user takes before the Section 3.1 domain mapping.
 from __future__ import annotations
 
 import csv
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
+
+#: One typed CSV row: integer columns decoded, everything else verbatim.
+Row = Tuple[Union[int, str], ...]
 
 from repro.errors import EncodingError
 
-__all__ = ["read_csv_rows", "write_csv_rows"]
+__all__ = ["Row", "read_csv_rows", "write_csv_rows"]
 
 
-def _try_int(value: str):
+def _try_int(value: str) -> Optional[int]:
     try:
         return int(value)
     except ValueError:
@@ -24,7 +27,7 @@ def _try_int(value: str):
 
 def read_csv_rows(
     path: str, *, has_header: bool = True
-) -> Tuple[List[str], List[Tuple]]:
+) -> Tuple[List[str], List[Row]]:
     """Load a CSV as (column names, typed rows).
 
     Integer columns are detected and converted; ragged rows are rejected
@@ -63,7 +66,7 @@ def read_csv_rows(
 
 
 def write_csv_rows(
-    path: str, names: Sequence[str], rows: Sequence[Sequence]
+    path: str, names: Sequence[str], rows: Sequence[Sequence[object]]
 ) -> None:
     """Write rows (with a header) to ``path``."""
     with open(path, "w", newline="", encoding="utf-8") as f:

@@ -34,7 +34,7 @@ import json
 import os
 import zlib
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.codec import BlockCodec
 from repro.errors import StorageError
@@ -56,7 +56,8 @@ class _BlockEntry:
     length: int
     tuple_count: int
     first_ordinal: int
-    crc32: int
+    #: ``None`` when the directory predates checksums (len-3 entries).
+    crc32: Optional[int]
 
 
 def write_avq_file(
@@ -65,7 +66,7 @@ def write_avq_file(
     *,
     block_size: int = DEFAULT_BLOCK_SIZE,
     codec: Optional[BlockCodec] = None,
-) -> dict:
+) -> Dict[str, int]:
     """Compress a relation into an ``.avq`` container at ``path``.
 
     Returns a summary dict (blocks, payload bytes, file bytes) so callers
@@ -77,7 +78,7 @@ def write_avq_file(
     ordinals = relation.phi_ordinals()
 
     payloads: List[bytes] = []
-    directory: List[List] = []
+    directory: List[List[Union[int, str]]] = []
     if (
         ordinals
         and codec.chained
@@ -147,11 +148,22 @@ class AVQFileReader:
     access never touches more than one block's payload.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self._path = path
         self._file = open(path, "rb")
+        # Header parsing must never leak the file handle, and must not
+        # leak raw environmental errors either: a short read or a
+        # mis-encoded header is a storage fault, so it surfaces as
+        # StorageError with the path attached (lint rule R002's
+        # canonical case — the original handler here was a broad
+        # ``except Exception``).
         try:
             self._parse_header()
+        except (OSError, UnicodeDecodeError) as exc:
+            self._file.close()
+            raise StorageError(
+                f"{self._path}: unreadable container header"
+            ) from exc
         except Exception:
             self._file.close()
             raise
@@ -284,7 +296,7 @@ class AVQFileReader:
         for position in range(self.num_blocks):
             yield from self.read_block(position)
 
-    def scan_values(self) -> Iterator[Tuple]:
+    def scan_values(self) -> Iterator[Tuple[object, ...]]:
         """All tuples decoded back to application values."""
         for t in self.scan():
             yield self._schema.decode_tuple(t)
@@ -325,7 +337,7 @@ class AVQFileReader:
     def __enter__(self) -> "AVQFileReader":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 

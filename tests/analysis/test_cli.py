@@ -1,0 +1,101 @@
+"""CLI contract: exit codes 0 (clean) / 1 (findings) / 2 (usage error),
+for both ``python -m repro.analysis`` and the ``repro lint`` subcommand.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main as analysis_main
+from repro.cli import main as repro_main
+
+CLEAN = "__all__ = ['f']\n\n\ndef f():\n    return 1\n"
+DIRTY = (
+    "__all__ = ['f']\n\n\ndef f(x):\n"
+    "    assert x > 0\n"
+    "    raise ValueError('bad')\n"
+)
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    return path
+
+
+def test_exit_zero_on_clean_tree(clean_file, capsys):
+    assert analysis_main([str(clean_file)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(dirty_file, capsys):
+    assert analysis_main([str(dirty_file)]) == 1
+    out = capsys.readouterr().out
+    assert "R001" in out and "R003" in out
+
+
+def test_exit_two_on_unknown_rule(clean_file, capsys):
+    assert analysis_main([str(clean_file), "--select", "R999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_exit_two_on_missing_path(tmp_path):
+    assert analysis_main([str(tmp_path / "nope.py")]) == 2
+
+
+def test_exit_two_on_bad_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        analysis_main(["--format", "yaml"])
+    assert exc.value.code == 2
+
+
+def test_select_limits_rules(dirty_file):
+    assert analysis_main([str(dirty_file), "--select", "R006"]) == 0
+    assert analysis_main([str(dirty_file), "--select", "R003"]) == 1
+
+
+def test_ignore_drops_rules(dirty_file):
+    assert (
+        analysis_main([str(dirty_file), "--ignore", "R001,R003"]) == 0
+    )
+
+
+def test_json_format(dirty_file, capsys):
+    assert analysis_main([str(dirty_file), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["active"] >= 2
+
+
+def test_list_rules(capsys):
+    assert analysis_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R001", "R007"):
+        assert rule_id in out
+
+
+def test_directory_scan(tmp_path, clean_file, dirty_file):
+    assert analysis_main([str(tmp_path)]) == 1
+
+
+def test_repro_lint_subcommand(clean_file, dirty_file, capsys):
+    assert repro_main(["lint", str(clean_file)]) == 0
+    assert repro_main(["lint", str(dirty_file)]) == 1
+    assert repro_main(["lint", str(dirty_file), "--format", "json"]) == 1
+    capsys.readouterr()
+    assert repro_main(["lint", "--list-rules"]) == 0
+    assert "R004" in capsys.readouterr().out
+
+
+def test_syntax_error_is_a_usage_error(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    assert analysis_main([str(bad)]) == 2
+    assert "cannot parse" in capsys.readouterr().err

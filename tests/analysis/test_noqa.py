@@ -1,0 +1,50 @@
+"""Suppression-comment (`# repro: noqa`) behaviour."""
+
+from pathlib import Path
+
+from repro.analysis.base import get_rule
+from repro.analysis.noqa import NOQA_ALL, is_suppressed, parse_noqa
+from repro.analysis.runner import analyze_source
+
+
+def test_parse_bare_noqa_suppresses_all():
+    noqa = parse_noqa("x = f()  # repro: noqa\n")
+    assert noqa == {1: NOQA_ALL}
+    assert is_suppressed(noqa, 1, "R001")
+    assert is_suppressed(noqa, 1, "R999")
+
+
+def test_parse_rule_list():
+    noqa = parse_noqa("x = f()  # repro: noqa[R002, R003]\n")
+    assert noqa[1] == frozenset({"R002", "R003"})
+    assert is_suppressed(noqa, 1, "R002")
+    assert not is_suppressed(noqa, 1, "R001")
+
+
+def test_rule_ids_are_case_insensitive():
+    noqa = parse_noqa("x = f()  # repro: noqa[r004]\n")
+    assert is_suppressed(noqa, 1, "R004")
+
+
+def test_plain_flake8_noqa_is_not_honoured():
+    assert parse_noqa("x = f()  # noqa\n") == {}
+
+
+def test_unrelated_lines_do_not_suppress():
+    noqa = parse_noqa("x = 1\ny = 2  # repro: noqa[R001]\n")
+    assert 1 not in noqa
+    assert not is_suppressed(noqa, 3, "R001")
+
+
+def test_suppressed_finding_is_returned_but_marked():
+    src = "def f(x):\n    raise ValueError('bad')  # repro: noqa[R001]\n"
+    found = analyze_source(src, Path("snippet.py"), [get_rule("R001")])
+    assert len(found) == 1
+    assert found[0].suppressed
+
+
+def test_suppressing_a_different_rule_does_not_hide_finding():
+    src = "def f(x):\n    raise ValueError('bad')  # repro: noqa[R003]\n"
+    found = analyze_source(src, Path("snippet.py"), [get_rule("R001")])
+    assert len(found) == 1
+    assert not found[0].suppressed

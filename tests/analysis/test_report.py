@@ -1,0 +1,71 @@
+"""Reporter output: JSON schema stability and text rendering."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import JSON_SCHEMA_VERSION, render_json, render_text
+from repro.analysis.base import get_rule
+from repro.analysis.runner import ScanResult, analyze_source
+
+BAD = "def f(x):\n    raise ValueError('bad')\n"
+SUPPRESSED = "def f(x):\n    raise ValueError('bad')  # repro: noqa[R001]\n"
+
+
+def scan_snippet(source):
+    result = ScanResult(files_scanned=1)
+    result.findings = analyze_source(
+        source, Path("snippet.py"), [get_rule("R001")]
+    )
+    return result
+
+
+def test_json_schema_fields():
+    payload = json.loads(render_json(scan_snippet(BAD)))
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["files_scanned"] == 1
+    assert payload["summary"] == {
+        "active": 1,
+        "suppressed": 0,
+        "by_rule": {"R001": 1},
+    }
+    (finding,) = payload["findings"]
+    assert set(finding) == {
+        "file", "line", "col", "rule", "severity", "message", "suppressed",
+    }
+    assert finding["file"] == "snippet.py"
+    assert finding["line"] == 2
+    assert finding["rule"] == "R001"
+    assert finding["severity"] == "error"
+    assert finding["suppressed"] is False
+
+
+def test_json_includes_suppressed_findings_for_audit():
+    payload = json.loads(render_json(scan_snippet(SUPPRESSED)))
+    assert payload["summary"]["active"] == 0
+    assert payload["summary"]["suppressed"] == 1
+    assert payload["summary"]["by_rule"] == {}
+    assert payload["findings"][0]["suppressed"] is True
+
+
+def test_text_report_flags_and_counts():
+    text = render_text(scan_snippet(BAD))
+    assert "snippet.py:2:" in text
+    assert "R001 error:" in text
+    assert "1 finding(s)" in text
+
+
+def test_text_report_clean_summary():
+    result = ScanResult(files_scanned=3)
+    assert "clean: 3 file(s), 0 findings" in render_text(result)
+
+
+def test_text_hides_suppressed_by_default():
+    result = scan_snippet(SUPPRESSED)
+    assert "R001" not in render_text(result)
+    assert "(suppressed)" in render_text(result, show_suppressed=True)
+
+
+def test_exit_code_tracks_active_findings():
+    assert scan_snippet(BAD).exit_code == 1
+    assert scan_snippet(SUPPRESSED).exit_code == 0
+    assert ScanResult().exit_code == 0

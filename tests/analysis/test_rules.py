@@ -1,0 +1,353 @@
+"""True-positive / true-negative fixtures for every rule R001–R007.
+
+Each rule gets at least one snippet it must flag and one it must not —
+the acceptance bar for the self-hosted lint pass.  Snippets are analyzed
+from strings so no fixture files need to exist on disk.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.base import get_rule, iter_rules
+from repro.analysis.runner import analyze_source
+
+
+def findings_for(source, rule_id, path="snippet.py", module_name=None):
+    """Active findings of one rule over a source string."""
+    found = analyze_source(
+        source,
+        Path(path),
+        [get_rule(rule_id)],
+        module_name=module_name or "repro.somemodule",
+    )
+    return [f for f in found if not f.suppressed]
+
+
+def rule_ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+# ----------------------------------------------------------------------
+# R001 — only ReproError subclasses raised
+# ----------------------------------------------------------------------
+
+
+def test_r001_flags_builtin_valueerror():
+    src = "def f(x):\n    raise ValueError('bad')\n"
+    assert rule_ids(findings_for(src, "R001")) == ["R001"]
+
+
+def test_r001_flags_bare_exception_class():
+    src = "def f():\n    raise Exception('boom')\n"
+    assert len(findings_for(src, "R001")) == 1
+
+
+def test_r001_allows_repro_errors_and_reraise():
+    src = (
+        "from repro.errors import CodecError\n"
+        "def f(x):\n"
+        "    try:\n"
+        "        g(x)\n"
+        "    except CodecError:\n"
+        "        raise\n"
+        "    raise CodecError('corrupt')\n"
+    )
+    assert findings_for(src, "R001") == []
+
+
+def test_r001_allows_notimplementederror():
+    src = "def f():\n    raise NotImplementedError\n"
+    assert findings_for(src, "R001") == []
+
+
+# ----------------------------------------------------------------------
+# R002 — broad except must re-raise
+# ----------------------------------------------------------------------
+
+
+def test_r002_flags_swallowing_broad_except():
+    src = (
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        return None\n"
+    )
+    assert rule_ids(findings_for(src, "R002")) == ["R002"]
+
+
+def test_r002_flags_bare_except():
+    src = "def f():\n    try:\n        g()\n    except:\n        pass\n"
+    assert len(findings_for(src, "R002")) == 1
+
+
+def test_r002_allows_broad_except_with_reraise():
+    src = (
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        cleanup()\n"
+        "        raise\n"
+    )
+    assert findings_for(src, "R002") == []
+
+
+def test_r002_allows_narrow_except():
+    src = (
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except KeyError:\n"
+        "        return None\n"
+    )
+    assert findings_for(src, "R002") == []
+
+
+def test_r002_reraise_inside_nested_function_does_not_count():
+    src = (
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        def h():\n"
+        "            raise ValueError('x')\n"
+        "        return h\n"
+    )
+    assert len(findings_for(src, "R002")) == 1
+
+
+# ----------------------------------------------------------------------
+# R003 — no assert for runtime validation
+# ----------------------------------------------------------------------
+
+
+def test_r003_flags_assert():
+    src = "def f(x):\n    assert x > 0, 'positive'\n    return x\n"
+    assert rule_ids(findings_for(src, "R003")) == ["R003"]
+
+
+def test_r003_clean_code_passes():
+    src = (
+        "from repro.errors import DomainError\n"
+        "def f(x):\n"
+        "    if x <= 0:\n"
+        "        raise DomainError('positive')\n"
+        "    return x\n"
+    )
+    assert findings_for(src, "R003") == []
+
+
+# ----------------------------------------------------------------------
+# R004 — no mutable default arguments
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "default", ["[]", "{}", "set()", "dict()", "list()", "bytearray()"]
+)
+def test_r004_flags_mutable_defaults(default):
+    src = f"def f(x, acc={default}):\n    return acc\n"
+    assert len(findings_for(src, "R004")) == 1
+
+
+def test_r004_flags_kwonly_mutable_default():
+    src = "def f(x, *, acc=[]):\n    return acc\n"
+    assert len(findings_for(src, "R004")) == 1
+
+
+def test_r004_allows_none_and_immutable_defaults():
+    src = "def f(x, acc=None, n=0, name='x', pair=()):\n    return acc\n"
+    assert findings_for(src, "R004") == []
+
+
+# ----------------------------------------------------------------------
+# R005 — __all__ declared and consistent
+# ----------------------------------------------------------------------
+
+
+def test_r005_flags_missing_dunder_all():
+    src = "def public():\n    return 1\n"
+    messages = [f.message for f in findings_for(src, "R005")]
+    assert any("does not declare __all__" in m for m in messages)
+
+
+def test_r005_flags_unbound_name_in_dunder_all():
+    src = "__all__ = ['ghost']\n"
+    messages = [f.message for f in findings_for(src, "R005")]
+    assert any("ghost" in m for m in messages)
+
+
+def test_r005_flags_public_def_not_listed():
+    src = "__all__ = ['f']\ndef f():\n    return 1\ndef g():\n    return 2\n"
+    messages = [f.message for f in findings_for(src, "R005")]
+    assert any("'g'" in m for m in messages)
+
+
+def test_r005_flags_non_literal_dunder_all():
+    src = "names = ['f']\n__all__ = names\ndef f():\n    return 1\n"
+    messages = [f.message for f in findings_for(src, "R005")]
+    assert any("literal" in m for m in messages)
+
+
+def test_r005_clean_module_passes():
+    src = (
+        "__all__ = ['f', 'C']\n"
+        "def f():\n    return 1\n"
+        "class C:\n    pass\n"
+        "def _helper():\n    return 2\n"
+    )
+    assert findings_for(src, "R005") == []
+
+
+def test_r005_exempts_dunder_main():
+    src = "def main():\n    return 0\n"
+    assert findings_for(src, "R005", path="pkg/__main__.py") == []
+
+
+def test_r005_sees_conditional_imports_as_bound():
+    src = (
+        "__all__ = ['np']\n"
+        "try:\n"
+        "    import numpy as np\n"
+        "except ImportError:\n"
+        "    np = None\n"
+    )
+    assert findings_for(src, "R005") == []
+
+
+# ----------------------------------------------------------------------
+# R006 — byte-width consistency
+# ----------------------------------------------------------------------
+
+
+def test_r006_flags_write_read_width_mismatch():
+    src = (
+        "def save(n, f):\n"
+        "    f.write(n.to_bytes(2, 'big'))\n"
+        "def load(f):\n"
+        "    return int.from_bytes(f.read(4), 'big')\n"
+    )
+    found = findings_for(src, "R006")
+    assert len(found) == 2  # the 2-byte write and the 4-byte read
+    assert all("width mismatch" in f.message for f in found)
+
+
+def test_r006_flags_missing_byteorder():
+    src = "def f(n):\n    return n.to_bytes(2)\n"
+    messages = [f.message for f in findings_for(src, "R006")]
+    assert any("byteorder" in m for m in messages)
+
+
+def test_r006_flags_little_endian():
+    src = "def f(n):\n    return n.to_bytes(2, 'little')\n"
+    messages = [f.message for f in findings_for(src, "R006")]
+    assert any("big-endian" in m for m in messages)
+
+
+def test_r006_symmetric_widths_pass():
+    src = (
+        "def save(n, m, f):\n"
+        "    f.write(n.to_bytes(2, 'big'))\n"
+        "    f.write(m.to_bytes(4, 'big'))\n"
+        "def load(f):\n"
+        "    a = int.from_bytes(f.read(2), 'big')\n"
+        "    b = int.from_bytes(f.read(4), 'big')\n"
+        "    return a, b\n"
+    )
+    assert findings_for(src, "R006") == []
+
+
+def test_r006_slice_reads_count_as_widths():
+    src = (
+        "def save(n):\n"
+        "    return n.to_bytes(2, 'big')\n"
+        "def load(data):\n"
+        "    return int.from_bytes(data[:2], 'big')\n"
+    )
+    assert findings_for(src, "R006") == []
+
+
+def test_r006_write_only_module_passes():
+    src = "def f(n):\n    return n.to_bytes(8, 'big')\n"
+    assert findings_for(src, "R006") == []
+
+
+def test_r006_variable_widths_are_ignored():
+    src = (
+        "def save(n, w, f):\n"
+        "    f.write(n.to_bytes(w, 'big'))\n"
+        "def load(f, w):\n"
+        "    return int.from_bytes(f.read(w), 'big')\n"
+    )
+    assert findings_for(src, "R006") == []
+
+
+def test_r006_struct_pack_unpack_mismatch():
+    src = (
+        "import struct\n"
+        "__all__ = []\n"
+        "def save(n):\n"
+        "    return struct.pack('>H', n)\n"
+        "def load(data):\n"
+        "    return struct.unpack('>I', data)\n"
+    )
+    found = findings_for(src, "R006")
+    assert len(found) == 2
+
+
+# ----------------------------------------------------------------------
+# R007 — reproducible randomness
+# ----------------------------------------------------------------------
+
+
+def test_r007_flags_unseeded_default_rng():
+    src = "import numpy as np\ndef f():\n    return np.random.default_rng()\n"
+    messages = [f.message for f in findings_for(src, "R007")]
+    assert any("seed" in m for m in messages)
+
+
+def test_r007_flags_stdlib_random_import():
+    src = "import random\n"
+    assert len(findings_for(src, "R007")) == 1
+    src = "from random import shuffle\n"
+    assert len(findings_for(src, "R007")) == 1
+
+
+def test_r007_flags_numpy_legacy_global_rng():
+    src = "import numpy as np\ndef f():\n    return np.random.rand(3)\n"
+    assert len(findings_for(src, "R007")) == 1
+
+
+def test_r007_allows_seeded_default_rng():
+    src = (
+        "import numpy as np\n"
+        "def f(seed):\n"
+        "    return np.random.default_rng(seed)\n"
+    )
+    assert findings_for(src, "R007") == []
+
+
+def test_r007_exempts_repro_workload():
+    src = "import random\ndef f():\n    return random.random()\n"
+    assert (
+        findings_for(src, "R007", module_name="repro.workload.generator")
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry sanity
+# ----------------------------------------------------------------------
+
+
+def test_all_seven_rules_registered():
+    ids = [rule.rule_id for rule in iter_rules()]
+    assert ids == ["R001", "R002", "R003", "R004", "R005", "R006", "R007"]
+
+
+def test_every_rule_has_summary_and_severity():
+    for rule in iter_rules():
+        assert rule.summary
+        assert rule.severity in ("error", "warning")

@@ -1,0 +1,50 @@
+"""The self-hosting gate: ``src/repro`` must satisfy its own lint.
+
+This is a tier-1 test on purpose — ``PYTHONPATH=src python -m pytest``
+alone guards the codec invariants even where CI is unavailable.  A
+violation anywhere in ``src/repro`` (including the analyzer itself)
+fails the suite with the full finding list in the assertion message.
+"""
+
+from pathlib import Path
+
+from repro.analysis import render_text, scan_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_src_tree_exists():
+    assert SRC.is_dir(), f"expected package tree at {SRC}"
+
+
+def test_src_repro_passes_self_lint():
+    result = scan_paths([SRC])
+    assert result.files_scanned > 50  # the whole tree, not a subset
+    assert result.exit_code == 0, (
+        "src/repro violates its own lint rules:\n" + render_text(result)
+    )
+
+
+def test_self_lint_counts_suppressions_honestly():
+    # The tree may carry justified `# repro: noqa` waivers, but they
+    # must stay rare: every waiver is an invariant nobody checks.
+    result = scan_paths([SRC])
+    assert len(result.suppressed) <= 5, render_text(
+        result, show_suppressed=True
+    )
+
+
+def test_analyzer_is_not_blind(tmp_path):
+    # Guard against a rule registry that silently became empty: the
+    # same scan must flag a deliberately bad file.
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(x):\n"
+        "    assert x\n"
+        "    raise ValueError('boom')\n"
+    )
+    result = scan_paths([bad])
+    assert result.exit_code == 1
+    flagged = {f.rule_id for f in result.active}
+    assert {"R001", "R003"} <= flagged
