@@ -1,0 +1,154 @@
+"""Benchmark: parallel block codec and the decoded-block cache.
+
+Two claims are measured here:
+
+* farming block encode/decode to a worker pool beats the serial codec on
+  multi-core hosts (the blocks are byte-identical either way — asserted,
+  not assumed);
+* a warm decoded-block cache answers repeat point lookups without
+  decoding (or reading) anything.
+
+Speedups are *recorded* in ``extra_info`` rather than asserted: on a
+single-core CI runner the pool's pickling overhead makes parallel
+slower, which is expected and not a failure.  Compare the serial and
+parallel rows in the emitted JSON on a real multi-core machine.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.codec import BlockCodec
+from repro.core.parallel import ParallelBlockCodec
+from repro.db.table import Table
+from repro.relational.relation import Relation
+from repro.storage.disk import SimulatedDisk
+from repro.storage.packer import pack_runs
+from repro.workload.generator import generate_relation, paper_timing_spec
+
+BLOCK_SIZE = 8192
+PARALLEL_WORKERS = 8
+#: The Figure 5.7 sweep's larger scale — big enough that pool start-up
+#: is amortised away on a multi-core host.
+PARALLEL_TUPLES = 100_000
+
+
+@pytest.fixture(scope="module")
+def parallel_relation():
+    return generate_relation(paper_timing_spec(PARALLEL_TUPLES, seed=21))
+
+
+@pytest.fixture(scope="module")
+def codec(parallel_relation):
+    return BlockCodec(parallel_relation.schema.domain_sizes)
+
+
+@pytest.fixture(scope="module")
+def runs(parallel_relation, codec):
+    return pack_runs(
+        codec, parallel_relation.phi_ordinals(), BLOCK_SIZE
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_payloads(codec, runs):
+    with ParallelBlockCodec(codec, workers=1) as pcodec:
+        return pcodec.encode_blocks(runs, capacity=BLOCK_SIZE)
+
+
+def test_encode_serial(benchmark, codec, runs):
+    with ParallelBlockCodec(codec, workers=1) as pcodec:
+        payloads = benchmark.pedantic(
+            pcodec.encode_blocks,
+            args=(runs,),
+            kwargs={"capacity": BLOCK_SIZE},
+            rounds=3,
+        )
+    benchmark.extra_info["blocks"] = len(payloads)
+    benchmark.extra_info["tuples"] = PARALLEL_TUPLES
+
+
+def test_encode_parallel(benchmark, codec, runs, serial_payloads):
+    with ParallelBlockCodec(codec, workers=PARALLEL_WORKERS) as pcodec:
+        pcodec.encode_blocks(runs[:32], capacity=BLOCK_SIZE)  # warm pool
+        payloads = benchmark.pedantic(
+            pcodec.encode_blocks,
+            args=(runs,),
+            kwargs={"capacity": BLOCK_SIZE},
+            rounds=3,
+        )
+    assert payloads == serial_payloads  # byte-identical to the serial path
+    benchmark.extra_info["blocks"] = len(payloads)
+    benchmark.extra_info["workers"] = PARALLEL_WORKERS
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+
+def test_decode_serial(benchmark, codec, serial_payloads):
+    with ParallelBlockCodec(codec, workers=1) as pcodec:
+        blocks = benchmark.pedantic(
+            pcodec.decode_blocks, args=(serial_payloads,), rounds=3
+        )
+    benchmark.extra_info["tuples"] = sum(len(b) for b in blocks)
+
+
+def test_decode_parallel(benchmark, codec, serial_payloads):
+    with ParallelBlockCodec(codec, workers=PARALLEL_WORKERS) as pcodec:
+        pcodec.decode_blocks(serial_payloads[:32])  # warm pool
+        blocks = benchmark.pedantic(
+            pcodec.decode_blocks, args=(serial_payloads,), rounds=3
+        )
+    with ParallelBlockCodec(codec, workers=1) as serial:
+        assert blocks == serial.decode_blocks(serial_payloads)
+    benchmark.extra_info["workers"] = PARALLEL_WORKERS
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+
+@pytest.fixture(scope="module")
+def probe_table(timing_relation):
+    table = Table.from_relation(
+        "bench",
+        timing_relation,
+        SimulatedDisk(block_size=BLOCK_SIZE),
+        decoded_cache_capacity=1024,
+    )
+    rng = random.Random(33)
+    probes = rng.sample(list(timing_relation), 200)
+    return table, probes
+
+
+def test_point_lookups_cold(benchmark, timing_relation):
+    """Every lookup decodes its block: no cache at all."""
+
+    def run():
+        table = Table.from_relation(
+            "bench",
+            timing_relation,
+            SimulatedDisk(block_size=BLOCK_SIZE),
+        )
+        rng = random.Random(33)
+        probes = rng.sample(list(timing_relation), 200)
+        return sum(table.contains(t) for t in probes)
+
+    found = benchmark.pedantic(run, rounds=3)
+    assert found == 200
+
+
+def test_point_lookups_warm_decoded_cache(benchmark, probe_table):
+    """Repeat lookups are answered from decoded tuples in memory."""
+    table, probes = probe_table
+    for t in probes:  # warm the decoded cache
+        assert table.contains(t)
+
+    def run():
+        return sum(table.contains(t) for t in probes)
+
+    found = benchmark.pedantic(run, rounds=3)
+    assert found == len(probes)
+    stats = table.buffer_pool.stats
+    assert stats.decoded_hits > 0  # the warm path never re-decoded
+    benchmark.extra_info["decoded_hits"] = stats.decoded_hits
+    benchmark.extra_info["decoded_misses"] = stats.decoded_misses
+    benchmark.extra_info["decoded_hit_rate"] = round(
+        stats.decoded_hit_rate, 4
+    )

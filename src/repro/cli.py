@@ -34,7 +34,9 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     schema = inferencer.infer(rows, names)
     relation = Relation.from_values(schema, rows)
     summary = write_avq_file(
-        args.output, relation, block_size=args.block_size
+        args.output, relation,
+        block_size=args.block_size,
+        workers=args.workers,
     )
     ratio = 100.0 * (
         1.0 - summary["file_bytes"] / max(1, summary["fixed_width_bytes"])
@@ -52,7 +54,22 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 def _cmd_decompress(args: argparse.Namespace) -> int:
     with AVQFileReader(args.input) as reader:
         names = reader.schema.names
-        rows = list(reader.scan_values())
+        schema = reader.schema
+        if args.workers is not None:
+            from repro.core.parallel import decode_blocks
+
+            payloads = [
+                reader.read_payload(p) for p in range(reader.num_blocks)
+            ]
+            rows = [
+                schema.decode_tuple(t)
+                for block in decode_blocks(
+                    reader.codec, payloads, workers=args.workers
+                )
+                for t in block
+            ]
+        else:
+            rows = list(reader.scan_values())
     write_csv_rows(args.output, names, rows)
     print(f"{args.output}: {len(rows)} rows, {len(names)} columns")
     return 0
@@ -102,15 +119,54 @@ def _cmd_query(args: argparse.Namespace) -> int:
         else:
             candidates = list(range(reader.num_blocks))
 
+        from collections import OrderedDict
+
+        from repro.perf.timer import StageTimer
+        from repro.storage.buffer import BufferStats
+
+        stats = BufferStats()
+        timer = StageTimer()
+        cache: "OrderedDict[int, list]" = OrderedDict()
+
+        def read_cached(position: int) -> list:
+            if args.decoded_cache <= 0:
+                with timer.stage("decode"):
+                    return reader.read_block(position)
+            block = cache.get(position)
+            if block is not None:
+                cache.move_to_end(position)
+                stats.decoded_hits += 1
+                return block
+            with timer.stage("decode"):
+                block = reader.read_block(position)
+            stats.decoded_misses += 1
+            cache[position] = block
+            if len(cache) > args.decoded_cache:
+                cache.popitem(last=False)
+                stats.decoded_evictions += 1
+            return block
+
         matches = 0
-        for position in candidates:
-            for t in reader.read_block(position):
-                if lo <= t[pos] <= hi:
-                    matches += 1
-                    if matches <= args.limit:
-                        print(schema.decode_tuple(t))
+        for repeat in range(max(1, args.repeat)):
+            matches = 0
+            with timer.stage("total"):
+                for position in candidates:
+                    for t in read_cached(position):
+                        if lo <= t[pos] <= hi:
+                            matches += 1
+                            if repeat == 0 and matches <= args.limit:
+                                print(schema.decode_tuple(t))
         print(f"-- {matches} matching rows; decoded {len(candidates)} of "
               f"{reader.num_blocks} blocks (N = {len(candidates)})")
+        if args.repeat > 1 or args.decoded_cache > 0:
+            print(f"-- decoded cache: {stats.decoded_hits} hits, "
+                  f"{stats.decoded_misses} misses, "
+                  f"{stats.decoded_evictions} evictions "
+                  f"(hit rate {stats.decoded_hit_rate:.1%})")
+            report = timer.report()
+            print(f"-- stages: decode {report.get('decode', 0.0):.2f} ms "
+                  f"within total {report.get('total', 0.0):.2f} ms "
+                  f"over {max(1, args.repeat)} run(s)")
     return 0
 
 
@@ -177,11 +233,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CSV has no header row")
     p.add_argument("--integer-padding", type=int, default=0,
                    help="headroom added above each integer column's max")
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel block coding: 0 = all cores, N = exactly N "
+                        "(default: in-process serial)")
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help=".avq container -> CSV")
     p.add_argument("input")
     p.add_argument("output")
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel block decoding: 0 = all cores, N = exactly "
+                        "N (default: in-process serial)")
     p.set_defaults(func=_cmd_decompress)
 
     p = sub.add_parser("info", help="describe a container")
@@ -220,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("LO", "HI"))
     p.add_argument("--limit", type=int, default=20,
                    help="rows to print (count is always exact)")
+    p.add_argument("--decoded-cache", type=int, default=0, metavar="BLOCKS",
+                   help="LRU-cache up to this many decoded blocks "
+                        "(0 disables; see docs/PERFORMANCE.md)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="run the query this many times (with --decoded-cache "
+                        "the repeats hit the cache; counters are printed)")
     p.set_defaults(func=_cmd_query)
     return parser
 

@@ -23,6 +23,14 @@ from repro.core.fastpack import (
     fast_pack_boundaries,
 )
 from repro.core.golomb import GolombBlockCodec, choose_rice_parameter
+from repro.core.parallel import (
+    SERIAL_THRESHOLD,
+    ParallelBlockCodec,
+    decode_blocks,
+    decode_ordinal_blocks,
+    encode_blocks,
+    resolve_workers,
+)
 from repro.core.phi import OrdinalMapper, phi_array, phi_inverse_array
 from repro.core.quantizer import AVQCode, AVQQuantizer, build_codebook
 from repro.core.representative import STRATEGIES, get_strategy
@@ -50,4 +58,10 @@ __all__ = [
     "fast_pack_boundaries",
     "GolombBlockCodec",
     "choose_rice_parameter",
+    "SERIAL_THRESHOLD",
+    "ParallelBlockCodec",
+    "encode_blocks",
+    "decode_blocks",
+    "decode_ordinal_blocks",
+    "resolve_workers",
 ]

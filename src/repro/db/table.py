@@ -47,6 +47,7 @@ class Table:
         *,
         index_order: int = 32,
         buffer_capacity: Optional[int] = None,
+        decoded_cache_capacity: Optional[int] = None,
     ):
         if not name:
             raise QueryError("table name must be non-empty")
@@ -55,10 +56,24 @@ class Table:
         self._storage = storage
         self._index_order = index_order
         self._buffer: Optional["BufferPool"] = None
+        self._decoded: Optional["DecodedBlockCache"] = None
+        if buffer_capacity is None and decoded_cache_capacity is not None:
+            # The decoded cache layers on a pool; give it one of matching
+            # size rather than making callers wire both knobs.
+            buffer_capacity = decoded_cache_capacity
         if buffer_capacity is not None:
             from repro.storage.buffer import BufferPool
 
             self._buffer = BufferPool(storage._disk, buffer_capacity)
+        if decoded_cache_capacity is not None:
+            from repro.storage.buffer import DecodedBlockCache
+
+            pool = self._buffer
+            if pool is None:  # unreachable: capacity defaulting above
+                raise QueryError("decoded cache requires a buffer pool")
+            self._decoded = DecodedBlockCache(
+                pool, decoded_cache_capacity, storage.decode_payload
+            )
         self._primary = PrimaryIndex.build(
             schema.mapper, storage.directory(), order=index_order
         )
@@ -81,13 +96,26 @@ class Table:
         index_order: int = 32,
         secondary_on: Sequence[str] = (),
         buffer_capacity: Optional[int] = None,
+        decoded_cache_capacity: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> "Table":
-        """Materialise a relation and build the requested indices."""
+        """Materialise a relation and build the requested indices.
+
+        ``workers`` parallelises the block-coding of a compressed table
+        (see :meth:`AVQFile.build`); ``decoded_cache_capacity`` adds an
+        LRU cache of decoded blocks so repeated lookups skip decoding.
+        """
         if compressed:
-            storage: StorageFile = AVQFile.build(relation, disk, codec=codec)
+            storage: StorageFile = AVQFile.build(
+                relation, disk, codec=codec, workers=workers
+            )
         else:
             if codec is not None:
                 raise QueryError("codec is only meaningful for compressed tables")
+            if workers is not None:
+                raise QueryError(
+                    "workers is only meaningful for compressed tables"
+                )
             storage = HeapFile.build(relation, disk, sort=True)
         table = cls(
             name,
@@ -95,6 +123,7 @@ class Table:
             storage,
             index_order=index_order,
             buffer_capacity=buffer_capacity,
+            decoded_cache_capacity=decoded_cache_capacity,
         )
         for attr in secondary_on:
             table.create_secondary_index(attr)
@@ -242,7 +271,14 @@ class Table:
         return self._filter_blocks(block_ids, bound, access_path="primary")
 
     def _read_block_id(self, block_id: int):
-        """Fetch and decode one block, through the buffer pool if present."""
+        """Fetch and decode one block, through the caches where present.
+
+        The decoded-block cache is consulted first (a hit costs neither
+        I/O nor decode), then the raw buffer pool (a hit costs only the
+        decode), then the disk.
+        """
+        if self._decoded is not None:
+            return self._decoded.get(block_id)
         if self._buffer is not None:
             return self._storage.decode_payload(self._buffer.get(block_id))
         return self._storage.read_block_id(block_id)
@@ -251,6 +287,11 @@ class Table:
     def buffer_pool(self):
         """The table's buffer pool, or ``None`` when unbuffered."""
         return self._buffer
+
+    @property
+    def decoded_cache(self):
+        """The table's decoded-block cache, or ``None`` when absent."""
+        return self._decoded
 
     def _filter_blocks(self, block_ids, bound, *, access_path) -> QueryResult:
         disk = self._disk()
@@ -393,7 +434,15 @@ class Table:
         self._schema.mapper.validate(t)
         storage = self._storage
         if isinstance(storage, AVQFile):
-            return storage.contains_ordinal(self._schema.mapper.phi(t))
+            ordinal = self._schema.mapper.phi(t)
+            if self._decoded is not None:
+                pos = storage.covering_block_of_ordinal(ordinal)
+                if pos is None:
+                    return False
+                # Decode through the cache: the first probe of a block
+                # pays one decode, every repeat probe is free.
+                return t in self._decoded.get(storage.block_id_at(pos))
+            return storage.contains_ordinal(ordinal)
         if storage.num_blocks == 0:
             return False
         pos = storage.block_of_ordinal(self._schema.mapper.phi(t))

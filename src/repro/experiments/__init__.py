@@ -25,7 +25,9 @@ from repro.experiments.fig58 import (
 )
 from repro.experiments.fig59 import (
     CodecTimings,
+    ParallelCodecTimings,
     measure_local_codec,
+    measure_parallel_codec,
     measured_response_table,
     paper_response_table,
 )
@@ -59,7 +61,9 @@ __all__ = [
     "build_fig58_relation",
     "run_figure_58",
     "CodecTimings",
+    "ParallelCodecTimings",
     "measure_local_codec",
+    "measure_parallel_codec",
     "paper_response_table",
     "measured_response_table",
     "format_table",

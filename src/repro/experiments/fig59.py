@@ -46,7 +46,9 @@ __all__ = [
     "PAPER_DATA_BLOCKS_UNCODED",
     "PAPER_DATA_BLOCKS_CODED",
     "CodecTimings",
+    "ParallelCodecTimings",
     "measure_local_codec",
+    "measure_parallel_codec",
     "paper_response_table",
     "measured_response_table",
 ]
@@ -107,6 +109,94 @@ def measure_local_codec(
         profile=profile,
         tuples_per_block=len(tuples),
         block_bytes=len(encoded),
+    )
+
+
+@dataclass(frozen=True)
+class ParallelCodecTimings:
+    """Whole-relation coding throughput, serial versus the worker pool.
+
+    The Figure 5.9 rows time one block; bulk (re)compression of a whole
+    relation is where parallelism pays, so this measures the full batch.
+    Speedups can dip below 1.0 on single-core hosts — pool and pickling
+    overhead with nothing to overlap — which is itself a result worth
+    reporting.
+    """
+
+    workers: int
+    num_blocks: int
+    num_tuples: int
+    serial_encode_ms: float
+    parallel_encode_ms: float
+    serial_decode_ms: float
+    parallel_decode_ms: float
+
+    @property
+    def encode_speedup(self) -> float:
+        """Serial over parallel encode wall time (>1 means faster)."""
+        if self.parallel_encode_ms == 0.0:
+            return 0.0
+        return self.serial_encode_ms / self.parallel_encode_ms
+
+    @property
+    def decode_speedup(self) -> float:
+        """Serial over parallel decode wall time (>1 means faster)."""
+        if self.parallel_decode_ms == 0.0:
+            return 0.0
+        return self.serial_decode_ms / self.parallel_decode_ms
+
+
+def measure_parallel_codec(
+    relation: Optional[Relation] = None,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    workers: int = 0,
+    num_tuples: int = 20_000,
+    seed: int = 0,
+) -> ParallelCodecTimings:
+    """Time whole-relation encode/decode serially and through the pool.
+
+    Uses the same Section 5.2 relation as :func:`measure_local_codec`,
+    packs it once, then codes the full batch both ways
+    (``workers=0`` resolves to every core).  The parallel payloads are
+    checked byte-for-byte against the serial ones before timings are
+    reported — a speedup on wrong bytes is no speedup.
+    """
+    from repro.core.parallel import ParallelBlockCodec
+    from repro.errors import CodecError
+    from repro.perf.timer import StageTimer
+    from repro.storage.packer import pack_runs
+
+    if relation is None:
+        relation = generate_relation(paper_timing_spec(num_tuples, seed=seed))
+    codec = BlockCodec(relation.schema.domain_sizes)
+    runs = pack_runs(codec, relation.phi_ordinals(), block_size)
+    timer = StageTimer()
+
+    with ParallelBlockCodec(codec, workers=1) as serial:
+        with timer.stage("serial-encode"):
+            expected = serial.encode_blocks(runs, capacity=block_size)
+        with timer.stage("serial-decode"):
+            serial.decode_blocks(expected)
+    with ParallelBlockCodec(codec, workers=workers) as pool:
+        with timer.stage("parallel-encode"):
+            payloads = pool.encode_blocks(runs, capacity=block_size)
+        if payloads != expected:
+            raise CodecError(
+                "parallel encode diverged from the serial payloads"
+            )
+        with timer.stage("parallel-decode"):
+            pool.decode_blocks(payloads)
+        resolved = pool.workers
+
+    return ParallelCodecTimings(
+        workers=resolved,
+        num_blocks=len(runs),
+        num_tuples=len(relation),
+        serial_encode_ms=timer.total_ms("serial-encode"),
+        parallel_encode_ms=timer.total_ms("parallel-encode"),
+        serial_decode_ms=timer.total_ms("serial-decode"),
+        parallel_decode_ms=timer.total_ms("parallel-decode"),
     )
 
 

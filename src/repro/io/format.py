@@ -66,11 +66,17 @@ def write_avq_file(
     *,
     block_size: int = DEFAULT_BLOCK_SIZE,
     codec: Optional[BlockCodec] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, int]:
     """Compress a relation into an ``.avq`` container at ``path``.
 
     Returns a summary dict (blocks, payload bytes, file bytes) so callers
     can report the compression achieved.
+
+    ``workers`` fans block coding out to a process pool
+    (:mod:`repro.core.parallel`): ``None`` encodes in-process, ``0``
+    uses every core, ``n`` uses exactly ``n``.  The container is
+    byte-identical in all modes.
     """
     codec = codec or BlockCodec(relation.schema.domain_sizes)
     if codec.mapper.domain_sizes != relation.schema.domain_sizes:
@@ -79,35 +85,43 @@ def write_avq_file(
 
     payloads: List[bytes] = []
     directory: List[List[Union[int, str]]] = []
-    if (
-        ordinals
+    fast = (
+        bool(ordinals)
         and codec.chained
         and codec.representative_strategy == "median"
         and codec.mapper.fits_int64
-    ):
+    )
+    runs: List[List[int]] = []
+    if fast:
         import numpy as np
 
         from repro.core.fastpack import FastBlockEncoder, fast_pack_boundaries
 
         arr = np.asarray(ordinals, dtype=np.int64)
         sizes = relation.schema.domain_sizes
-        encoder = FastBlockEncoder(sizes)
-        for start, end in fast_pack_boundaries(arr, sizes, block_size):
-            payload = encoder.encode_run(arr[start:end])
-            payloads.append(payload)
-            directory.append(
-                [len(payload), end - start, str(ordinals[start]),
-                 zlib.crc32(payload)]
-            )
+        boundaries = fast_pack_boundaries(arr, sizes, block_size)
+        runs = [ordinals[start:end] for start, end in boundaries]
+        if workers is None:
+            encoder = FastBlockEncoder(sizes)
+            payloads = [
+                encoder.encode_run(arr[start:end])
+                for start, end in boundaries
+            ]
     else:
         partition = pack_ordinals(codec, ordinals, block_size)
-        for run in partition.blocks:
-            tuples = [codec.mapper.phi_inverse(o) for o in run]
-            payload = codec.encode_block(tuples)
-            payloads.append(payload)
-            directory.append(
-                [len(payload), len(run), str(run[0]), zlib.crc32(payload)]
-            )
+        runs = [list(run) for run in partition.blocks]
+        if workers is None:
+            for run in runs:
+                tuples = [codec.mapper.phi_inverse(o) for o in run]
+                payloads.append(codec.encode_block(tuples))
+    if workers is not None and runs:
+        from repro.core.parallel import encode_blocks
+
+        payloads = encode_blocks(codec, runs, workers=workers)
+    for run, payload in zip(runs, payloads):
+        directory.append(
+            [len(payload), len(run), str(run[0]), zlib.crc32(payload)]
+        )
 
     header = {
         "schema": schema_to_dict(relation.schema),
@@ -271,8 +285,13 @@ class AVQFileReader:
     # Access
     # ------------------------------------------------------------------
 
-    def read_block(self, position: int) -> List[Tuple[int, ...]]:
-        """Decode one block to ordinal tuples (localized, per the paper)."""
+    def read_payload(self, position: int) -> bytes:
+        """Raw CRC-verified payload of one block, without decoding.
+
+        The feed for out-of-process decoding: hand payloads to
+        :func:`repro.core.parallel.decode_blocks` and only the cheap
+        byte reads happen under the reader's file handle.
+        """
         entry = self._entry(position)
         self._file.seek(entry.offset)
         payload = self._file.read(entry.length)
@@ -283,7 +302,12 @@ class AVQFileReader:
                 f"{self._path}: block {position} failed its checksum "
                 "(corrupt payload)"
             )
-        tuples = self._codec.decode_block(payload)
+        return payload
+
+    def read_block(self, position: int) -> List[Tuple[int, ...]]:
+        """Decode one block to ordinal tuples (localized, per the paper)."""
+        entry = self._entry(position)
+        tuples = self._codec.decode_block(self.read_payload(position))
         if len(tuples) != entry.tuple_count:
             raise StorageError(
                 f"{self._path}: block {position} decoded to "

@@ -9,11 +9,11 @@ the accumulating variant the experiment drivers use.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Dict
 
 from repro.errors import ReproError
 
-__all__ = ["mean_time_ms", "Stopwatch"]
+__all__ = ["mean_time_ms", "StageTimer", "Stopwatch"]
 
 
 def mean_time_ms(fn: Callable[[], object], repeats: int = 100) -> float:
@@ -60,3 +60,51 @@ class Stopwatch:
         if self._laps == 0:
             return 0.0
         return self.total_ms / self._laps
+
+
+class StageTimer:
+    """Named per-stage wall-clock accumulation for multi-phase pipelines.
+
+    The parallel codec and the bulk-load path run in distinguishable
+    stages (pack, encode, write, decode, ...); a ``StageTimer`` keeps one
+    :class:`Stopwatch` per stage name so drivers and benchmarks can
+    report where the time went::
+
+        timer = StageTimer()
+        with timer.stage("encode"):
+            payloads = pcodec.encode_blocks(runs)
+        with timer.stage("write"):
+            ...
+        timer.report()   # {"encode": 12.3, "write": 4.5}
+    """
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, Stopwatch] = {}
+
+    def stage(self, name: str) -> Stopwatch:
+        """The stopwatch for ``name``, created on first use.
+
+        Use as a context manager to bracket one occurrence of the stage;
+        repeated uses accumulate.
+        """
+        if not name:
+            raise ReproError("stage name must be non-empty")
+        watch = self._stages.get(name)
+        if watch is None:
+            watch = Stopwatch()
+            self._stages[name] = watch
+        return watch
+
+    def total_ms(self, name: str) -> float:
+        """Accumulated milliseconds of one stage (0.0 if never entered)."""
+        watch = self._stages.get(name)
+        return 0.0 if watch is None else watch.total_ms
+
+    @property
+    def stages(self) -> Dict[str, Stopwatch]:
+        """Live stage map, keyed by name (insertion-ordered)."""
+        return dict(self._stages)
+
+    def report(self) -> Dict[str, float]:
+        """``{stage: total_ms}`` for every stage entered so far."""
+        return {name: w.total_ms for name, w in self._stages.items()}

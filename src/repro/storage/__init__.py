@@ -10,15 +10,20 @@
 
 from repro.storage.avqfile import AVQFile
 from repro.storage.block import DEFAULT_BLOCK_SIZE, Block
-from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.buffer import BufferPool, BufferStats, DecodedBlockCache
 from repro.storage.disk import DiskModel, DiskStats, SimulatedDisk
-from repro.storage.extsort import bulk_load, external_sort_ordinals
+from repro.storage.extsort import (
+    PARALLEL_BATCH_RUNS,
+    bulk_load,
+    external_sort_ordinals,
+)
 from repro.storage.heapfile import HeapFile
 from repro.storage.packer import (
     PackedPartition,
     PackStats,
     pack_ordinals,
     pack_relation,
+    pack_runs,
 )
 
 __all__ = [
@@ -29,12 +34,15 @@ __all__ = [
     "SimulatedDisk",
     "BufferPool",
     "BufferStats",
+    "DecodedBlockCache",
     "PackStats",
     "PackedPartition",
     "pack_ordinals",
     "pack_relation",
+    "pack_runs",
     "HeapFile",
     "AVQFile",
+    "PARALLEL_BATCH_RUNS",
     "external_sort_ordinals",
     "bulk_load",
 ]

@@ -23,7 +23,7 @@ from repro.errors import BlockOverflowError, StorageError
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.storage.disk import SimulatedDisk
-from repro.storage.packer import pack_ordinals
+from repro.storage.packer import pack_runs
 
 __all__ = ["AVQFile"]
 
@@ -60,6 +60,7 @@ class AVQFile:
         disk: SimulatedDisk,
         *,
         codec: Optional[BlockCodec] = None,
+        workers: Optional[int] = None,
     ) -> "AVQFile":
         """Sort, pack, code, and write a relation to ``disk``.
 
@@ -67,42 +68,56 @@ class AVQFile:
         takes the vectorised encode path when the ordinal space fits
         int64; the output is byte-identical to the scalar path
         (property-tested in ``tests/core/test_fastpack.py``).
+
+        ``workers`` fans block coding out to a process pool via
+        :mod:`repro.core.parallel` — ``None`` keeps the in-process
+        serial path, ``0`` uses every core, ``n`` uses exactly ``n``.
+        The written blocks are byte-identical either way; packing always
+        happens in-process (it is a sequential scan).
         """
         f = cls(relation.schema, disk, codec=codec)
         ordinals = relation.phi_ordinals()
+        if not ordinals:
+            return f
+        runs = f._pack_runs(ordinals)
+        if workers is not None:
+            from repro.core.parallel import encode_blocks
+
+            payloads = encode_blocks(
+                f._codec, runs, workers=workers, capacity=disk.block_size
+            )
+            for run, payload in zip(runs, payloads):
+                f._append_encoded(run, payload)
+            return f
         if (
-            ordinals
-            and f._codec.chained
+            f._codec.chained
             and getattr(f._codec, "representative_strategy", None) == "median"
             and f._codec.mapper.fits_int64
         ):
             import numpy as np
 
-            from repro.core.fastpack import (
-                FastBlockEncoder,
-                fast_pack_boundaries,
-            )
+            from repro.core.fastpack import FastBlockEncoder
 
-            arr = np.asarray(ordinals, dtype=np.int64)
             encoder = FastBlockEncoder(relation.schema.domain_sizes)
-            for start, end in fast_pack_boundaries(
-                arr, relation.schema.domain_sizes, disk.block_size
-            ):
-                run = ordinals[start:end]
-                payload = encoder.encode_run(arr[start:end])
-                f._block_ids.append(f._disk.append_block(payload))
-                f._block_min.append(run[0])
-                f._block_max.append(run[-1])
-                f._block_count.append(len(run))
-                f._num_tuples += len(run)
+            for run in runs:
+                payload = encoder.encode_run(np.asarray(run, dtype=np.int64))
+                f._append_encoded(run, payload)
             return f
-        partition = pack_ordinals(f._codec, ordinals, disk.block_size)
-        for run in partition.blocks:
+        for run in runs:
             f._append_run(run)
         return f
 
+    def _pack_runs(self, ordinals: Sequence[int]) -> List[Sequence[int]]:
+        """Greedy Section 3.3 packing of sorted ordinals into block runs."""
+        return pack_runs(self._codec, ordinals, self._disk.block_size)
+
     def _append_run(self, ordinals: Sequence[int]) -> None:
-        payload = self._encode_ordinals(ordinals)
+        self._append_encoded(ordinals, self._encode_ordinals(ordinals))
+
+    def _append_encoded(
+        self, ordinals: Sequence[int], payload: bytes
+    ) -> None:
+        """Append a run whose payload was already encoded (parallel path)."""
         self._block_ids.append(self._disk.append_block(payload))
         self._block_min.append(ordinals[0])
         self._block_max.append(ordinals[-1])
@@ -141,6 +156,11 @@ class AVQFile:
     def block_ids(self) -> List[int]:
         """Disk block ids in phi-cluster order."""
         return list(self._block_ids)
+
+    def block_id_at(self, position: int) -> int:
+        """Disk block id of the ``position``-th block (no list copy)."""
+        self._check_position(position)
+        return self._block_ids[position]
 
     def block_range(self, position: int) -> Tuple[int, int]:
         """(first, last) phi ordinal stored in the ``position``-th block."""
@@ -206,20 +226,40 @@ class AVQFile:
         if not self._block_ids:
             return None
         pos = bisect.bisect_right(self._block_min, ordinal) - 1
-        return max(pos, 0)
+        if pos < 0:
+            # Ordinal sorts below the first block's minimum; without this
+            # guard the raw bisect result (-1) would silently index the
+            # *last* block.  Such an ordinal belongs in block 0.
+            return 0
+        return pos
+
+    def covering_block_of_ordinal(self, ordinal: int) -> Optional[int]:
+        """Position of the block whose [min, max] range holds ``ordinal``.
+
+        Unlike :meth:`block_of_ordinal` (which answers "where would this
+        ordinal go?"), this answers "where could it already *be*?" —
+        ``None`` when the ordinal falls outside every block's range, so
+        point probes and deletes can skip the disk read entirely.
+        """
+        if not self._block_ids:
+            return None
+        pos = bisect.bisect_right(self._block_min, ordinal) - 1
+        if pos < 0:
+            return None
+        if ordinal > self._block_max[pos]:
+            return None
+        return pos
 
     def contains_ordinal(self, ordinal: int) -> bool:
         """Point probe: whether a tuple with this phi ordinal is stored.
 
         Reads one block and walks its difference stream with early exit
         (:meth:`~repro.core.codec.BlockCodec.probe_block`) — no full
-        block reconstruction.
+        block reconstruction.  Ordinals outside every block's range are
+        answered from the in-memory directory with no I/O at all.
         """
-        if not self._block_ids:
-            return False
-        pos = self.block_of_ordinal(ordinal)
-        lo, hi = self.block_range(pos)
-        if not lo <= ordinal <= hi:
+        pos = self.covering_block_of_ordinal(ordinal)
+        if pos is None:
             return False
         payload = self._disk.read_block(self._block_ids[pos])
         probe = getattr(self._codec, "probe_block", None)
@@ -289,9 +329,11 @@ class AVQFile:
     def delete(self, values: Sequence[int]) -> bool:
         """Delete one occurrence of a tuple; returns whether it was found."""
         ordinal = self._schema.mapper.phi(values)
-        if not self._block_ids:
+        pos = self.covering_block_of_ordinal(ordinal)
+        if pos is None:
+            # Outside every block's range: the directory alone proves the
+            # tuple is absent, so don't pay a block read to find out.
             return False
-        pos = self.block_of_ordinal(ordinal)
         ordinals = self.read_block_ordinals(pos)
         idx = bisect.bisect_left(ordinals, ordinal)
         if idx >= len(ordinals) or ordinals[idx] != ordinal:
@@ -314,6 +356,49 @@ class AVQFile:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+
+    def verify_directory(self) -> None:
+        """Check the in-memory directory against the blocks on disk.
+
+        Re-reads every block and confirms the cached min/max/count match
+        the decoded contents, that block ranges are disjoint and sorted,
+        and that the tuple total adds up — raising
+        :class:`~repro.errors.StorageError` on the first inconsistency.
+        Mutation tests run this after split-heavy workloads to prove the
+        Section 4.2 bookkeeping never drifts.
+        """
+        total = 0
+        prev_max: Optional[int] = None
+        for position in range(self.num_blocks):
+            ordinals = self.read_block_ordinals(position)
+            if not ordinals:
+                raise StorageError(f"block {position} decoded to no tuples")
+            if ordinals[0] != self._block_min[position]:
+                raise StorageError(
+                    f"block {position} min is {ordinals[0]}, "
+                    f"directory says {self._block_min[position]}"
+                )
+            if ordinals[-1] != self._block_max[position]:
+                raise StorageError(
+                    f"block {position} max is {ordinals[-1]}, "
+                    f"directory says {self._block_max[position]}"
+                )
+            if len(ordinals) != self._block_count[position]:
+                raise StorageError(
+                    f"block {position} holds {len(ordinals)} tuples, "
+                    f"directory says {self._block_count[position]}"
+                )
+            if prev_max is not None and ordinals[0] <= prev_max:
+                raise StorageError(
+                    f"block {position} min {ordinals[0]} does not follow "
+                    f"previous block max {prev_max}"
+                )
+            prev_max = ordinals[-1]
+            total += len(ordinals)
+        if total != self._num_tuples:
+            raise StorageError(
+                f"blocks hold {total} tuples, file claims {self._num_tuples}"
+            )
 
     def utilisation(self) -> float:
         """Mean payload fraction of the file's blocks.

@@ -1,4 +1,4 @@
-"""An LRU buffer pool over the simulated disk.
+"""An LRU buffer pool over the simulated disk, plus a decoded-block cache.
 
 Database engines never read blocks straight off the disk for every
 access; a buffer pool absorbs re-reads.  The pool is deliberately simple
@@ -8,44 +8,88 @@ response-time experiments assume cold reads (every block access costs
 access is a *repeat* access, and so examples can show the warm-cache
 behaviour of a compressed relation (more tuples per cached block means a
 higher tuple hit rate for the same pool size).
+
+For a *compressed* relation a repeat access still pays the decode cost
+``t2`` even when the raw payload is resident.  :class:`DecodedBlockCache`
+layers a second LRU on top of the pool, keyed by the same disk block id
+but holding the **decoded tuples**, so repeated point and range lookups
+skip RLE decoding entirely.  The layering keeps invalidation honest: a
+block rewritten on disk (Section 4.2 mutation, block split, compaction)
+is invalidated through :meth:`BufferPool.invalidate`, and the pool
+cascades the drop to every attached decoded cache — a stale payload and
+a stale decode are the same bug.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.storage.disk import SimulatedDisk
 
-__all__ = ["BufferPool", "BufferStats"]
+__all__ = ["BufferPool", "BufferStats", "DecodedBlockCache"]
+
+#: Type of the payload -> tuples decoder a decoded cache runs on a miss.
+Decoder = Callable[[bytes], List[Tuple[int, ...]]]
 
 
 @dataclass
 class BufferStats:
-    """Hit/miss counters for a buffer pool."""
+    """Hit/miss counters for a buffer pool and its decoded-block cache.
+
+    ``hits``/``misses`` count raw-payload accesses through
+    :meth:`BufferPool.get`; the ``decoded_*`` counters count tuple-level
+    accesses through :meth:`DecodedBlockCache.get`.  Eviction counters
+    are *lifetime* tallies of cache churn: :meth:`reset` zeroes the
+    hit/miss window but deliberately leaves them standing, so a caller
+    that resets between measurement phases still sees how much eviction
+    pressure the whole run generated.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    decoded_hits: int = 0
+    decoded_misses: int = 0
+    decoded_evictions: int = 0
 
     @property
     def accesses(self) -> int:
-        """Total get() calls served."""
+        """Total raw-payload get() calls served."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of accesses served without disk I/O."""
+        """Fraction of accesses served without disk I/O (0.0 when fresh)."""
         if self.accesses == 0:
             return 0.0
         return self.hits / self.accesses
 
+    @property
+    def decoded_accesses(self) -> int:
+        """Total decoded-block get() calls served."""
+        return self.decoded_hits + self.decoded_misses
+
+    @property
+    def decoded_hit_rate(self) -> float:
+        """Fraction of accesses served without decoding (0.0 when fresh)."""
+        if self.decoded_accesses == 0:
+            return 0.0
+        return self.decoded_hits / self.decoded_accesses
+
     def reset(self) -> None:
-        """Zero all counters."""
+        """Zero the hit/miss window; eviction counts survive.
+
+        Evictions measure lifetime cache pressure, not a per-phase rate —
+        zeroing them with the window would silently understate churn in
+        any experiment that resets between warm-up and measurement.
+        """
         self.hits = 0
         self.misses = 0
-        self.evictions = 0
+        self.decoded_hits = 0
+        self.decoded_misses = 0
 
 
 class BufferPool:
@@ -57,6 +101,7 @@ class BufferPool:
         self._disk = disk
         self._capacity = capacity
         self._frames: "OrderedDict[int, bytes]" = OrderedDict()
+        self._decoded_caches: List["DecodedBlockCache"] = []
         self.stats = BufferStats()
 
     @property
@@ -84,10 +129,116 @@ class BufferPool:
             self.stats.evictions += 1
         return payload
 
+    def attach_decoded_cache(self, cache: "DecodedBlockCache") -> None:
+        """Register a decoded cache for invalidation cascade.
+
+        Called by :class:`DecodedBlockCache` itself; after attachment,
+        :meth:`invalidate` and :meth:`clear` also drop the corresponding
+        decoded entries — a rewritten payload makes the decode stale too.
+        """
+        if cache not in self._decoded_caches:
+            self._decoded_caches.append(cache)
+
     def invalidate(self, block_id: int) -> None:
-        """Drop a block from the pool (after it was rewritten on disk)."""
+        """Drop a block from the pool (after it was rewritten on disk).
+
+        Cascades to every attached decoded cache: the decoded tuples of a
+        rewritten block are exactly as stale as its payload.
+        """
         self._frames.pop(block_id, None)
+        for cache in self._decoded_caches:
+            cache.drop(block_id)
 
     def clear(self) -> None:
-        """Empty the pool (counters are kept; use ``stats.reset()``)."""
+        """Empty the pool and attached decoded caches (counters are kept;
+        use ``stats.reset()``)."""
+        self._frames.clear()
+        for cache in self._decoded_caches:
+            cache.drop_all()
+
+
+class DecodedBlockCache:
+    """Fixed-capacity LRU cache of *decoded* blocks over a buffer pool.
+
+    Keyed by disk block id, like the pool underneath.  A hit returns the
+    cached tuple list with no I/O and no decode; a miss fetches the
+    payload through the pool (which may itself hit or miss) and decodes
+    it once.  Counters live on the shared ``pool.stats`` so one object
+    tells the whole caching story.
+
+    The cache registers itself with the pool, so the pool's
+    ``invalidate``/``clear`` — the calls every Section 4.2 mutation path
+    already makes — keep it consistent for free.
+
+    Callers must treat returned lists as immutable: the same list object
+    is handed to every hit.
+    """
+
+    def __init__(
+        self, pool: BufferPool, capacity: int, decoder: Decoder
+    ) -> None:
+        if capacity < 1:
+            raise StorageError(
+                f"decoded cache capacity must be >= 1, got {capacity}"
+            )
+        self._pool = pool
+        self._capacity = capacity
+        self._decoder = decoder
+        self._frames: "OrderedDict[int, List[Tuple[int, ...]]]" = OrderedDict()
+        pool.attach_decoded_cache(self)
+
+    @property
+    def pool(self) -> BufferPool:
+        """The raw-payload pool underneath."""
+        return self._pool
+
+    @property
+    def capacity(self) -> int:
+        """Maximum decoded blocks held."""
+        return self._capacity
+
+    @property
+    def resident(self) -> int:
+        """Decoded blocks currently cached."""
+        return len(self._frames)
+
+    @property
+    def stats(self) -> BufferStats:
+        """The shared counters (same object as ``pool.stats``)."""
+        return self._pool.stats
+
+    def get(self, block_id: int) -> List[Tuple[int, ...]]:
+        """Return a block's decoded tuples, decoding only on a miss."""
+        cached = self._frames.get(block_id)
+        if cached is not None:
+            self._frames.move_to_end(block_id)
+            self.stats.decoded_hits += 1
+            return cached
+        tuples = self._decoder(self._pool.get(block_id))
+        self.stats.decoded_misses += 1
+        self._frames[block_id] = tuples
+        if len(self._frames) > self._capacity:
+            self._frames.popitem(last=False)
+            self.stats.decoded_evictions += 1
+        return tuples
+
+    def peek(self, block_id: int) -> Optional[List[Tuple[int, ...]]]:
+        """The cached decode of a block, or ``None`` — never decodes.
+
+        Point probes use this to exploit a warm cache without forcing a
+        full block decode on a cold one (the early-exit difference-stream
+        probe is cheaper than decoding when the block is cold).
+        """
+        cached = self._frames.get(block_id)
+        if cached is not None:
+            self._frames.move_to_end(block_id)
+            self.stats.decoded_hits += 1
+        return cached
+
+    def drop(self, block_id: int) -> None:
+        """Forget one block's decode (no-op if absent)."""
+        self._frames.pop(block_id, None)
+
+    def drop_all(self) -> None:
+        """Forget every decode (counters are kept; use ``stats.reset()``)."""
         self._frames.clear()

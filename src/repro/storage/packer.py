@@ -23,7 +23,13 @@ from repro.errors import BlockOverflowError, StorageError
 from repro.relational.relation import Relation
 from repro.storage.block import DEFAULT_BLOCK_SIZE
 
-__all__ = ["PackStats", "PackedPartition", "pack_ordinals", "pack_relation"]
+__all__ = [
+    "PackStats",
+    "PackedPartition",
+    "pack_ordinals",
+    "pack_relation",
+    "pack_runs",
+]
 
 
 @dataclass(frozen=True)
@@ -159,6 +165,40 @@ def pack_ordinals(
         block_size=block_size,
     )
     return PackedPartition(blocks=blocks, stats=stats)
+
+
+def pack_runs(
+    codec: BlockCodec,
+    sorted_ordinals: Sequence[int],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> List[Sequence[int]]:
+    """Per-block ordinal runs only, taking the vectorised path if it applies.
+
+    The partition is identical to :func:`pack_ordinals`; codecs eligible
+    for the numpy boundary scan (chained, median representative, int64
+    ordinal space) skip the per-tuple Python loop.  This is the packing
+    front half of the parallel encode pipeline — runs go straight to
+    :func:`repro.core.parallel.encode_blocks`.
+    """
+    if not sorted_ordinals:
+        return []
+    if (
+        codec.chained
+        and getattr(codec, "representative_strategy", None) == "median"
+        and codec.mapper.fits_int64
+    ):
+        import numpy as np
+
+        from repro.core.fastpack import fast_pack_boundaries
+
+        arr = np.asarray(sorted_ordinals, dtype=np.int64)
+        return [
+            sorted_ordinals[start:end]
+            for start, end in fast_pack_boundaries(
+                arr, codec.mapper.domain_sizes, block_size
+            )
+        ]
+    return list(pack_ordinals(codec, sorted_ordinals, block_size).blocks)
 
 
 def pack_relation(

@@ -1,0 +1,158 @@
+"""Parallel block coding must be a pure speedup: same bytes, same tuples.
+
+Covers the ISSUE-2 property requirements: ``decode_blocks(encode_blocks(R))
+== R`` for random mixed-radix relations across worker counts {1, 2, 8},
+chained and unchained, and parallel/serial byte-identity.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codec import BlockCodec
+from repro.core.parallel import (
+    SERIAL_THRESHOLD,
+    ParallelBlockCodec,
+    decode_blocks,
+    decode_ordinal_blocks,
+    encode_blocks,
+    resolve_workers,
+)
+from repro.errors import BlockOverflowError, CodecError
+from repro.storage.packer import pack_runs
+
+WORKER_COUNTS = [1, 2, 8]
+
+
+def random_runs(sizes, n, seed, block_size=512, *, chained=True):
+    codec = BlockCodec(sizes, chained=chained)
+    rng = random.Random(seed)
+    space = codec.mapper.space_size
+    ordinals = sorted(rng.randrange(space) for _ in range(n))
+    return codec, ordinals, pack_runs(codec, ordinals, block_size)
+
+
+class TestResolveWorkers:
+    def test_none_and_zero_mean_all_cores(self):
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) == resolve_workers(None)
+
+    def test_explicit_count_honoured(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            resolve_workers(-1)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("chained", [True, False])
+    def test_decode_of_encode_recovers_relation(self, workers, chained):
+        codec, ordinals, runs = random_runs(
+            [8, 16, 64, 64], 2000, seed=workers, chained=chained
+        )
+        payloads = encode_blocks(codec, runs, workers=workers)
+        decoded = decode_blocks(codec, payloads, workers=workers)
+        flat = [t for block in decoded for t in block]
+        assert flat == [codec.mapper.phi_inverse(o) for o in ordinals]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_ordinal_decode_recovers_ordinals(self, workers):
+        codec, ordinals, runs = random_runs([30, 7, 100], 1500, seed=3)
+        payloads = encode_blocks(codec, runs, workers=workers)
+        decoded = decode_ordinal_blocks(codec, payloads, workers=workers)
+        assert [o for block in decoded for o in block] == ordinals
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(2, 40), min_size=2, max_size=6),
+        n=st.integers(50, 400),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_roundtrip_two_workers(self, sizes, n, seed):
+        codec, ordinals, runs = random_runs(sizes, n, seed, block_size=256)
+        payloads = encode_blocks(codec, runs, workers=2)
+        decoded = decode_blocks(codec, payloads, workers=2)
+        flat = [t for block in decoded for t in block]
+        assert flat == [codec.mapper.phi_inverse(o) for o in ordinals]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("chained", [True, False])
+    def test_parallel_matches_serial_bytes(self, workers, chained):
+        codec, _, runs = random_runs(
+            [8, 16, 64, 64], 3000, seed=17, chained=chained
+        )
+        assert len(runs) >= SERIAL_THRESHOLD  # exercise the fan-out path
+        serial = [
+            codec.encode_block(
+                [codec.mapper.phi_inverse(o) for o in run]
+            )
+            for run in runs
+        ]
+        assert encode_blocks(codec, runs, workers=workers) == serial
+
+    def test_parallel_matches_serial_bytes_first_representative(self):
+        # A non-median strategy forces the scalar path in every worker.
+        codec = BlockCodec([12, 12, 12], representative="first")
+        ordinals = sorted(
+            random.Random(5).randrange(codec.mapper.space_size)
+            for _ in range(1200)
+        )
+        runs = pack_runs(codec, ordinals, 512)
+        serial = [
+            codec.encode_block([codec.mapper.phi_inverse(o) for o in run])
+            for run in runs
+        ]
+        assert encode_blocks(codec, runs, workers=2) == serial
+
+
+class TestParallelBlockCodec:
+    def test_reusable_pool_across_calls(self):
+        codec, ordinals, runs = random_runs([10, 10, 10], 2500, seed=9)
+        with ParallelBlockCodec(codec, workers=2) as pcodec:
+            first = pcodec.encode_blocks(runs)
+            second = pcodec.encode_blocks(runs)
+            assert first == second
+            decoded = pcodec.decode_ordinal_blocks(first)
+        assert [o for block in decoded for o in block] == ordinals
+
+    def test_close_is_idempotent(self):
+        codec = BlockCodec([4, 4, 4])
+        pcodec = ParallelBlockCodec(codec, workers=2)
+        pcodec.close()
+        pcodec.close()
+
+    def test_workers_resolved(self):
+        codec = BlockCodec([4, 4, 4])
+        assert ParallelBlockCodec(codec, workers=3).workers == 3
+        assert ParallelBlockCodec(codec, workers=1).workers == 1
+
+    def test_small_input_stays_serial(self):
+        codec, _, runs = random_runs([16, 16], 40, seed=2, block_size=128)
+        small = runs[: SERIAL_THRESHOLD - 1]
+        with ParallelBlockCodec(codec, workers=8) as pcodec:
+            pcodec.encode_blocks(small)
+            assert pcodec._executor is None  # no pool was ever spawned
+
+    def test_empty_run_rejected(self):
+        codec = BlockCodec([4, 4])
+        with pytest.raises(CodecError):
+            encode_blocks(codec, [[1], []], workers=1)
+
+    def test_capacity_overflow_raises(self):
+        codec, _, runs = random_runs([64, 64, 64], 800, seed=21)
+        merged = [o for run in runs for o in run]
+        for workers in (1, 2):
+            with pytest.raises(BlockOverflowError):
+                encode_blocks(codec, [merged], workers=workers, capacity=64)
+
+    def test_capacity_respected_in_parallel(self):
+        codec, _, runs = random_runs([8, 8, 8, 8], 2000, seed=23)
+        payloads = encode_blocks(codec, runs, workers=2, capacity=512)
+        assert all(len(p) <= 512 for p in payloads)

@@ -113,3 +113,122 @@ class TestBufferedTable:
         assert compressed_rate > 0.9
         assert uncompressed_rate < 0.9
         assert compressed_rate > uncompressed_rate
+
+
+class TestDecodedCacheTable:
+    def test_repeat_lookup_skips_decode(self, schema):
+        rel = make_relation(schema, seed=4)
+        disk = SimulatedDisk(block_size=512)
+        table = Table.from_relation(
+            "t", rel, disk, decoded_cache_capacity=100
+        )
+        target = next(iter(rel))
+        assert table.contains(target)
+        stats = table.buffer_pool.stats
+        decodes_after_first = stats.decoded_misses
+        disk.stats.reset()
+        for _ in range(5):
+            assert table.contains(target)
+        assert stats.decoded_misses == decodes_after_first  # no new decode
+        assert stats.decoded_hits >= 5
+        assert disk.stats.blocks_read == 0
+
+    def test_repeat_select_hits_decoded_cache(self, schema):
+        rel = make_relation(schema, seed=5)
+        disk = SimulatedDisk(block_size=512)
+        table = Table.from_relation(
+            "t", rel, disk,
+            secondary_on=["a2"],
+            decoded_cache_capacity=1000,
+        )
+        q = RangeQuery.equals("a2", 9)
+        first = table.select(q)
+        stats = table.buffer_pool.stats
+        cold_decodes = stats.decoded_misses
+        second = table.select(q)
+        assert sorted(second.tuples) == sorted(first.tuples)
+        assert stats.decoded_misses == cold_decodes
+        assert stats.decoded_hits > 0
+
+    def test_out_of_range_probe_reads_nothing(self, schema):
+        rel = Relation(schema, [(30, 30, 30, 30), (31, 31, 31, 31)])
+        disk = SimulatedDisk(block_size=512)
+        table = Table.from_relation(
+            "t", rel, disk, decoded_cache_capacity=10
+        )
+        disk.stats.reset()
+        assert not table.contains((0, 0, 0, 0))
+        assert not table.contains((63, 63, 63, 63))
+        assert disk.stats.blocks_read == 0
+
+    def test_mutation_invalidates_decoded_block(self, schema):
+        rel = make_relation(schema, seed=6)
+        disk = SimulatedDisk(block_size=512)
+        table = Table.from_relation(
+            "t", rel, disk, decoded_cache_capacity=1000
+        )
+        new = (2, 40, 5, 6)
+        assert not table.contains(new)  # warms the decoded cache
+        table.insert(new)
+        assert table.contains(new)  # stale decode would still miss it
+        assert table.delete(new)
+        assert not table.contains(new)  # and would still show it here
+
+    def test_insert_until_split_stays_consistent(self, schema):
+        """ISSUE-2 satellite: after ``_split_block`` the directory, the
+        secondary index, and the decoded cache must all agree with the
+        two half-blocks.  A cache that survives the split would serve
+        the pre-split decode of the left block's disk id."""
+        rel = make_relation(schema, n=50, seed=7)
+        disk = SimulatedDisk(block_size=128)  # tiny blocks: split early
+        table = Table.from_relation(
+            "t", rel, disk,
+            secondary_on=["a1"],
+            decoded_cache_capacity=1000,
+        )
+        storage = table.storage
+        rng = random.Random(8)
+        inserted = []
+        blocks_before = storage.num_blocks
+        while storage.num_blocks <= blocks_before + 3:
+            t = tuple(rng.randrange(64) for _ in range(4))
+            table.contains(t)  # keep the target block's decode cached
+            table.insert(t)
+            inserted.append(t)
+        storage.verify_directory()
+
+        expected = sorted(
+            list(rel) + inserted, key=schema.mapper.phi
+        )
+        assert list(storage.scan()) == expected
+        # every tuple findable through the (cached) point-probe path
+        for t in inserted:
+            assert table.contains(t)
+        # and the secondary index still maps values to the right blocks
+        for value in range(64):
+            result = table.select(RangeQuery.equals("a1", value))
+            assert sorted(result.tuples) == sorted(
+                t for t in expected if t[1] == value
+            )
+
+    def test_compact_drops_decoded_cache(self, schema):
+        rel = make_relation(schema, seed=9)
+        disk = SimulatedDisk(block_size=512)
+        table = Table.from_relation(
+            "t", rel, disk, decoded_cache_capacity=1000
+        )
+        victim = next(iter(rel))
+        table.contains(victim)
+        table.delete(victim)
+        table.compact()
+        assert table.decoded_cache.resident == 0
+        assert not table.contains(victim)
+
+    def test_decoded_cache_gets_default_pool(self, schema):
+        rel = make_relation(schema, seed=10)
+        table = Table.from_relation(
+            "t", rel, SimulatedDisk(512), decoded_cache_capacity=7
+        )
+        assert table.buffer_pool is not None
+        assert table.buffer_pool.capacity == 7
+        assert table.decoded_cache.capacity == 7

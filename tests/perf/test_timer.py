@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ReproError
 from repro.perf.machines import calibrated_profile
-from repro.perf.timer import Stopwatch, mean_time_ms
+from repro.perf.timer import StageTimer, Stopwatch, mean_time_ms
 
 
 class TestMeanTime:
@@ -38,6 +38,47 @@ class TestStopwatch:
         assert sw.laps == 0
         assert sw.total_ms == 0.0
         assert sw.mean_ms == 0.0
+
+
+class TestStageTimer:
+    def test_stages_accumulate_independently(self):
+        timer = StageTimer()
+        with timer.stage("encode"):
+            time.sleep(0.001)
+        with timer.stage("decode"):
+            time.sleep(0.001)
+        with timer.stage("encode"):
+            time.sleep(0.001)
+        assert timer.stage("encode").laps == 2
+        assert timer.stage("decode").laps == 1
+        assert timer.total_ms("encode") >= timer.total_ms("decode")
+
+    def test_unknown_stage_is_zero(self):
+        timer = StageTimer()
+        assert timer.total_ms("never-entered") == 0.0
+
+    def test_report_covers_entered_stages(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        with timer.stage("b"):
+            pass
+        report = timer.report()
+        assert sorted(report) == ["a", "b"]
+        assert all(v >= 0.0 for v in report.values())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            StageTimer().stage("")
+
+    def test_stages_property_is_a_copy(self):
+        timer = StageTimer()
+        with timer.stage("x"):
+            pass
+        snapshot = timer.stages
+        snapshot.clear()
+        assert timer.total_ms("x") >= 0.0
+        assert "x" in timer.stages
 
 
 class TestCalibratedProfile:

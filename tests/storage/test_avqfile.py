@@ -192,3 +192,107 @@ class TestMutation:
         # one read (the block) and one write (its re-encoding), or a split
         assert disk.stats.blocks_read == 1
         assert disk.stats.blocks_written in (1, 2)
+
+
+class TestDirectoryProbe:
+    """ISSUE-2 satellite: the directory alone must answer out-of-range
+    probes — no disk I/O, and never a mis-indexed block."""
+
+    def build_windowed(self, schema):
+        # Every stored tuple sits well inside the ordinal range, so both
+        # below-min and above-max probes exist.
+        rel = Relation(
+            schema,
+            [(20, i, i, i, i) for i in range(30)]
+            + [(40, i, i, i, i) for i in range(30)],
+        )
+        disk = SimulatedDisk(block_size=128)
+        return disk, AVQFile.build(rel, disk)
+
+    def test_block_of_ordinal_below_min_is_block_zero(self, schema):
+        _, f = self.build_windowed(schema)
+        below = schema.mapper.phi((0, 0, 0, 0, 0))
+        assert below < f.block_range(0)[0]
+        assert f.block_of_ordinal(below) == 0  # -1 would index the last
+
+    def test_covering_block_none_outside_every_range(self, schema):
+        _, f = self.build_windowed(schema)
+        below = schema.mapper.phi((0, 0, 0, 0, 0))
+        above = schema.mapper.phi((63, 63, 63, 63, 63))
+        assert f.covering_block_of_ordinal(below) is None
+        assert f.covering_block_of_ordinal(above) is None
+        # in-gap ordinals between blocks may or may not be covered, but
+        # every stored ordinal must be
+        for t in [(20, 0, 0, 0, 0), (40, 29, 29, 29, 29)]:
+            pos = f.covering_block_of_ordinal(schema.mapper.phi(t))
+            assert pos is not None
+            lo, hi = f.block_range(pos)
+            assert lo <= schema.mapper.phi(t) <= hi
+
+    def test_covering_block_empty_file(self, schema):
+        disk = SimulatedDisk(block_size=256)
+        f = AVQFile.build(Relation(schema), disk)
+        assert f.covering_block_of_ordinal(0) is None
+
+    def test_contains_out_of_range_reads_nothing(self, schema):
+        disk, f = self.build_windowed(schema)
+        disk.stats.reset()
+        assert not f.contains_ordinal(schema.mapper.phi((0, 0, 0, 0, 0)))
+        assert not f.contains_ordinal(
+            schema.mapper.phi((63, 63, 63, 63, 63))
+        )
+        assert disk.stats.blocks_read == 0
+
+    def test_delete_out_of_range_reads_nothing(self, schema):
+        """Regression: delete used to decode a block just to discover the
+        ordinal could not be in it (and, without the bisect guard, would
+        have probed the *last* block for a below-min ordinal)."""
+        disk, f = self.build_windowed(schema)
+        before = f.num_tuples
+        disk.stats.reset()
+        assert not f.delete((0, 0, 0, 0, 0))
+        assert not f.delete((63, 63, 63, 63, 63))
+        assert disk.stats.blocks_read == 0
+        assert disk.stats.blocks_written == 0
+        assert f.num_tuples == before
+
+    def test_delete_in_range_still_works(self, schema):
+        disk, f = self.build_windowed(schema)
+        assert f.delete((20, 5, 5, 5, 5))
+        assert not f.contains_ordinal(schema.mapper.phi((20, 5, 5, 5, 5)))
+
+
+class TestVerifyDirectory:
+    def test_clean_file_verifies(self, schema):
+        _, _, f = build(schema, 400, seed=16)
+        f.verify_directory()
+
+    def test_verify_after_split_churn(self, schema):
+        rel = random_relation(schema, 40, seed=17)
+        disk = SimulatedDisk(block_size=64)
+        f = AVQFile.build(rel, disk)
+        rng = random.Random(18)
+        for _ in range(150):
+            f.insert(tuple(rng.randrange(64) for _ in range(5)))
+        f.verify_directory()
+
+    def test_corrupted_directory_detected(self, schema):
+        _, _, f = build(schema, 200, seed=19)
+        f._block_min[0] -= 1  # simulate a stale directory entry
+        with pytest.raises(StorageError):
+            f.verify_directory()
+
+
+class TestParallelBuild:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_build_blocks_byte_identical(self, schema, workers):
+        rel = random_relation(schema, 600, seed=20)
+        serial_disk = SimulatedDisk(block_size=256)
+        parallel_disk = SimulatedDisk(block_size=256)
+        serial = AVQFile.build(rel, serial_disk)
+        parallel = AVQFile.build(rel, parallel_disk, workers=workers)
+        assert serial.num_blocks == parallel.num_blocks
+        assert [
+            serial_disk.read_block(i) for i in serial.block_ids
+        ] == [parallel_disk.read_block(i) for i in parallel.block_ids]
+        assert list(parallel.scan()) == rel.sorted_by_phi()

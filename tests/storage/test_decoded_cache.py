@@ -1,0 +1,147 @@
+"""The decoded-block cache: LRU behaviour, counters, and invalidation.
+
+The cascade tests are the ISSUE-2 satellite regression: a decoded cache
+that ``BufferPool.invalidate``/``clear`` did *not* re-point would keep
+serving the pre-mutation decode of a rewritten block.
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool, BufferStats, DecodedBlockCache
+from repro.storage.disk import SimulatedDisk
+
+
+def make_pool(num_blocks=8, capacity=8, block_size=64):
+    disk = SimulatedDisk(block_size=block_size)
+    ids = [
+        disk.append_block(bytes([i]) * (i + 1)) for i in range(num_blocks)
+    ]
+    return disk, ids, BufferPool(disk, capacity)
+
+
+def decoder_counting(calls):
+    def decode(payload):
+        calls.append(payload)
+        return [(len(payload), payload[0] if payload else -1)]
+
+    return decode
+
+
+class TestDecodedBlockCache:
+    def test_miss_decodes_then_hit_is_free(self):
+        disk, ids, pool = make_pool()
+        calls = []
+        cache = DecodedBlockCache(pool, 4, decoder_counting(calls))
+        first = cache.get(ids[0])
+        second = cache.get(ids[0])
+        assert first == second
+        assert len(calls) == 1  # the repeat lookup decoded nothing
+        assert pool.stats.decoded_hits == 1
+        assert pool.stats.decoded_misses == 1
+
+    def test_hit_costs_no_disk_read(self):
+        disk, ids, pool = make_pool()
+        cache = DecodedBlockCache(pool, 4, decoder_counting([]))
+        cache.get(ids[1])
+        before = disk.stats.blocks_read
+        cache.get(ids[1])
+        assert disk.stats.blocks_read == before
+
+    def test_lru_eviction_and_counter(self):
+        disk, ids, pool = make_pool()
+        calls = []
+        cache = DecodedBlockCache(pool, 2, decoder_counting(calls))
+        cache.get(ids[0])
+        cache.get(ids[1])
+        cache.get(ids[2])  # evicts ids[0]
+        assert pool.stats.decoded_evictions == 1
+        assert cache.resident == 2
+        cache.get(ids[0])  # must re-decode
+        assert len(calls) == 4
+
+    def test_invalidate_cascades_from_pool(self):
+        disk, ids, pool = make_pool()
+        cache = DecodedBlockCache(
+            pool, 4, lambda payload: [tuple(payload)]
+        )
+        stale = cache.get(ids[0])
+        disk.write_block(ids[0], b"\x99" * 3)
+        pool.invalidate(ids[0])
+        fresh = cache.get(ids[0])
+        assert fresh == [(0x99, 0x99, 0x99)]
+        assert fresh != stale  # a non-cascading cache would return stale
+
+    def test_clear_cascades_from_pool(self):
+        disk, ids, pool = make_pool()
+        calls = []
+        cache = DecodedBlockCache(pool, 4, decoder_counting(calls))
+        cache.get(ids[0])
+        cache.get(ids[1])
+        pool.clear()
+        assert cache.resident == 0
+        cache.get(ids[0])
+        assert len(calls) == 3  # re-decoded after the clear
+
+    def test_peek_never_decodes(self):
+        disk, ids, pool = make_pool()
+        calls = []
+        cache = DecodedBlockCache(pool, 4, decoder_counting(calls))
+        assert cache.peek(ids[0]) is None
+        assert not calls
+        block = cache.get(ids[0])
+        assert cache.peek(ids[0]) == block
+        assert len(calls) == 1
+        assert pool.stats.decoded_hits == 1  # the successful peek counted
+
+    def test_capacity_validated(self):
+        _, _, pool = make_pool()
+        with pytest.raises(StorageError):
+            DecodedBlockCache(pool, 0, lambda payload: [])
+
+    def test_stats_shared_with_pool(self):
+        _, ids, pool = make_pool()
+        cache = DecodedBlockCache(pool, 4, lambda payload: [])
+        assert cache.stats is pool.stats
+        cache.get(ids[0])
+        assert pool.stats.decoded_misses == 1
+        assert pool.stats.misses == 1  # the payload fetch went via the pool
+
+
+class TestBufferStatsAudit:
+    def test_hit_rates_zero_on_fresh_stats(self):
+        stats = BufferStats()
+        assert stats.hit_rate == 0.0
+        assert stats.decoded_hit_rate == 0.0
+
+    def test_hit_rate_zero_on_fresh_pool(self):
+        _, _, pool = make_pool()
+        assert pool.stats.hit_rate == 0.0
+
+    def test_reset_zeroes_window_but_keeps_evictions(self):
+        stats = BufferStats(
+            hits=5,
+            misses=3,
+            evictions=2,
+            decoded_hits=4,
+            decoded_misses=1,
+            decoded_evictions=6,
+        )
+        stats.reset()
+        assert stats.hits == 0
+        assert stats.misses == 0
+        assert stats.decoded_hits == 0
+        assert stats.decoded_misses == 0
+        # lifetime churn counters survive the measurement-window reset
+        assert stats.evictions == 2
+        assert stats.decoded_evictions == 6
+
+    def test_pool_eviction_count_survives_reset(self):
+        disk, ids, pool = make_pool(num_blocks=6, capacity=2)
+        for block_id in ids:
+            pool.get(block_id)
+        evicted = pool.stats.evictions
+        assert evicted == 4
+        pool.stats.reset()
+        assert pool.stats.evictions == evicted
+        assert pool.stats.accesses == 0

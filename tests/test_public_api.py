@@ -21,6 +21,8 @@ EXPECTED_EXPORTS = {
         "ordinal_difference", "difference_tuple", "apply_difference",
         "FastGapSizer", "fast_blocks_needed", "fast_pack_boundaries",
         "GolombBlockCodec", "choose_rice_parameter",
+        "SERIAL_THRESHOLD", "ParallelBlockCodec", "encode_blocks",
+        "decode_blocks", "decode_ordinal_blocks", "resolve_workers",
     ],
     "repro.vq": [
         "squared_error", "mean_squared_distortion", "lbg_codebook",
@@ -34,9 +36,10 @@ EXPECTED_EXPORTS = {
     ],
     "repro.storage": [
         "DEFAULT_BLOCK_SIZE", "Block", "DiskModel", "DiskStats",
-        "SimulatedDisk", "BufferPool", "BufferStats", "PackStats",
-        "PackedPartition", "pack_ordinals", "pack_relation", "HeapFile",
-        "AVQFile", "external_sort_ordinals", "bulk_load",
+        "SimulatedDisk", "BufferPool", "BufferStats", "DecodedBlockCache",
+        "PackStats", "PackedPartition", "pack_ordinals", "pack_relation",
+        "pack_runs", "HeapFile", "AVQFile", "PARALLEL_BATCH_RUNS",
+        "external_sort_ordinals", "bulk_load",
     ],
     "repro.index": [
         "BPlusTree", "Bucket", "PrimaryIndex", "SecondaryIndex",
@@ -61,7 +64,8 @@ EXPECTED_EXPORTS = {
         "response_time_s", "improvement_percent", "ResponseTimeRow",
         "response_time_table", "MachineProfile", "HP_9000_735", "SUN_4_50",
         "DEC_5000_120", "PAPER_MACHINES", "calibrated_profile",
-        "mean_time_ms", "Stopwatch", "WorkloadCost", "simulate_workload",
+        "mean_time_ms", "StageTimer", "Stopwatch", "WorkloadCost",
+        "simulate_workload",
         "predicted_workload_cost",
     ],
     "repro.baselines": [
@@ -71,7 +75,8 @@ EXPECTED_EXPORTS = {
     ],
     "repro.experiments": [
         "TEST_CONFIGS", "PAPER_REDUCTIONS", "run_figure_57", "run_figure_58",
-        "measure_local_codec", "paper_response_table",
+        "measure_local_codec", "measure_parallel_codec",
+        "ParallelCodecTimings", "paper_response_table",
         "measured_response_table", "format_fig57", "format_fig58",
         "format_fig59", "paper_ordinals", "paper_relation", "paper_blocks",
     ],
