@@ -6,10 +6,13 @@
     python -m repro decompress data.avq data.csv
     python -m repro info      data.avq
     python -m repro query     data.avq --attr years --between 20 30
+    python -m repro recover   data.wal data.avq
 
 ``compress`` runs the full Section 3 pipeline on a CSV; ``query``
 demonstrates localized access — only the blocks that can contain
-matches are decoded.
+matches are decoded.  ``compress --durable`` also writes a write-ahead
+log seeded with the table's checkpoint image, and ``recover`` rebuilds
+a container from such a log (docs/RECOVERY.md).
 """
 
 from __future__ import annotations
@@ -48,6 +51,38 @@ def _cmd_compress(args: argparse.Namespace) -> int:
           f"({summary['payload_bytes']:,} payload)")
     print(f"versus packed fixed-width ({summary['fixed_width_bytes']:,} "
           f"bytes): {ratio:.1f}% smaller")
+    if args.durable is not None:
+        from repro.storage.wal import WriteAheadLog
+
+        with WriteAheadLog.create(
+            args.durable, schema, block_size=args.block_size
+        ) as wal:
+            wal.checkpoint(relation.phi_ordinals())
+        print(f"{args.durable}: write-ahead log with a "
+              f"{summary['tuples']}-tuple checkpoint image")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.storage.wal import read_log, replay_records
+
+    header, records, truncated, _ = read_log(args.wal)
+    image = replay_records(records)
+    mapper = header.schema.mapper
+    relation = Relation(
+        header.schema, [mapper.phi_inverse(o) for o in image.ordinals]
+    )
+    summary = write_avq_file(
+        args.output, relation, block_size=header.block_size
+    )
+    print(f"{args.wal}: {len(records)} records scanned"
+          + ("" if truncated is None
+             else f", torn tail truncated at byte {truncated}"))
+    print(f"transactions: {image.committed_txns} committed, "
+          f"{image.discarded_txns} discarded "
+          f"({image.replayed_ops} operations replayed)")
+    print(f"{args.output}: {summary['tuples']} tuples recovered into "
+          f"{summary['blocks']} blocks")
     return 0
 
 
@@ -236,7 +271,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="parallel block coding: 0 = all cores, N = exactly N "
                         "(default: in-process serial)")
+    p.add_argument("--durable", metavar="WALPATH", default=None,
+                   help="also write a write-ahead log seeded with the "
+                        "table's checkpoint image (docs/RECOVERY.md)")
     p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser(
+        "recover",
+        help="rebuild a container from a write-ahead log",
+    )
+    p.add_argument("wal", help="write-ahead log (.wal)")
+    p.add_argument("output", help="container to write (.avq)")
+    p.set_defaults(func=_cmd_recover)
 
     p = sub.add_parser("decompress", help=".avq container -> CSV")
     p.add_argument("input")

@@ -4,10 +4,18 @@ A :class:`Database` owns a simulated disk, a catalog of tables, and the
 convenience paths a user actually wants: create a compressed table
 straight from raw application rows (Section 3.1 encoding included), query
 it with application values, and read back decoded rows.
+
+Durability is opt-in per table: construct the database with a
+``wal_dir`` and pass ``durable=True`` at creation time, and the table
+gets a write-ahead log at ``<wal_dir>/<name>.wal`` (see
+docs/RECOVERY.md).  ``open_table`` brings a table back from its log
+after a crash or a clean shutdown; ``close`` checkpoints every durable
+table so the next open is a no-op replay.
 """
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence, Tuple
 
 from repro.db.catalog import Catalog
@@ -31,9 +39,22 @@ class Database:
         *,
         block_size: int = DEFAULT_BLOCK_SIZE,
         disk_model: Optional[DiskModel] = None,
+        wal_dir: Optional[str] = None,
+        disk: Optional[SimulatedDisk] = None,
     ):
-        self._disk = SimulatedDisk(block_size=block_size, model=disk_model)
+        if disk is not None:
+            self._disk = disk
+        else:
+            self._disk = SimulatedDisk(block_size=block_size, model=disk_model)
         self._catalog = Catalog()
+        self._wal_dir = wal_dir
+
+    def _wal_path(self, name: str) -> str:
+        if self._wal_dir is None:
+            raise QueryError(
+                "durable tables need a wal_dir (Database(wal_dir=...))"
+            )
+        return os.path.join(self._wal_dir, name + ".wal")
 
     @property
     def disk(self) -> SimulatedDisk:
@@ -58,6 +79,7 @@ class Database:
         compressed: bool = True,
         secondary_on: Sequence[str] = (),
         inferencer: Optional[SchemaInferencer] = None,
+        durable: bool = False,
     ) -> Table:
         """Create a table from raw application rows.
 
@@ -72,6 +94,7 @@ class Database:
             relation,
             compressed=compressed,
             secondary_on=secondary_on,
+            durable=durable,
         )
 
     def create_table_from_relation(
@@ -81,6 +104,7 @@ class Database:
         *,
         compressed: bool = True,
         secondary_on: Sequence[str] = (),
+        durable: bool = False,
     ) -> Table:
         """Create a table from an already-encoded relation."""
         table = Table.from_relation(
@@ -89,9 +113,36 @@ class Database:
             self._disk,
             compressed=compressed,
             secondary_on=secondary_on,
+            durable_path=self._wal_path(name) if durable else None,
         )
         self._catalog.register(table)
         return table
+
+    def open_table(
+        self,
+        name: str,
+        *,
+        secondary_on: Sequence[str] = (),
+    ) -> Table:
+        """Re-open a durable table from its write-ahead log.
+
+        Runs recovery (docs/RECOVERY.md): after a clean shutdown this
+        re-attaches the existing blocks without touching the disk; after
+        a crash it rebuilds the table from the log's committed image.
+        """
+        table = Table.open(
+            name,
+            self._disk,
+            self._wal_path(name),
+            secondary_on=secondary_on,
+        )
+        self._catalog.register(table)
+        return table
+
+    def close(self) -> None:
+        """Checkpoint and close every durable table's log."""
+        for table in self._catalog:
+            table.close()
 
     def table(self, name: str) -> Table:
         """Look a table up by name."""

@@ -30,6 +30,7 @@ from repro.relational.schema import Schema
 from repro.storage.avqfile import AVQFile
 from repro.storage.disk import SimulatedDisk
 from repro.storage.heapfile import HeapFile
+from repro.storage.wal import RecoveryReport, WriteAheadLog, recover
 
 __all__ = ["Table"]
 
@@ -48,13 +49,22 @@ class Table:
         index_order: int = 32,
         buffer_capacity: Optional[int] = None,
         decoded_cache_capacity: Optional[int] = None,
+        wal: Optional[WriteAheadLog] = None,
     ):
         if not name:
             raise QueryError("table name must be non-empty")
+        if wal is not None and not isinstance(storage, AVQFile):
+            raise QueryError(
+                "durability requires compressed storage (heap tables "
+                "are read-only baselines)"
+            )
         self._name = name
         self._schema = schema
         self._storage = storage
         self._index_order = index_order
+        self._wal = wal
+        self._active_tid: Optional[int] = None
+        self._last_recovery: Optional[RecoveryReport] = None
         self._buffer: Optional["BufferPool"] = None
         self._decoded: Optional["DecodedBlockCache"] = None
         if buffer_capacity is None and decoded_cache_capacity is not None:
@@ -98,13 +108,25 @@ class Table:
         buffer_capacity: Optional[int] = None,
         decoded_cache_capacity: Optional[int] = None,
         workers: Optional[int] = None,
+        durable_path: Optional[str] = None,
     ) -> "Table":
         """Materialise a relation and build the requested indices.
 
         ``workers`` parallelises the block-coding of a compressed table
         (see :meth:`AVQFile.build`); ``decoded_cache_capacity`` adds an
         LRU cache of decoded blocks so repeated lookups skip decoding.
+
+        ``durable_path`` opens a write-ahead log at that path: every
+        mutation is logged, transaction commit forces the log, and
+        :meth:`open` recovers the table after a crash (see
+        docs/RECOVERY.md).  The freshly built table is immediately
+        checkpointed, so it is recoverable from the first moment.
         """
+        if durable_path is not None and not compressed:
+            raise QueryError(
+                "durability requires compressed storage (heap tables "
+                "are read-only baselines)"
+            )
         if compressed:
             storage: StorageFile = AVQFile.build(
                 relation, disk, codec=codec, workers=workers
@@ -117,6 +139,17 @@ class Table:
                     "workers is only meaningful for compressed tables"
                 )
             storage = HeapFile.build(relation, disk, sort=True)
+        wal: Optional[WriteAheadLog] = None
+        if durable_path is not None:
+            wal = WriteAheadLog.create(
+                durable_path,
+                relation.schema,
+                codec=storage.codec,
+                block_size=disk.block_size,
+                injector=getattr(disk, "injector", None),
+            )
+            wal.checkpoint(relation.phi_ordinals())
+            wal.write_clean(storage.directory_entries())
         table = cls(
             name,
             relation.schema,
@@ -124,7 +157,48 @@ class Table:
             index_order=index_order,
             buffer_capacity=buffer_capacity,
             decoded_cache_capacity=decoded_cache_capacity,
+            wal=wal,
         )
+        for attr in secondary_on:
+            table.create_secondary_index(attr)
+        return table
+
+    @classmethod
+    def open(
+        cls,
+        name: str,
+        disk: SimulatedDisk,
+        wal: Union[str, WriteAheadLog],
+        *,
+        index_order: int = 32,
+        secondary_on: Sequence[str] = (),
+        buffer_capacity: Optional[int] = None,
+        decoded_cache_capacity: Optional[int] = None,
+    ) -> "Table":
+        """Open a durable table from its disk and write-ahead log.
+
+        Recovery runs first (:func:`repro.storage.wal.recover`): a
+        cleanly closed table re-adopts its blocks untouched; after a
+        crash, committed-but-unflushed mutations are replayed and
+        uncommitted ones discarded, onto fresh blocks.  All indices are
+        rebuilt from the recovered storage.  The report is available as
+        :attr:`last_recovery`.
+        """
+        if isinstance(wal, str):
+            wal = WriteAheadLog.open(
+                wal, injector=getattr(disk, "injector", None)
+            )
+        storage, report = recover(disk, wal)
+        table = cls(
+            name,
+            storage.schema,
+            storage,
+            index_order=index_order,
+            buffer_capacity=buffer_capacity,
+            decoded_cache_capacity=decoded_cache_capacity,
+            wal=wal,
+        )
+        table._last_recovery = report
         for attr in secondary_on:
             table.create_secondary_index(attr)
         return table
@@ -336,6 +410,130 @@ class Table:
         return self._storage._disk  # shared within the package
 
     # ------------------------------------------------------------------
+    # Durability (write-ahead log)
+    # ------------------------------------------------------------------
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The table's write-ahead log, or ``None`` when not durable."""
+        return self._wal
+
+    @property
+    def durable(self) -> bool:
+        """Whether mutations are protected by a write-ahead log."""
+        return self._wal is not None
+
+    @property
+    def last_recovery(self):
+        """The :class:`~repro.storage.wal.RecoveryReport` from
+        :meth:`open`, or ``None`` for a freshly built table."""
+        return self._last_recovery
+
+    def begin_wal_transaction(self) -> Optional[int]:
+        """Start a logged transaction; returns its id (``None`` if not
+        durable).
+
+        Durable tables are single-writer: starting a second transaction
+        while one is active is an error (its log records would
+        interleave under distinct tids but its mutations would not).
+        """
+        if self._wal is None:
+            return None
+        if self._active_tid is not None:
+            raise QueryError(
+                "a durable transaction is already active on this table"
+            )
+        self._active_tid = self._wal.begin()
+        return self._active_tid
+
+    def commit_wal_transaction(self, tid: int) -> None:
+        """Log COMMIT and force the log; the transaction is now durable."""
+        self._require_wal_txn(tid).commit(tid)
+        self._active_tid = None
+
+    def abort_wal_transaction(self, tid: int) -> None:
+        """Log ABORT (recovery would have discarded the txn anyway)."""
+        self._require_wal_txn(tid).abort(tid)
+        self._active_tid = None
+
+    def _require_wal_txn(self, tid: int) -> WriteAheadLog:
+        if self._wal is None:
+            raise QueryError("table has no write-ahead log")
+        if tid != self._active_tid:
+            raise QueryError(
+                f"transaction {tid} is not this table's active "
+                f"transaction ({self._active_tid})"
+            )
+        return self._wal
+
+    def _wal_log(self, op: str, ordinal: int) -> None:
+        """Log one applied mutation.
+
+        Inside a transaction the record rides under the active tid and
+        stays buffered until commit forces.  Outside one, the mutation
+        is its own committed transaction (autocommit), forced before
+        returning — so a plain ``table.insert`` is durable the moment it
+        returns.
+        """
+        if self._wal is None:
+            return
+        tid = self._active_tid
+        if tid is None:
+            tid = self._wal.begin()
+            self._log_op(tid, op, ordinal)
+            self._wal.commit(tid)
+        else:
+            self._log_op(tid, op, ordinal)
+
+    def _log_op(self, tid: int, op: str, ordinal: int) -> None:
+        if self._wal is None:  # pragma: no cover - guarded by callers
+            raise QueryError("table has no write-ahead log")
+        if op == "insert":
+            self._wal.log_insert(tid, ordinal)
+        else:
+            self._wal.log_delete(tid, ordinal)
+
+    def _wal_ensure_dirty(self) -> None:
+        """The write-ahead step proper, before any data-block mutation.
+
+        While the durable log ends in CLEAN, recovery would re-adopt
+        the recorded block directory verbatim — so the marker must be
+        durably superseded *before* the first block changes, or a torn
+        data write could hide behind a still-clean log.
+        """
+        if self._wal is not None:
+            self._wal.ensure_dirty()
+
+    def checkpoint(self) -> None:
+        """Write a full logical image plus clean marker to the log.
+
+        Bounds replay work at the next open; immediately afterwards a
+        reopen attaches the current blocks without any rebuilding.
+        Forbidden while a transaction is active — the image must hold
+        committed state only.
+        """
+        storage = self._require_avq("checkpoint")
+        if self._wal is None:
+            raise QueryError("checkpoint requires a durable table")
+        if self._active_tid is not None:
+            raise QueryError(
+                "cannot checkpoint while a transaction is active"
+            )
+        self._wal.checkpoint(storage.all_ordinals())
+        self._wal.write_clean(storage.directory_entries())
+
+    def close(self) -> None:
+        """Cleanly shut the table down (checkpoint + close the log).
+
+        After close, reopening via :meth:`open` is a byte-for-byte
+        no-op on the disk.  A non-durable table has nothing to close.
+        """
+        if self._wal is None:
+            return
+        self.checkpoint()
+        self._wal.close()
+
+    # ------------------------------------------------------------------
     # Mutations (Section 4.2)
     # ------------------------------------------------------------------
 
@@ -344,6 +542,8 @@ class Table:
         storage = self._require_avq("insert")
         t = tuple(int(v) for v in values)
         self._schema.mapper.validate(t)
+        ordinal = self._schema.mapper.phi(t)
+        self._wal_ensure_dirty()
 
         if storage.num_blocks == 0:
             storage.insert(t)
@@ -351,9 +551,10 @@ class Table:
             self._primary.add_block(storage.block_range(0)[0], block_id)
             for idx in self._value_indices():
                 idx.add(t[idx.position], block_id)
+            self._wal_log("insert", ordinal)
             return
 
-        pos = storage.block_of_ordinal(self._schema.mapper.phi(t))
+        pos = storage.block_of_ordinal(ordinal)
         old_min = storage.block_range(pos)[0]
         old_id = storage.block_ids[pos]
         has_value_indices = bool(self._secondaries or self._hash_indices)
@@ -378,22 +579,25 @@ class Table:
                 idx.reindex_block(old_id, old_tuples, new_left)
                 if split:
                     idx.reindex_block(storage.block_ids[pos + 1], [], new_right)
+        self._wal_log("insert", ordinal)
 
     def delete(self, values: Sequence[int]) -> bool:
         """Delete one occurrence of a tuple; returns whether it existed."""
         storage = self._require_avq("delete")
         t = tuple(int(v) for v in values)
         self._schema.mapper.validate(t)
+        ordinal = self._schema.mapper.phi(t)
         if storage.num_blocks == 0:
             return False
 
-        pos = storage.block_of_ordinal(self._schema.mapper.phi(t))
+        pos = storage.block_of_ordinal(ordinal)
         old_min = storage.block_range(pos)[0]
         old_id = storage.block_ids[pos]
         has_value_indices = bool(self._secondaries or self._hash_indices)
         old_tuples = storage.read_block(pos) if has_value_indices else None
         blocks_before = storage.num_blocks
 
+        self._wal_ensure_dirty()
         if not storage.delete(t):
             return False
         if self._buffer is not None:
@@ -405,6 +609,7 @@ class Table:
             if has_value_indices:
                 for idx in self._value_indices():
                     idx.reindex_block(old_id, old_tuples, [])
+            self._wal_log("delete", ordinal)
             return True
 
         new_min = storage.block_range(pos)[0]
@@ -414,6 +619,7 @@ class Table:
             new_tuples = storage.read_block(pos)
             for idx in self._value_indices():
                 idx.reindex_block(old_id, old_tuples, new_tuples)
+        self._wal_log("delete", ordinal)
         return True
 
     def update(self, old: Sequence[int], new: Sequence[int]) -> bool:

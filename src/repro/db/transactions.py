@@ -17,6 +17,13 @@ leaving it via an exception rolls back.
 This is deliberately *logical* (operation-level) undo, not page-level:
 physical before-images would fight the block splits that inserts cause,
 while logical inverses compose with them for free.
+
+On a *durable* table (one opened with a write-ahead log, see
+docs/RECOVERY.md) the transaction also carries a log transaction id:
+every mutation is logged under it, ``commit`` forces the log before
+returning — making the transaction crash-durable — and a crash before
+commit means recovery discards the whole transaction, which is the same
+outcome rollback produces.
 """
 
 from __future__ import annotations
@@ -55,6 +62,8 @@ class Transaction:
         self._table = table
         self._undo: List[Tuple[str, Tuple[int, ...]]] = []
         self._state = "active"
+        #: WAL transaction id on a durable table, else ``None``.
+        self._tid = table.begin_wal_transaction()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -95,11 +104,27 @@ class Transaction:
         return removed
 
     def update(self, old: Sequence[int], new: Sequence[int]) -> bool:
-        """Update = delete + insert, both undoable as a unit."""
+        """Update = delete + insert, both undoable as a unit.
+
+        If the insert of ``new`` fails after ``old`` was already
+        deleted, ``old`` is restored before the error propagates — the
+        transaction stays active and its table state is exactly as
+        before the call.  (Without this, a failed update would leave
+        ``old`` silently missing from an "active" transaction; only a
+        full rollback would have brought it back.)
+        """
         self._require_active()
         if not self.delete(old):
             return False
-        self.insert(new)
+        try:
+            self.insert(new)
+        except Exception:
+            # Undo the half-applied update: put ``old`` back and drop
+            # the delete's undo entry, so commit-after-failure keeps
+            # ``old`` and rollback does not double-restore it.
+            self._table.insert(tuple(int(v) for v in old))
+            self._undo.pop()
+            raise
         return True
 
     # ------------------------------------------------------------------
@@ -107,8 +132,15 @@ class Transaction:
     # ------------------------------------------------------------------
 
     def commit(self) -> None:
-        """Make the transaction's changes permanent."""
+        """Make the transaction's changes permanent.
+
+        On a durable table this forces the write-ahead log before
+        returning: once commit returns, the transaction survives any
+        crash (docs/RECOVERY.md).
+        """
         self._require_active()
+        if self._tid is not None:
+            self._table.commit_wal_transaction(self._tid)
         self._undo.clear()
         self._state = "committed"
 
@@ -125,6 +157,8 @@ class Transaction:
                     raise QueryError(
                         f"rollback failed: tuple {t} missing from table"
                     )
+        if self._tid is not None:
+            self._table.abort_wal_transaction(self._tid)
         self._state = "rolled-back"
 
     # ------------------------------------------------------------------

@@ -11,13 +11,16 @@ __all__ = [
     "AnalysisError",
     "BlockOverflowError",
     "CodecError",
+    "CrashPoint",
     "DomainError",
     "EncodingError",
     "IndexError_",
     "QueryError",
+    "ReadFault",
     "ReproError",
     "SchemaError",
     "StorageError",
+    "WALError",
     "WorkloadError",
 ]
 
@@ -48,6 +51,28 @@ class BlockOverflowError(CodecError):
 
 class StorageError(ReproError):
     """A storage-layer invariant was violated (bad block id, short read)."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is malformed beyond its self-healing rules.
+
+    Torn log tails are *not* errors (recovery truncates at the last
+    CRC-valid record); this is raised when a CRC-valid record decodes to
+    something impossible — writer corruption, not crash damage.
+    """
+
+
+class CrashPoint(StorageError):
+    """An injected crash was reached (:mod:`repro.storage.faults`).
+
+    Models the process dying mid-write: once raised, the faulty device
+    refuses all further I/O until it is explicitly disarmed, exactly as
+    a crashed machine would until reboot.
+    """
+
+
+class ReadFault(StorageError):
+    """An injected transient read error (:mod:`repro.storage.faults`)."""
 
 
 class IndexError_(ReproError):

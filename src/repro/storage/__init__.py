@@ -6,6 +6,8 @@
 * :mod:`repro.storage.heapfile` — the uncoded fixed-width baseline
 * :mod:`repro.storage.avqfile` — AVQ-coded relation storage (Sec. 4.2 ops)
 * :mod:`repro.storage.buffer` — an LRU buffer pool
+* :mod:`repro.storage.wal` — write-ahead logging and crash recovery
+* :mod:`repro.storage.faults` — fault injection (torn writes, crashes)
 """
 
 from repro.storage.avqfile import AVQFile
@@ -17,6 +19,12 @@ from repro.storage.extsort import (
     bulk_load,
     external_sort_ordinals,
 )
+from repro.storage.faults import (
+    CRASH_MODES,
+    FaultInjector,
+    FaultStats,
+    FaultyDisk,
+)
 from repro.storage.heapfile import HeapFile
 from repro.storage.packer import (
     PackedPartition,
@@ -24,6 +32,17 @@ from repro.storage.packer import (
     pack_ordinals,
     pack_relation,
     pack_runs,
+)
+from repro.storage.wal import (
+    LogImage,
+    RecoveryReport,
+    WALHeader,
+    WALRecord,
+    WALStats,
+    WriteAheadLog,
+    read_log,
+    recover,
+    replay_records,
 )
 
 __all__ = [
@@ -45,4 +64,17 @@ __all__ = [
     "PARALLEL_BATCH_RUNS",
     "external_sort_ordinals",
     "bulk_load",
+    "CRASH_MODES",
+    "FaultInjector",
+    "FaultStats",
+    "FaultyDisk",
+    "LogImage",
+    "RecoveryReport",
+    "WALHeader",
+    "WALRecord",
+    "WALStats",
+    "WriteAheadLog",
+    "read_log",
+    "recover",
+    "replay_records",
 ]

@@ -107,6 +107,67 @@ class AVQFile:
             f._append_run(run)
         return f
 
+    @classmethod
+    def from_ordinals(
+        cls,
+        schema: Schema,
+        disk: SimulatedDisk,
+        ordinals: Sequence[int],
+        *,
+        codec: Optional[BlockCodec] = None,
+    ) -> "AVQFile":
+        """Materialise a file from an already-sorted phi-ordinal sequence.
+
+        The crash-recovery path (:func:`repro.storage.wal.recover`):
+        the replayed logical image is repacked onto *fresh* blocks —
+        whatever the old blocks hold after a crash is never trusted.
+        ``ordinals`` must be sorted ascending (duplicates allowed).
+        """
+        f = cls(schema, disk, codec=codec)
+        if not ordinals:
+            return f
+        for run in f._pack_runs(ordinals):
+            f._append_run(run)
+        return f
+
+    @classmethod
+    def attach(
+        cls,
+        schema: Schema,
+        disk: SimulatedDisk,
+        directory: Sequence[Tuple[int, int, int, int]],
+        *,
+        codec: Optional[BlockCodec] = None,
+    ) -> "AVQFile":
+        """Re-adopt existing blocks from a recorded physical directory.
+
+        The clean-shutdown path: each entry is ``(block_id,
+        first_ordinal, last_ordinal, tuple_count)`` exactly as
+        :meth:`directory_entries` reported it.  No block is read or
+        written — reopening a cleanly closed file is a byte-for-byte
+        no-op; :meth:`verify_directory` remains the paranoid check.
+        """
+        f = cls(schema, disk, codec=codec)
+        prev_max: Optional[int] = None
+        for block_id, first, last, count in directory:
+            if count < 1 or last < first:
+                raise StorageError(
+                    f"attach: impossible directory entry for block "
+                    f"{block_id} ([{first}, {last}], {count} tuples)"
+                )
+            if prev_max is not None and first <= prev_max:
+                raise StorageError(
+                    f"attach: block {block_id} min {first} does not "
+                    f"follow previous block max {prev_max}"
+                )
+            prev_max = last
+            f._block_ids.append(block_id)
+            f._block_min.append(first)
+            f._block_max.append(last)
+            f._block_count.append(count)
+            f._num_tuples += count
+        return f
+
     def _pack_runs(self, ordinals: Sequence[int]) -> List[Sequence[int]]:
         """Greedy Section 3.3 packing of sorted ordinals into block runs."""
         return pack_runs(self._codec, ordinals, self._disk.block_size)
@@ -214,6 +275,31 @@ class AVQFile:
     def directory(self) -> List[Tuple[int, int]]:
         """``(first_ordinal, block_id)`` per block — primary-index feed."""
         return list(zip(self._block_min, self._block_ids))
+
+    def directory_entries(self) -> List[Tuple[int, int, int, int]]:
+        """``(block_id, first, last, count)`` per block, in phi order.
+
+        The full physical directory — what a clean-shutdown WAL record
+        stores so :meth:`attach` can re-adopt the blocks without I/O.
+        """
+        return list(
+            zip(
+                self._block_ids,
+                self._block_min,
+                self._block_max,
+                self._block_count,
+            )
+        )
+
+    def all_ordinals(self) -> List[int]:
+        """Every stored phi ordinal, ascending (one read per block).
+
+        The checkpoint feed: the complete logical image of the file.
+        """
+        out: List[int] = []
+        for position in range(self.num_blocks):
+            out.extend(self.read_block_ordinals(position))
+        return out
 
     def block_of_ordinal(self, ordinal: int) -> Optional[int]:
         """Directory lookup: position of the block covering ``ordinal``.

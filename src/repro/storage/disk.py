@@ -132,9 +132,19 @@ class SimulatedDisk:
                 f"payload of {len(payload)} bytes exceeds block size "
                 f"{self._block_size}"
             )
-        self._blocks[block_id] = payload
         self.stats.blocks_written += 1
         self.stats.elapsed_ms += self._model.block_io_ms(self._block_size)
+        self._store_block(block_id, payload)
+
+    def _store_block(self, block_id: int, payload: bytes) -> None:
+        """Persist an already-validated payload.
+
+        The single point where bytes actually land in the store —
+        :class:`~repro.storage.faults.FaultyDisk` overrides this to tear
+        or drop the write, so validation and accounting above stay in
+        one place.
+        """
+        self._blocks[block_id] = payload
 
     def read_block(self, block_id: int) -> bytes:
         """Read one block, charging one ``t1`` of simulated time."""

@@ -1,0 +1,288 @@
+"""Fault injection for the storage layer: torn writes, crashes, bad reads.
+
+Durability claims are only as good as the faults they were tested under.
+This module provides the adversary for :mod:`repro.storage.wal`:
+
+* :class:`FaultInjector` — a seeded, deterministic fault plan shared by
+  every device participating in one "machine": it counts writes across
+  all of them and can tear, drop, or crash on the Nth write;
+* :class:`FaultyDisk` — a :class:`~repro.storage.disk.SimulatedDisk`
+  whose persistence step runs through the injector, so a torn block
+  write persists only a prefix of the payload (the classic power-loss
+  failure mode that difference coding then amplifies) and a dropped
+  write leaves the old content in place;
+* :class:`CrashPoint` (re-exported from :mod:`repro.errors`) — raised
+  when the injector's write budget is exhausted.  Crashes are *sticky*:
+  after the crash every further read or write on the same injector
+  raises, exactly as a dead machine would, until :meth:`FaultInjector.disarm`
+  models the reboot.
+
+Everything is seeded (lint rule R007): the same plan over the same
+workload tears the same byte of the same write, so a failing crash test
+replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CrashPoint, ReadFault, StorageError
+from repro.storage.block import DEFAULT_BLOCK_SIZE
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+__all__ = ["CRASH_MODES", "FaultInjector", "FaultStats", "FaultyDisk"]
+
+#: How the final (crashing) write is persisted: ``torn`` keeps a strict
+#: prefix of the payload, ``drop`` keeps none of it, ``clean`` persists
+#: it fully (the crash lands just *after* the write reached the medium).
+CRASH_MODES = ("torn", "drop", "clean")
+
+
+@dataclass
+class FaultStats:
+    """Counters accumulated by a :class:`FaultInjector`.
+
+    Follows the :class:`~repro.storage.disk.DiskStats` /
+    :class:`~repro.storage.buffer.BufferStats` pattern: a plain mutable
+    record the tests and CLI can read and reset.
+    """
+
+    writes_seen: int = 0
+    reads_seen: int = 0
+    torn_writes: int = 0
+    dropped_writes: int = 0
+    read_errors: int = 0
+    crashes: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.writes_seen = 0
+        self.reads_seen = 0
+        self.torn_writes = 0
+        self.dropped_writes = 0
+        self.read_errors = 0
+        self.crashes = 0
+
+
+class FaultInjector:
+    """A deterministic fault plan shared across storage devices.
+
+    One injector models one machine: the data disk and the write-ahead
+    log both route their persistence through it, so ``crash_after=N``
+    means "the process dies on the Nth write *overall*", wherever that
+    write lands.  The write that hits the crash point is persisted
+    according to ``crash_mode`` (torn prefix, dropped, or fully intact)
+    and then :class:`~repro.errors.CrashPoint` is raised; afterwards the
+    injector is *crashed* and every I/O raises until :meth:`disarm`.
+    """
+
+    def __init__(
+        self,
+        *,
+        crash_after: Optional[int] = None,
+        crash_mode: str = "torn",
+        torn_write_rate: float = 0.0,
+        drop_write_rate: float = 0.0,
+        read_error_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        if crash_mode not in CRASH_MODES:
+            raise StorageError(
+                f"crash_mode must be one of {CRASH_MODES}, got {crash_mode!r}"
+            )
+        if crash_after is not None and crash_after < 1:
+            raise StorageError("crash_after counts writes from 1")
+        for name, rate in (
+            ("torn_write_rate", torn_write_rate),
+            ("drop_write_rate", drop_write_rate),
+            ("read_error_rate", read_error_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise StorageError(f"{name} must be in [0, 1], got {rate}")
+        self._crash_after = crash_after
+        self._crash_mode = crash_mode
+        self._torn_rate = torn_write_rate
+        self._drop_rate = drop_write_rate
+        self._read_error_rate = read_error_rate
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._crashed = False
+        self.stats = FaultStats()
+
+    # ------------------------------------------------------------------
+    # Introspection / control
+    # ------------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        """Whether a crash point has fired (all I/O refused)."""
+        return self._crashed
+
+    @property
+    def crash_after(self) -> Optional[int]:
+        """The armed crash point (write index), or ``None``."""
+        return self._crash_after
+
+    @property
+    def crash_mode(self) -> str:
+        """How the crashing write is persisted (torn / drop / clean)."""
+        return self._crash_mode
+
+    def arm(
+        self,
+        crash_after: int,
+        *,
+        crash_mode: Optional[str] = None,
+    ) -> None:
+        """(Re)arm the crash point, counting writes from zero again.
+
+        The crash-consistency harness uses this to sweep one workload
+        with the crash at every write index: build the table disarmed,
+        arm at index ``k``, replay.
+        """
+        if crash_after < 1:
+            raise StorageError("crash_after counts writes from 1")
+        if crash_mode is not None:
+            if crash_mode not in CRASH_MODES:
+                raise StorageError(
+                    f"crash_mode must be one of {CRASH_MODES}, "
+                    f"got {crash_mode!r}"
+                )
+            self._crash_mode = crash_mode
+        self._crash_after = crash_after
+        self._crashed = False
+        self.stats.writes_seen = 0
+
+    def disarm(self) -> None:
+        """Model the reboot: clear the crash and all fault rates.
+
+        Recovery code runs against a disarmed injector — the machine
+        that comes back up is assumed healthy.
+        """
+        self._crash_after = None
+        self._crashed = False
+        self._torn_rate = 0.0
+        self._drop_rate = 0.0
+        self._read_error_rate = 0.0
+
+    # ------------------------------------------------------------------
+    # Fault decisions
+    # ------------------------------------------------------------------
+
+    def filter_write(self, payload: bytes) -> Optional[bytes]:
+        """Decide one write's fate; returns the bytes that reach the medium.
+
+        ``None`` means the write was dropped entirely.  When the write
+        is the armed crash point, the decided bytes must be persisted by
+        the caller *before* this method raises — so the protocol is:
+        call, persist the return value, and let :class:`CrashPoint`
+        propagate (it is raised here only after the decision, via
+        :meth:`_crash`).
+        """
+        self._require_alive()
+        self.stats.writes_seen += 1
+        if (
+            self._crash_after is not None
+            and self.stats.writes_seen >= self._crash_after
+        ):
+            return self._crash_payload(payload)
+        if self._torn_rate and self._rng.random() < self._torn_rate:
+            return self._tear(payload)
+        if self._drop_rate and self._rng.random() < self._drop_rate:
+            self.stats.dropped_writes += 1
+            return None
+        return payload
+
+    def check_read(self) -> None:
+        """Raise :class:`~repro.errors.ReadFault` per the read-error rate."""
+        self._require_alive()
+        self.stats.reads_seen += 1
+        if (
+            self._read_error_rate
+            and self._rng.random() < self._read_error_rate
+        ):
+            self.stats.read_errors += 1
+            raise ReadFault(
+                f"injected read error (read #{self.stats.reads_seen}, "
+                f"seed {self._seed})"
+            )
+
+    def raise_crash(self) -> None:
+        """Raise the sticky :class:`~repro.errors.CrashPoint`.
+
+        Called by the device *after* it persisted whatever
+        :meth:`filter_write` decided survives the crashing write.
+        """
+        raise CrashPoint(
+            f"injected crash after write #{self.stats.writes_seen} "
+            f"(mode {self._crash_mode!r})"
+        )
+
+    def _crash_payload(self, payload: bytes) -> Optional[bytes]:
+        self._crashed = True
+        self.stats.crashes += 1
+        if self._crash_mode == "drop":
+            self.stats.dropped_writes += 1
+            return None
+        if self._crash_mode == "torn":
+            return self._tear(payload)
+        return payload
+
+    def _tear(self, payload: bytes) -> bytes:
+        """A strict prefix of the payload (possibly empty)."""
+        self.stats.torn_writes += 1
+        if len(payload) <= 1:
+            return b""
+        return payload[: int(self._rng.integers(0, len(payload)))]
+
+    def _require_alive(self) -> None:
+        if self._crashed:
+            raise CrashPoint(
+                "device is crashed; no I/O until the injector is disarmed"
+            )
+
+
+class FaultyDisk(SimulatedDisk):
+    """A simulated disk whose persistence runs through a fault injector.
+
+    Shares all of :class:`~repro.storage.disk.SimulatedDisk`'s state and
+    accounting; only the final "bytes land on the medium" step and the
+    read path consult the injector.  A torn write leaves a strict prefix
+    of the payload in the block (decoding it later fails or yields
+    garbage — which is why recovery never trusts post-crash block
+    contents), a dropped write leaves the previous content.
+    """
+
+    def __init__(
+        self,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        model: Optional[DiskModel] = None,
+        *,
+        injector: Optional[FaultInjector] = None,
+    ):
+        super().__init__(block_size=block_size, model=model)
+        self._injector = injector if injector is not None else FaultInjector()
+
+    @property
+    def injector(self) -> FaultInjector:
+        """The shared fault plan (arm/disarm/stats live here)."""
+        return self._injector
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Shortcut to ``injector.stats``."""
+        return self._injector.stats
+
+    def _store_block(self, block_id: int, payload: bytes) -> None:
+        persisted = self._injector.filter_write(payload)
+        if persisted is not None:
+            super()._store_block(block_id, persisted)
+        if self._injector.crashed:
+            self._injector.raise_crash()
+
+    def read_block(self, block_id: int) -> bytes:
+        self._injector.check_read()
+        return super().read_block(block_id)

@@ -8,15 +8,14 @@ import pytest
 from repro.db.query import RangeQuery
 from repro.db.table import Table
 from repro.db.transactions import Transaction
-from repro.errors import QueryError
+from repro.errors import DomainError, QueryError
 from repro.relational.domain import IntegerRangeDomain
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, Schema
 from repro.storage.disk import SimulatedDisk
 
 
-@pytest.fixture
-def table():
+def make_table(disk=None, durable_path=None):
     schema = Schema(
         [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(3)]
     )
@@ -26,8 +25,17 @@ def table():
         [tuple(rng.randrange(64) for _ in range(3)) for _ in range(300)],
     )
     return Table.from_relation(
-        "t", rel, SimulatedDisk(256), secondary_on=["a1"]
+        "t",
+        rel,
+        disk if disk is not None else SimulatedDisk(256),
+        secondary_on=["a1"],
+        durable_path=durable_path,
     )
+
+
+@pytest.fixture
+def table():
+    return make_table()
 
 
 def snapshot(table):
@@ -131,6 +139,31 @@ class TestStateMachine:
         with Transaction(table) as txn:
             assert not txn.update((63, 63, 62), (1, 1, 1))
 
+    def test_update_insert_failure_restores_old(self, table):
+        """A failed update must not half-apply: if inserting ``new``
+        fails after ``old`` was deleted, ``old`` comes back."""
+        before = snapshot(table)
+        victim = next(iter(before))
+        txn = Transaction(table)
+        with pytest.raises(DomainError):
+            txn.update(victim, (99, 0, 0))  # 99 is outside the domain
+        # The table is exactly as before the failed call, the
+        # transaction is still usable, and commit keeps ``old``:
+        assert txn.state == "active"
+        assert snapshot(table) == before
+        txn.commit()
+        assert snapshot(table) == before
+
+    def test_update_insert_failure_then_rollback_is_exact(self, table):
+        before = snapshot(table)
+        victim = next(iter(before))
+        txn = Transaction(table)
+        txn.insert((1, 2, 3))
+        with pytest.raises(DomainError):
+            txn.update(victim, (99, 0, 0))
+        txn.rollback()
+        assert snapshot(table) == before
+
     def test_explicit_resolution_inside_block_wins(self, table):
         with Transaction(table) as txn:
             txn.insert((2, 2, 2))
@@ -148,3 +181,81 @@ class TestStateMachine:
         )
         with pytest.raises(QueryError):
             Transaction(table)
+
+
+class TestDurableTransactions:
+    """Transactions on a WAL-backed table (docs/RECOVERY.md)."""
+
+    def _durable(self, tmp_path):
+        disk = SimulatedDisk(256)
+        table = make_table(
+            disk=disk, durable_path=str(tmp_path / "t.wal")
+        )
+        return disk, table, str(tmp_path / "t.wal")
+
+    def test_commit_survives_reopen(self, tmp_path):
+        disk, table, wal = self._durable(tmp_path)
+        with Transaction(table) as txn:
+            txn.insert((1, 2, 3))
+            txn.delete(next(iter(snapshot(table))))
+        expected = snapshot(table)
+        table.close()
+        reopened = Table.open("t", disk, wal, secondary_on=["a1"])
+        assert snapshot(reopened) == expected
+
+    def test_committed_but_not_checkpointed_survives(self, tmp_path):
+        """Commit alone (no clean close) is enough to be durable."""
+        disk, table, wal = self._durable(tmp_path)
+        with Transaction(table) as txn:
+            txn.insert((7, 7, 7))
+        expected = snapshot(table)
+        # no close(): simulate the process dying with the log dirty
+        reopened = Table.open("t", disk, wal)
+        assert not reopened.last_recovery.clean
+        assert snapshot(reopened) == expected
+
+    def test_uncommitted_txn_is_discarded_on_reopen(self, tmp_path):
+        disk, table, wal = self._durable(tmp_path)
+        expected = snapshot(table)
+        txn = Transaction(table)
+        txn.insert((3, 3, 3))
+        # neither committed nor rolled back — the process just dies
+        reopened = Table.open("t", disk, wal)
+        assert snapshot(reopened) == expected
+
+    def test_rollback_leaves_no_trace_on_reopen(self, tmp_path):
+        disk, table, wal = self._durable(tmp_path)
+        expected = snapshot(table)
+        txn = Transaction(table)
+        txn.insert((3, 3, 3))
+        txn.rollback()
+        table.close()
+        reopened = Table.open("t", disk, wal)
+        assert snapshot(reopened) == expected
+
+    def test_single_writer_enforced(self, tmp_path):
+        disk, table, wal = self._durable(tmp_path)
+        txn = Transaction(table)
+        with pytest.raises(QueryError):
+            Transaction(table)
+        txn.commit()
+        Transaction(table).commit()  # fine once the first resolved
+
+    def test_autocommit_counts_as_its_own_txn(self, tmp_path):
+        disk, table, wal = self._durable(tmp_path)
+        commits_before = table.wal.stats.commits
+        table.insert((2, 2, 2))
+        assert table.wal.stats.commits == commits_before + 1
+
+    def test_failed_update_is_wal_consistent(self, tmp_path):
+        """Satellite regression, durable edition: the compensating
+        re-insert after a failed update must replay correctly."""
+        disk, table, wal = self._durable(tmp_path)
+        victim = next(iter(snapshot(table)))
+        txn = Transaction(table)
+        with pytest.raises(DomainError):
+            txn.update(victim, (99, 0, 0))
+        txn.commit()
+        expected = snapshot(table)
+        reopened = Table.open("t", disk, wal)
+        assert snapshot(reopened) == expected

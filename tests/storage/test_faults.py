@@ -1,0 +1,180 @@
+"""Tests for the fault injector and the faulty disk.
+
+The crash-consistency harness is only as trustworthy as its adversary,
+so the adversary gets its own tests: crash points fire on exactly the
+armed write, torn writes persist a strict prefix, dropped writes leave
+the previous content, crashes are sticky until disarm, and everything
+is deterministic under a seed.
+"""
+
+import pytest
+
+from repro.errors import CrashPoint, ReadFault, StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import CRASH_MODES, FaultInjector, FaultyDisk
+
+
+class TestFaultInjector:
+    def test_crash_fires_on_exactly_the_armed_write(self):
+        inj = FaultInjector(crash_after=3, crash_mode="clean")
+        assert inj.filter_write(b"one") == b"one"
+        assert inj.filter_write(b"two") == b"two"
+        assert inj.filter_write(b"three") == b"three"
+        assert inj.crashed
+        with pytest.raises(CrashPoint):
+            inj.raise_crash()
+
+    def test_crash_is_sticky_until_disarm(self):
+        inj = FaultInjector(crash_after=1, crash_mode="clean")
+        inj.filter_write(b"x")
+        with pytest.raises(CrashPoint):
+            inj.filter_write(b"y")
+        with pytest.raises(CrashPoint):
+            inj.check_read()
+        inj.disarm()
+        assert inj.filter_write(b"y") == b"y"
+        inj.check_read()  # no error
+
+    def test_torn_crash_persists_strict_prefix(self):
+        inj = FaultInjector(crash_after=1, crash_mode="torn", seed=5)
+        payload = bytes(range(200))
+        persisted = inj.filter_write(payload)
+        assert persisted is not None
+        assert len(persisted) < len(payload)
+        assert payload.startswith(persisted)
+        assert inj.stats.torn_writes == 1
+
+    def test_drop_crash_persists_nothing(self):
+        inj = FaultInjector(crash_after=1, crash_mode="drop")
+        assert inj.filter_write(b"payload") is None
+        assert inj.stats.dropped_writes == 1
+
+    def test_clean_crash_persists_everything(self):
+        inj = FaultInjector(crash_after=1, crash_mode="clean")
+        assert inj.filter_write(b"payload") == b"payload"
+
+    def test_arm_resets_the_write_count(self):
+        inj = FaultInjector()
+        for _ in range(10):
+            inj.filter_write(b"setup")
+        inj.arm(2, crash_mode="clean")
+        assert inj.filter_write(b"a") == b"a"
+        inj.filter_write(b"b")
+        assert inj.crashed
+
+    def test_seeded_tears_are_deterministic(self):
+        payload = bytes(range(256))
+        cuts = []
+        for _ in range(2):
+            inj = FaultInjector(
+                crash_after=1, crash_mode="torn", seed=1234
+            )
+            cuts.append(inj.filter_write(payload))
+        assert cuts[0] == cuts[1]
+
+    def test_read_error_rate(self):
+        inj = FaultInjector(read_error_rate=1.0)
+        with pytest.raises(ReadFault):
+            inj.check_read()
+        assert inj.stats.read_errors == 1
+        inj.disarm()  # reboot clears rates
+        inj.check_read()
+
+    def test_torn_write_rate(self):
+        inj = FaultInjector(torn_write_rate=1.0, seed=9)
+        payload = bytes(range(100))
+        persisted = inj.filter_write(payload)
+        assert persisted is not None
+        assert len(persisted) < len(payload)
+        assert payload.startswith(persisted)
+
+    def test_drop_write_rate(self):
+        inj = FaultInjector(drop_write_rate=1.0)
+        assert inj.filter_write(b"gone") is None
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            FaultInjector(crash_mode="melt")
+        with pytest.raises(StorageError):
+            FaultInjector(crash_after=0)
+        with pytest.raises(StorageError):
+            FaultInjector(torn_write_rate=1.5)
+        inj = FaultInjector()
+        with pytest.raises(StorageError):
+            inj.arm(0)
+        with pytest.raises(StorageError):
+            inj.arm(1, crash_mode="melt")
+
+    def test_stats_reset(self):
+        inj = FaultInjector(crash_after=1, crash_mode="drop")
+        inj.filter_write(b"x")
+        assert inj.stats.writes_seen == 1
+        inj.stats.reset()
+        assert inj.stats.writes_seen == 0
+        assert inj.stats.dropped_writes == 0
+        assert inj.stats.crashes == 0
+
+    def test_modes_constant(self):
+        assert set(CRASH_MODES) == {"torn", "drop", "clean"}
+
+
+class TestFaultyDisk:
+    def _disk(self, **kw):
+        return FaultyDisk(64, injector=FaultInjector(**kw))
+
+    def test_behaves_like_simulated_disk_without_faults(self):
+        disk = self._disk()
+        bid = disk.allocate()
+        disk.write_block(bid, b"hello")
+        assert disk.read_block(bid) == b"hello"
+        assert disk.fault_stats.writes_seen == 1
+        assert disk.fault_stats.reads_seen == 1
+
+    def test_torn_crash_leaves_prefix_on_the_medium(self):
+        disk = self._disk(crash_after=1, crash_mode="torn", seed=3)
+        bid = disk.allocate()
+        payload = bytes(range(60))
+        with pytest.raises(CrashPoint):
+            disk.write_block(bid, payload)
+        disk.injector.disarm()
+        stored = disk.read_block(bid)
+        assert len(stored) < len(payload)
+        assert payload.startswith(stored)
+
+    def test_dropped_crash_leaves_old_content(self):
+        disk = self._disk()
+        bid = disk.allocate()
+        disk.write_block(bid, b"old")
+        disk.injector.arm(1, crash_mode="drop")
+        with pytest.raises(CrashPoint):
+            disk.write_block(bid, b"new content")
+        disk.injector.disarm()
+        assert disk.read_block(bid) == b"old"
+
+    def test_crashed_disk_refuses_reads(self):
+        disk = self._disk(crash_after=1, crash_mode="clean")
+        bid = disk.allocate()
+        with pytest.raises(CrashPoint):
+            disk.write_block(bid, b"x")
+        with pytest.raises(CrashPoint):
+            disk.read_block(bid)
+
+    def test_read_faults_surface(self):
+        disk = self._disk(read_error_rate=1.0)
+        bid = disk.allocate()
+        disk.write_block(bid, b"x")
+        with pytest.raises(ReadFault):
+            disk.read_block(bid)
+
+    def test_shares_simulated_disk_accounting(self):
+        disk = self._disk()
+        assert isinstance(disk, SimulatedDisk)
+        bid = disk.allocate()
+        disk.write_block(bid, b"x")
+        assert disk.stats.blocks_written == 1
+
+    def test_default_injector_is_benign(self):
+        disk = FaultyDisk(64)
+        bid = disk.allocate()
+        disk.write_block(bid, b"y")
+        assert disk.read_block(bid) == b"y"
