@@ -7,12 +7,20 @@
     python -m repro info      data.avq
     python -m repro query     data.avq --attr years --between 20 30
     python -m repro recover   data.wal data.avq
+    python -m repro scrub     data.avq
+    python -m repro fsck      data.avq --repair --wal data.wal
 
 ``compress`` runs the full Section 3 pipeline on a CSV; ``query``
 demonstrates localized access — only the blocks that can contain
 matches are decoded.  ``compress --durable`` also writes a write-ahead
 log seeded with the table's checkpoint image, and ``recover`` rebuilds
 a container from such a log (docs/RECOVERY.md).
+
+``scrub`` verifies every block's checksum and decode round-trip;
+``fsck`` additionally repairs damaged blocks from a write-ahead log,
+backfills checksums onto legacy containers, and quarantines what it
+cannot prove repaired (docs/INTEGRITY.md).  Both exit 0 when the
+container is healthy and 2 when damage remains.
 """
 
 from __future__ import annotations
@@ -230,6 +238,42 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.io.scrub import scrub_container
+
+    report = scrub_container(args.input)
+    for line in report.fsck_lines():
+        print(line)
+    print(f"{args.input}: {report.blocks_checked} blocks checked, "
+          f"{len(report.findings)} finding(s)")
+    if report.backfill_candidates:
+        print(f"note: {report.backfill_candidates} block(s) predate "
+              "checksums; run fsck --backfill-checksums")
+    return 0 if report.clean else 2
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.io.scrub import fsck_container
+
+    report = fsck_container(
+        args.input,
+        repair=args.repair,
+        backfill=args.backfill_checksums,
+        wal_path=args.wal,
+    )
+    for line in report.fsck_lines():
+        print(line)
+    if args.repair and report.findings and args.wal is None:
+        print("note: no --wal given, so damaged blocks had no repair "
+              "source", file=sys.stderr)
+    print(f"{args.input}: {report.blocks_checked} blocks checked, "
+          f"{len(report.findings)} finding(s), "
+          f"{len(report.repaired)} repaired, "
+          f"{len(report.quarantined)} quarantined, "
+          f"{report.backfilled} backfilled")
+    return 0 if report.healthy else 2
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as lint_main
 
@@ -303,6 +347,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buckets", type=int, default=16,
                    help="histogram resolution")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "scrub",
+        help="verify every block of a container (docs/INTEGRITY.md)",
+    )
+    p.add_argument("input")
+    p.set_defaults(func=_cmd_scrub)
+
+    p = sub.add_parser(
+        "fsck",
+        help="check a container; optionally repair from a WAL, "
+             "backfill checksums, quarantine unrepairable blocks",
+    )
+    p.add_argument("input")
+    p.add_argument("--repair", action="store_true",
+                   help="restore damaged blocks from --wal where byte "
+                        "identity can be proven; quarantine the rest")
+    p.add_argument("--backfill-checksums", action="store_true",
+                   help="add CRC32s to legacy pre-checksum directory "
+                        "entries that still decode cleanly")
+    p.add_argument("--wal", metavar="WALPATH", default=None,
+                   help="write-ahead log to use as the repair source")
+    p.set_defaults(func=_cmd_fsck)
 
     p = sub.add_parser(
         "lint",

@@ -16,7 +16,7 @@ table so the next open is a no-op replay.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.db.catalog import Catalog
 from repro.db.query import QueryResult, RangeQuery
@@ -27,6 +27,7 @@ from repro.relational.encoding import SchemaInferencer
 from repro.relational.relation import Relation
 from repro.storage.block import DEFAULT_BLOCK_SIZE
 from repro.storage.disk import DiskModel, SimulatedDisk
+from repro.storage.integrity import IntegrityReport, ScrubReport
 
 __all__ = ["Database"]
 
@@ -80,11 +81,15 @@ class Database:
         secondary_on: Sequence[str] = (),
         inferencer: Optional[SchemaInferencer] = None,
         durable: bool = False,
+        degraded_reads: str = "raise",
+        tuple_index: bool = False,
     ) -> Table:
         """Create a table from raw application rows.
 
         Runs the full Section 3 pipeline: infer domains, encode attributes,
         sort by phi, pack into blocks, code each block, build indices.
+        ``degraded_reads`` and ``tuple_index`` configure the table's
+        online-integrity behaviour (docs/INTEGRITY.md).
         """
         inferencer = inferencer or SchemaInferencer()
         schema = inferencer.infer(rows, columns)
@@ -95,6 +100,8 @@ class Database:
             compressed=compressed,
             secondary_on=secondary_on,
             durable=durable,
+            degraded_reads=degraded_reads,
+            tuple_index=tuple_index,
         )
 
     def create_table_from_relation(
@@ -105,6 +112,8 @@ class Database:
         compressed: bool = True,
         secondary_on: Sequence[str] = (),
         durable: bool = False,
+        degraded_reads: str = "raise",
+        tuple_index: bool = False,
     ) -> Table:
         """Create a table from an already-encoded relation."""
         table = Table.from_relation(
@@ -114,6 +123,8 @@ class Database:
             compressed=compressed,
             secondary_on=secondary_on,
             durable_path=self._wal_path(name) if durable else None,
+            degraded_reads=degraded_reads,
+            tuple_index=tuple_index,
         )
         self._catalog.register(table)
         return table
@@ -123,6 +134,8 @@ class Database:
         name: str,
         *,
         secondary_on: Sequence[str] = (),
+        degraded_reads: str = "raise",
+        tuple_index: bool = False,
     ) -> Table:
         """Re-open a durable table from its write-ahead log.
 
@@ -135,6 +148,8 @@ class Database:
             self._disk,
             self._wal_path(name),
             secondary_on=secondary_on,
+            degraded_reads=degraded_reads,
+            tuple_index=tuple_index,
         )
         self._catalog.register(table)
         return table
@@ -193,6 +208,41 @@ class Database:
         """Delete one application-value row; returns whether it existed."""
         table = self.table(name)
         return table.delete(table.schema.encode_tuple(row))
+
+    # ------------------------------------------------------------------
+    # Online integrity (docs/INTEGRITY.md)
+    # ------------------------------------------------------------------
+
+    def scrub_all(
+        self,
+        *,
+        max_blocks: Optional[int] = None,
+        backfill: bool = False,
+    ) -> Dict[str, ScrubReport]:
+        """Run one scrub increment on every compressed table.
+
+        Returns a per-table report; heap baselines (no checksums, no
+        mutations) are skipped.
+        """
+        out: Dict[str, ScrubReport] = {}
+        for table in self._catalog:
+            if table.integrity is None:
+                continue
+            out[table.name] = table.scrub(
+                max_blocks=max_blocks, backfill=backfill
+            )
+        return out
+
+    def fsck_all(
+        self, *, repair: bool = False, backfill: bool = False
+    ) -> Dict[str, IntegrityReport]:
+        """Full integrity check (optionally with repair) on every table."""
+        out: Dict[str, IntegrityReport] = {}
+        for table in self._catalog:
+            if table.integrity is None:
+                continue
+            out[table.name] = table.fsck(repair=repair, backfill=backfill)
+        return out
 
     # ------------------------------------------------------------------
     # Storage accounting

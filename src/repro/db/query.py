@@ -54,6 +54,16 @@ class QueryResult:
     io_ms: float = 0.0
     index_probes: int = 0
     candidate_blocks: List[int] = field(default_factory=list)
+    #: Quarantined blocks the query omitted under the ``"skip"``
+    #: degraded-read policy (docs/INTEGRITY.md).  Non-empty means the
+    #: answer may be incomplete — callers must check :attr:`degraded`
+    #: before trusting cardinalities.
+    skipped_blocks: List[int] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether corrupt blocks were skipped (answer may be partial)."""
+        return bool(self.skipped_blocks)
 
     @property
     def cardinality(self) -> int:

@@ -17,24 +17,33 @@ per experiment and queried read-only, as in the paper).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.core.codec import BlockCodec
-from repro.errors import QueryError
+from repro.errors import CorruptionError, QuarantinedBlockError, QueryError
 from repro.db.query import QueryResult, RangeQuery
 from repro.index.hashindex import ExtendibleHashIndex
-from repro.index.primary import PrimaryIndex
+from repro.index.primary import PrimaryIndex, TupleOrdinalIndex
 from repro.index.secondary import SecondaryIndex
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.storage.avqfile import AVQFile
 from repro.storage.disk import SimulatedDisk
 from repro.storage.heapfile import HeapFile
+from repro.storage.integrity import (
+    IntegrityManager,
+    IntegrityReport,
+    RepairEngine,
+    RepairOutcome,
+    ScrubReport,
+)
 from repro.storage.wal import RecoveryReport, WriteAheadLog, recover
 
 __all__ = ["Table"]
 
 StorageFile = Union[AVQFile, HeapFile]
+
+_T = TypeVar("_T")
 
 
 class Table:
@@ -50,6 +59,8 @@ class Table:
         buffer_capacity: Optional[int] = None,
         decoded_cache_capacity: Optional[int] = None,
         wal: Optional[WriteAheadLog] = None,
+        degraded_reads: str = "raise",
+        tuple_index: bool = False,
     ):
         if not name:
             raise QueryError("table name must be non-empty")
@@ -89,6 +100,45 @@ class Table:
         )
         self._secondaries: Dict[str, SecondaryIndex] = {}
         self._hash_indices: Dict[str, ExtendibleHashIndex] = {}
+        self._tuple_index: Optional[TupleOrdinalIndex] = None
+        self._integrity: Optional[IntegrityManager] = None
+        if isinstance(storage, AVQFile):
+            if tuple_index:
+                self._tuple_index = self._build_tuple_index(storage)
+            self._integrity = IntegrityManager(
+                storage, policy=degraded_reads, pool=self._buffer
+            )
+            self._refresh_repair_engine()
+        elif degraded_reads != "raise" or tuple_index:
+            raise QueryError(
+                "online integrity requires compressed storage (heap "
+                "tables are read-only baselines)"
+            )
+
+    def _build_tuple_index(self, storage: AVQFile) -> TupleOrdinalIndex:
+        """Index every stored tuple (one block read per block)."""
+        return TupleOrdinalIndex.build(
+            (
+                (storage.block_id_at(p), storage.read_block_ordinals(p))
+                for p in range(storage.num_blocks)
+            ),
+            order=self._index_order,
+        )
+
+    def _refresh_repair_engine(self) -> None:
+        """(Re)wire the repair engine to the current index set."""
+        if self._integrity is None or not isinstance(
+            self._storage, AVQFile
+        ):
+            return
+        self._integrity.attach_repair_engine(
+            RepairEngine(
+                self._storage,
+                tuple_index=self._tuple_index,
+                wal=self._wal,
+                secondaries=list(self._secondaries.values()),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -109,6 +159,8 @@ class Table:
         decoded_cache_capacity: Optional[int] = None,
         workers: Optional[int] = None,
         durable_path: Optional[str] = None,
+        degraded_reads: str = "raise",
+        tuple_index: bool = False,
     ) -> "Table":
         """Materialise a relation and build the requested indices.
 
@@ -121,6 +173,11 @@ class Table:
         :meth:`open` recovers the table after a crash (see
         docs/RECOVERY.md).  The freshly built table is immediately
         checkpointed, so it is recoverable from the first moment.
+
+        ``degraded_reads`` sets the corruption policy ("raise", "skip",
+        or "repair") and ``tuple_index`` builds the tuple-level primary
+        index that makes blocks repairable without a WAL — see
+        docs/INTEGRITY.md.
         """
         if durable_path is not None and not compressed:
             raise QueryError(
@@ -149,7 +206,7 @@ class Table:
                 injector=getattr(disk, "injector", None),
             )
             wal.checkpoint(relation.phi_ordinals())
-            wal.write_clean(storage.directory_entries())
+            wal.write_clean(storage.directory_entries_checked())
         table = cls(
             name,
             relation.schema,
@@ -158,6 +215,8 @@ class Table:
             buffer_capacity=buffer_capacity,
             decoded_cache_capacity=decoded_cache_capacity,
             wal=wal,
+            degraded_reads=degraded_reads,
+            tuple_index=tuple_index,
         )
         for attr in secondary_on:
             table.create_secondary_index(attr)
@@ -174,6 +233,8 @@ class Table:
         secondary_on: Sequence[str] = (),
         buffer_capacity: Optional[int] = None,
         decoded_cache_capacity: Optional[int] = None,
+        degraded_reads: str = "raise",
+        tuple_index: bool = False,
     ) -> "Table":
         """Open a durable table from its disk and write-ahead log.
 
@@ -197,6 +258,8 @@ class Table:
             buffer_capacity=buffer_capacity,
             decoded_cache_capacity=decoded_cache_capacity,
             wal=wal,
+            degraded_reads=degraded_reads,
+            tuple_index=tuple_index,
         )
         table._last_recovery = report
         for attr in secondary_on:
@@ -216,6 +279,7 @@ class Table:
             order=self._index_order,
         )
         self._secondaries[attribute] = idx
+        self._refresh_repair_engine()
         return idx
 
     def create_hash_index(self, attribute: str) -> ExtendibleHashIndex:
@@ -349,13 +413,46 @@ class Table:
 
         The decoded-block cache is consulted first (a hit costs neither
         I/O nor decode), then the raw buffer pool (a hit costs only the
-        decode), then the disk.
+        decode), then the disk.  Every path is integrity-guarded: a
+        quarantined id is refused (or repaired, under the "repair"
+        policy) before any bytes move, and a read that trips corruption
+        quarantines the block and applies the degraded-read policy.
         """
+        if self._integrity is not None:
+            self._integrity.check(block_id)
+        return self._guarded(lambda: self._read_block_id_raw(block_id))
+
+    def _read_block_id_raw(self, block_id: int):
         if self._decoded is not None:
             return self._decoded.get(block_id)
         if self._buffer is not None:
             return self._storage.decode_payload(self._buffer.get(block_id))
         return self._storage.read_block_id(block_id)
+
+    def _guarded(self, read: Callable[[], _T]) -> _T:
+        """Run a read under the integrity policy, retrying after repair.
+
+        A :class:`~repro.errors.CorruptionError` quarantines the block;
+        under the "repair" policy :meth:`IntegrityManager.resolve`
+        returns only after a *verified* repair, so the single retry
+        reads healthy bytes.  Under any other policy resolve raises
+        :class:`~repro.errors.QuarantinedBlockError` — query loops
+        catch it per block when the policy is "skip"; everything else
+        (point probes, mutations) lets it surface, because corrupt data
+        must never be silently absent.
+        """
+        integ = self._integrity
+        if integ is None:
+            return read()
+        try:
+            return read()
+        except CorruptionError as exc:
+            integ.resolve(exc)
+            return read()
+
+    def _skip_degraded(self) -> bool:
+        """Whether query loops may omit quarantined blocks."""
+        return self._integrity is not None and self._integrity.policy == "skip"
 
     @property
     def buffer_pool(self):
@@ -372,21 +469,39 @@ class Table:
         start_ms = disk.stats.elapsed_ms
         out: List[Tuple[int, ...]] = []
         examined = 0
+        skipped: List[int] = []
         for block_id in block_ids:
-            for t in self._read_block_id(block_id):
+            try:
+                tuples = self._read_block_id(block_id)
+            except QuarantinedBlockError:
+                if not self._skip_degraded():
+                    raise
+                skipped.append(block_id)
+                continue
+            for t in tuples:
                 examined += 1
                 if all(lo <= t[pos] <= hi for pos, lo, hi in bound):
                     out.append(t)
         return QueryResult(
             tuples=out,
-            blocks_read=len(block_ids),
+            blocks_read=len(block_ids) - len(skipped),
             tuples_examined=examined,
             access_path=access_path,
             io_ms=disk.stats.elapsed_ms - start_ms,
             candidate_blocks=list(block_ids),
+            skipped_blocks=skipped,
         )
 
     def _scan_all(self, bound=()) -> QueryResult:
+        # A full scan visits every block by id through the guarded read
+        # path (caches, quarantine, degraded-read policy); the heap
+        # baseline has no integrity layer and scans storage directly.
+        if isinstance(self._storage, AVQFile):
+            result = self._filter_blocks(
+                self._storage.block_ids, bound, access_path="scan"
+            )
+            result.candidate_blocks = []
+            return result
         disk = self._disk()
         start_ms = disk.stats.elapsed_ms
         out: List[Tuple[int, ...]] = []
@@ -520,7 +635,7 @@ class Table:
                 "cannot checkpoint while a transaction is active"
             )
         self._wal.checkpoint(storage.all_ordinals())
-        self._wal.write_clean(storage.directory_entries())
+        self._wal.write_clean(storage.directory_entries_checked())
 
     def close(self) -> None:
         """Cleanly shut the table down (checkpoint + close the log).
@@ -534,15 +649,88 @@ class Table:
         self._wal.close()
 
     # ------------------------------------------------------------------
+    # Online integrity (docs/INTEGRITY.md)
+    # ------------------------------------------------------------------
+
+    @property
+    def integrity(self) -> Optional[IntegrityManager]:
+        """The table's integrity manager (``None`` for heap baselines)."""
+        return self._integrity
+
+    @property
+    def quarantined_blocks(self) -> List[int]:
+        """Disk ids currently quarantined as corrupt (empty when healthy)."""
+        if self._integrity is None:
+            return []
+        return self._integrity.quarantine.block_ids()
+
+    @property
+    def tuple_ordinal_index(self) -> Optional[TupleOrdinalIndex]:
+        """The tuple-level primary index, when built (``tuple_index=True``)."""
+        return self._tuple_index
+
+    def scrub(
+        self,
+        *,
+        max_blocks: Optional[int] = None,
+        backfill: bool = False,
+    ) -> ScrubReport:
+        """Verify the next ``max_blocks`` blocks (resumable; see Scrubber).
+
+        Damage found is quarantined and purged from the caches; the
+        report lists every finding.  ``backfill=True`` records checksums
+        for blocks adopted from a pre-checksum directory.
+        """
+        integ = self._require_integrity("scrub")
+        return integ.scrub(max_blocks=max_blocks, backfill=backfill)
+
+    def fsck(
+        self, *, repair: bool = False, backfill: bool = False
+    ) -> IntegrityReport:
+        """Full-file check, optionally repairing what can be proven.
+
+        Scrubs every block from position 0, quarantining damage; with
+        ``repair=True``, each damaged block is fed to the repair engine
+        and released only after byte-verified reconstruction.  Blocks no
+        source can prove stay quarantined — listed as unrepairable,
+        never silently returned.
+        """
+        integ = self._require_integrity("fsck")
+        return integ.fsck(repair=repair, backfill=backfill)
+
+    def repair_block(self, position: int) -> RepairOutcome:
+        """Repair one block by position; raises if it cannot be proven."""
+        integ = self._require_integrity("repair_block")
+        return integ.repair_block(position)
+
+    def _require_integrity(self, op: str) -> IntegrityManager:
+        if self._integrity is None:
+            raise QueryError(
+                f"{op} requires compressed storage; heap tables are "
+                "read-only baselines"
+            )
+        return self._integrity
+
+    # ------------------------------------------------------------------
     # Mutations (Section 4.2)
     # ------------------------------------------------------------------
 
     def insert(self, values: Sequence[int]) -> None:
-        """Insert one ordinal tuple, maintaining every index."""
+        """Insert one ordinal tuple, maintaining every index.
+
+        Under the "repair" policy, an insert that lands on a corrupt
+        block repairs it first; under any other policy the corruption
+        surfaces — mutations never skip (see :meth:`_guarded`).
+        """
         storage = self._require_avq("insert")
         t = tuple(int(v) for v in values)
         self._schema.mapper.validate(t)
         ordinal = self._schema.mapper.phi(t)
+        self._guarded(lambda: self._insert_impl(storage, t, ordinal))
+
+    def _insert_impl(
+        self, storage: AVQFile, t: Tuple[int, ...], ordinal: int
+    ) -> None:
         self._wal_ensure_dirty()
 
         if storage.num_blocks == 0:
@@ -551,12 +739,16 @@ class Table:
             self._primary.add_block(storage.block_range(0)[0], block_id)
             for idx in self._value_indices():
                 idx.add(t[idx.position], block_id)
+            if self._tuple_index is not None:
+                self._tuple_index.add(ordinal, block_id)
             self._wal_log("insert", ordinal)
             return
 
         pos = storage.block_of_ordinal(ordinal)
         old_min = storage.block_range(pos)[0]
         old_id = storage.block_ids[pos]
+        if self._integrity is not None:
+            self._integrity.check(old_id)
         has_value_indices = bool(self._secondaries or self._hash_indices)
         old_tuples = storage.read_block(pos) if has_value_indices else None
         blocks_before = storage.num_blocks
@@ -572,6 +764,16 @@ class Table:
         if split:
             new_id = storage.block_ids[pos + 1]
             self._primary.add_block(storage.block_range(pos + 1)[0], new_id)
+        if self._tuple_index is not None:
+            # Provisionally file the new tuple under the old block, then
+            # migrate every occurrence the split moved right — covers
+            # the inserted tuple landing on either side.
+            self._tuple_index.add(ordinal, old_id)
+            if split:
+                for moved in storage.read_block_ordinals(pos + 1):
+                    self._tuple_index.reassign(
+                        moved, old_id, storage.block_ids[pos + 1]
+                    )
         if has_value_indices:
             new_left = storage.read_block(pos)
             new_right = storage.read_block(pos + 1) if split else []
@@ -582,17 +784,30 @@ class Table:
         self._wal_log("insert", ordinal)
 
     def delete(self, values: Sequence[int]) -> bool:
-        """Delete one occurrence of a tuple; returns whether it existed."""
+        """Delete one occurrence of a tuple; returns whether it existed.
+
+        Integrity-guarded like :meth:`insert`: corruption on the target
+        block is repaired (under "repair") or surfaced, never skipped —
+        a delete that silently missed a stored tuple would corrupt the
+        logical state on top of the physical damage.
+        """
         storage = self._require_avq("delete")
         t = tuple(int(v) for v in values)
         self._schema.mapper.validate(t)
         ordinal = self._schema.mapper.phi(t)
+        return self._guarded(lambda: self._delete_impl(storage, t, ordinal))
+
+    def _delete_impl(
+        self, storage: AVQFile, t: Tuple[int, ...], ordinal: int
+    ) -> bool:
         if storage.num_blocks == 0:
             return False
 
         pos = storage.block_of_ordinal(ordinal)
         old_min = storage.block_range(pos)[0]
         old_id = storage.block_ids[pos]
+        if self._integrity is not None:
+            self._integrity.check(old_id)
         has_value_indices = bool(self._secondaries or self._hash_indices)
         old_tuples = storage.read_block(pos) if has_value_indices else None
         blocks_before = storage.num_blocks
@@ -602,6 +817,8 @@ class Table:
             return False
         if self._buffer is not None:
             self._buffer.invalidate(old_id)
+        if self._tuple_index is not None:
+            self._tuple_index.remove(ordinal, old_id)
 
         removed = storage.num_blocks < blocks_before
         if removed:
@@ -640,19 +857,26 @@ class Table:
         self._schema.mapper.validate(t)
         storage = self._storage
         if isinstance(storage, AVQFile):
-            ordinal = self._schema.mapper.phi(t)
-            if self._decoded is not None:
-                pos = storage.covering_block_of_ordinal(ordinal)
-                if pos is None:
-                    return False
-                # Decode through the cache: the first probe of a block
-                # pays one decode, every repeat probe is free.
-                return t in self._decoded.get(storage.block_id_at(pos))
-            return storage.contains_ordinal(ordinal)
+            return self._guarded(lambda: self._contains_impl(storage, t))
         if storage.num_blocks == 0:
             return False
         pos = storage.block_of_ordinal(self._schema.mapper.phi(t))
         return t in storage.read_block(pos)
+
+    def _contains_impl(self, storage: AVQFile, t: Tuple[int, ...]) -> bool:
+        ordinal = self._schema.mapper.phi(t)
+        pos = storage.covering_block_of_ordinal(ordinal)
+        if pos is None:
+            return False
+        if self._integrity is not None:
+            # A probe must never answer "absent" from a quarantined
+            # block — refuse (or repair) before looking.
+            self._integrity.check(storage.block_id_at(pos))
+        if self._decoded is not None:
+            # Decode through the cache: the first probe of a block
+            # pays one decode, every repeat probe is free.
+            return t in self._decoded.get(storage.block_id_at(pos))
+        return storage.contains_ordinal(ordinal)
 
     def delete_where(self, query: RangeQuery) -> int:
         """Delete every tuple matching ``query``; returns the count.
@@ -695,6 +919,9 @@ class Table:
                 name, self._schema.position(name), storage.iter_blocks()
             )
         self._hash_indices = rebuilt_hashes
+        if self._tuple_index is not None:
+            self._tuple_index = self._build_tuple_index(storage)
+        self._refresh_repair_engine()
         if self._buffer is not None:
             self._buffer.clear()
         return saved

@@ -7,19 +7,26 @@ still distinguishing the common failure classes below.
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Union
+
 __all__ = [
     "AnalysisError",
     "BlockOverflowError",
     "CodecError",
+    "CorruptionError",
     "CrashPoint",
     "DomainError",
     "EncodingError",
     "IndexError_",
+    "IntegrityError",
+    "QuarantinedBlockError",
     "QueryError",
     "ReadFault",
+    "RepairError",
     "ReproError",
     "SchemaError",
     "StorageError",
+    "TransientReadFault",
     "WALError",
     "WorkloadError",
 ]
@@ -73,6 +80,94 @@ class CrashPoint(StorageError):
 
 class ReadFault(StorageError):
     """An injected transient read error (:mod:`repro.storage.faults`)."""
+
+
+class TransientReadFault(ReadFault):
+    """A read fault that is expected to clear on retry.
+
+    :class:`~repro.storage.disk.SimulatedDisk` retries these with
+    bounded backoff; only when the retry budget is exhausted does the
+    fault escape to the caller.
+    """
+
+
+class IntegrityError(StorageError):
+    """Base class for the online-integrity branch (docs/INTEGRITY.md).
+
+    Every integrity exception carries a structured payload — *where* the
+    damage is (path, block id, block position) and *how* it was detected
+    — so the CLI can print actionable ``fsck``-style reports instead of
+    free-text messages.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        block_id: Optional[int] = None,
+        position: Optional[int] = None,
+        detected_by: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        #: Filesystem path of the damaged artefact (``None`` for the
+        #: simulated disk).
+        self.path = path
+        #: Stable disk block id, where one exists.
+        self.block_id = block_id
+        #: Block position within the file/container, where one exists.
+        self.position = position
+        #: Which check tripped: ``"crc32"``, ``"decode"``,
+        #: ``"directory"``, ``"quarantine"``, or ``"reread"``.
+        self.detected_by = detected_by
+
+    def details(self) -> Dict[str, Union[str, int, None]]:
+        """The structured payload as a plain dict (CLI/report feed)."""
+        return {
+            "path": self.path,
+            "block_id": self.block_id,
+            "position": self.position,
+            "detected_by": self.detected_by,
+        }
+
+    def fsck_line(self) -> str:
+        """One ``fsck``-style report line: location, then the fault."""
+        where = self.path if self.path is not None else "<simulated disk>"
+        parts = []
+        if self.position is not None:
+            parts.append(f"block {self.position}")
+        if self.block_id is not None:
+            parts.append(f"disk id {self.block_id}")
+        loc = ", ".join(parts) if parts else "container"
+        by = f" [{self.detected_by}]" if self.detected_by else ""
+        return f"{where}: {loc}: {self}{by}"
+
+
+class CorruptionError(IntegrityError):
+    """A block's stored bytes do not match what was written.
+
+    Raised on checksum mismatch, a decode that contradicts the block
+    directory, or a failed decode of checksummed bytes — latent bit rot
+    surfacing, as opposed to the torn/dropped writes of
+    :class:`CrashPoint` crash damage.
+    """
+
+
+class QuarantinedBlockError(IntegrityError):
+    """A read touched a block that is quarantined as corrupt.
+
+    Quarantine isolates damage: the block's content is never returned
+    (it may be garbage), but the rest of the table stays readable.  See
+    :mod:`repro.storage.integrity` for the repair path out.
+    """
+
+
+class RepairError(IntegrityError):
+    """A block repair attempt failed or could not be verified.
+
+    Raised when a reconstructed payload fails its byte-level re-read
+    verification — the repair never claims success on unverified bytes.
+    """
 
 
 class IndexError_(ReproError):

@@ -10,17 +10,23 @@ target.
 Because the coded relation is phi-clustered, this one index answers both
 point probes and range queries over the *leading* attribute prefix; every
 other attribute needs the secondary index of Figure 4.5.
+
+:class:`TupleOrdinalIndex` is the finer-grained sibling the integrity
+layer leans on: one entry per *distinct stored tuple* (with
+multiplicity), so a corrupted block's exact contents can be
+reconstructed from the index alone (docs/INTEGRITY.md).  Tables opt in
+— the block-level index stays the default, matching the paper.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.phi import OrdinalMapper
 from repro.errors import IndexError_
 from repro.index.bptree import BPlusTree
 
-__all__ = ["PrimaryIndex"]
+__all__ = ["PrimaryIndex", "TupleOrdinalIndex"]
 
 
 class PrimaryIndex:
@@ -126,6 +132,123 @@ class PrimaryIndex:
     def height(self) -> int:
         """Tree height — the paper's index-search I/O is one read per level."""
         return self._tree.height
+
+    @property
+    def tree(self) -> BPlusTree:
+        """The underlying B+ tree (exposed for inspection and tests)."""
+        return self._tree
+
+
+class TupleOrdinalIndex:
+    """B+ tree from each stored tuple's phi ordinal to its block.
+
+    Every key is an ordinal actually stored in the file; the value is a
+    list of ``[block_id, multiplicity]`` pairs — duplicates of one
+    ordinal usually share a block, but a split can land copies either
+    side of the cut, hence the list.  This is deliberately redundant
+    with the data blocks: redundancy is the point.  When a block rots,
+    :meth:`ordinals_for_block` recovers its exact logical contents, and
+    the repair engine re-encodes them (docs/INTEGRITY.md).
+    """
+
+    def __init__(self, *, order: int = 32):
+        self._tree = BPlusTree(order)
+        self._num_entries = 0
+
+    @classmethod
+    def build(
+        cls,
+        blocks: Iterable[Tuple[int, Sequence[int]]],
+        *,
+        order: int = 32,
+    ) -> "TupleOrdinalIndex":
+        """Build from ``(block_id, sorted_ordinals)`` pairs.
+
+        :meth:`~repro.storage.avqfile.AVQFile.iter_blocks` shape, but
+        with ordinals — tables feed it one decoded block at a time.
+        """
+        idx = cls(order=order)
+        for block_id, ordinals in blocks:
+            for ordinal in ordinals:
+                idx.add(ordinal, block_id)
+        return idx
+
+    def __len__(self) -> int:
+        """Stored tuple entries, counting multiplicity."""
+        return self._num_entries
+
+    @property
+    def num_ordinals(self) -> int:
+        """Distinct ordinals indexed."""
+        return len(self._tree)
+
+    def add(self, ordinal: int, block_id: int) -> None:
+        """Record one stored occurrence of ``ordinal`` in ``block_id``."""
+        pairs: Optional[List[List[int]]] = self._tree.get(ordinal)
+        if pairs is None:
+            self._tree.insert(ordinal, [[block_id, 1]], replace=False)
+        else:
+            for pair in pairs:
+                if pair[0] == block_id:
+                    pair[1] += 1
+                    break
+            else:
+                pairs.append([block_id, 1])
+        self._num_entries += 1
+
+    def remove(self, ordinal: int, block_id: int) -> None:
+        """Forget one stored occurrence (the tuple was deleted)."""
+        pairs: Optional[List[List[int]]] = self._tree.get(ordinal)
+        if pairs is not None:
+            for i, pair in enumerate(pairs):
+                if pair[0] == block_id:
+                    pair[1] -= 1
+                    if pair[1] == 0:
+                        pairs.pop(i)
+                    if not pairs:
+                        self._tree.delete(ordinal)
+                    self._num_entries -= 1
+                    return
+        raise IndexError_(
+            f"no indexed occurrence of ordinal {ordinal} in block "
+            f"{block_id}"
+        )
+
+    def reassign(
+        self, ordinal: int, old_block: int, new_block: int
+    ) -> None:
+        """Move one occurrence between blocks (a split relocated it)."""
+        self.remove(ordinal, old_block)
+        self.add(ordinal, new_block)
+
+    def blocks_of(self, ordinal: int) -> List[Tuple[int, int]]:
+        """``(block_id, multiplicity)`` pairs holding this ordinal."""
+        pairs: Optional[List[List[int]]] = self._tree.get(ordinal)
+        if pairs is None:
+            return []
+        return [(pair[0], pair[1]) for pair in pairs]
+
+    def ordinals_for_block(self, block_id: int) -> List[int]:
+        """A block's exact logical contents, multiplicity expanded.
+
+        The repair feed: a sorted ordinal list identical to what the
+        healthy block decoded to.  A full index scan — repair is rare
+        and correctness beats speed here.
+        """
+        out: List[int] = []
+        for ordinal, pairs in self._tree.items():
+            for pair in pairs:
+                if pair[0] == block_id:
+                    out.extend([ordinal] * pair[1])
+        return out
+
+    def block_histogram(self) -> Dict[int, int]:
+        """Tuple count per block id — a cheap index/directory cross-check."""
+        hist: Dict[int, int] = {}
+        for _ordinal, pairs in self._tree.items():
+            for pair in pairs:
+                hist[pair[0]] = hist.get(pair[0], 0) + pair[1]
+        return hist
 
     @property
     def tree(self) -> BPlusTree:

@@ -105,6 +105,20 @@ class SecondaryIndex:
             seen.update(bucket)
         return sorted(seen)
 
+    def values_for_block(self, block_id: int) -> List[int]:
+        """Attribute values known to occur in ``block_id``, ascending.
+
+        The inverse probe the repair engine needs: the per-attribute
+        candidate set for reconstructing a corrupt block's tuples
+        (:mod:`repro.storage.integrity`).  A full tree walk — repair is
+        rare and correctness beats speed here.
+        """
+        return [
+            value
+            for value, bucket in self._tree.items()
+            if block_id in bucket
+        ]
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

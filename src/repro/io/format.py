@@ -22,7 +22,12 @@ no slack padding, since a file has no sector alignment to respect.
 Every payload is CRC32-checksummed; :meth:`AVQFileReader.read_block`
 verifies before decoding, so bit rot is *detected* rather than
 silently decoded into wrong tuples (differential coding would otherwise
-propagate a single flipped bit into every tuple after it).
+propagate a single flipped bit into every tuple after it).  Checksum
+failures raise :class:`~repro.errors.CorruptionError` with the path and
+block position attached; blocks listed in the header's optional
+``"quarantined"`` map (written by :mod:`repro.io.scrub`) raise
+:class:`~repro.errors.QuarantinedBlockError` instead of ever returning
+bytes known to be damaged (docs/INTEGRITY.md).
 
 :class:`AVQFileReader` gives lazy, block-at-a-time access — the on-disk
 analogue of the paper's localized decoding.
@@ -34,10 +39,10 @@ import json
 import os
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.codec import BlockCodec
-from repro.errors import StorageError
+from repro.errors import CorruptionError, QuarantinedBlockError, StorageError
 from repro.io.schema_json import schema_from_dict, schema_to_dict
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -209,6 +214,13 @@ class AVQFileReader:
             self._block_size = int(header["block_size"])
             self._num_tuples = int(header["num_tuples"])
             directory = header["blocks"]
+            # Optional fsck state: {"position": "reason"} for blocks a
+            # repair could not restore (repro.io.scrub).  Absent in every
+            # healthy container, ignored by pre-integrity readers.
+            self._quarantined: Dict[int, str] = {
+                int(pos): str(reason)
+                for pos, reason in header.get("quarantined", {}).items()
+            }
         except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
             raise StorageError(f"{self._path}: malformed header") from exc
 
@@ -281,9 +293,60 @@ class AVQFileReader:
         entry = self._entry(position)
         return entry.tuple_count, entry.first_ordinal
 
+    def block_crc(self, position: int) -> Optional[int]:
+        """Recorded CRC32 of a block's payload (``None`` pre-checksum)."""
+        return self._entry(position).crc32
+
+    @property
+    def quarantined(self) -> Dict[int, str]:
+        """Quarantined block positions mapped to the recorded reason."""
+        return dict(self._quarantined)
+
+    def header_dict(self) -> Dict[str, Any]:
+        """The canonical header JSON object, reconstructed.
+
+        The feed for :mod:`repro.io.scrub`'s header rewrites (checksum
+        backfill, quarantine marks): mutate the returned dict and hand it
+        back to the writer.  Round-trips exactly what was parsed.
+        """
+        header: Dict[str, Any] = {
+            "schema": schema_to_dict(self._schema),
+            "codec": {
+                "chained": self._codec.chained,
+                "representative": self._codec.representative_strategy,
+            },
+            "block_size": self._block_size,
+            "num_tuples": self._num_tuples,
+            "blocks": [
+                [e.length, e.tuple_count, str(e.first_ordinal)]
+                + ([] if e.crc32 is None else [e.crc32])
+                for e in self._entries
+            ],
+        }
+        if self._quarantined:
+            header["quarantined"] = {
+                str(pos): reason
+                for pos, reason in sorted(self._quarantined.items())
+            }
+        return header
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
+
+    def raw_payload(self, position: int) -> bytes:
+        """One block's stored bytes, *unverified* and quarantine-blind.
+
+        Strictly for integrity tooling (:mod:`repro.io.scrub`), which
+        must be able to look at damaged bytes to report on them.  Every
+        data path goes through :meth:`read_payload` instead.
+        """
+        entry = self._entry(position)
+        self._file.seek(entry.offset)
+        payload = self._file.read(entry.length)
+        if len(payload) != entry.length:
+            raise StorageError(f"{self._path}: truncated block {position}")
+        return payload
 
     def read_payload(self, position: int) -> bytes:
         """Raw CRC-verified payload of one block, without decoding.
@@ -293,14 +356,22 @@ class AVQFileReader:
         byte reads happen under the reader's file handle.
         """
         entry = self._entry(position)
-        self._file.seek(entry.offset)
-        payload = self._file.read(entry.length)
-        if len(payload) != entry.length:
-            raise StorageError(f"{self._path}: truncated block {position}")
+        reason = self._quarantined.get(position)
+        if reason is not None:
+            raise QuarantinedBlockError(
+                f"block {position} is quarantined ({reason}); "
+                "run fsck --repair",
+                path=self._path,
+                position=position,
+                detected_by="quarantine",
+            )
+        payload = self.raw_payload(position)
         if entry.crc32 is not None and zlib.crc32(payload) != entry.crc32:
-            raise StorageError(
-                f"{self._path}: block {position} failed its checksum "
-                "(corrupt payload)"
+            raise CorruptionError(
+                f"block {position} failed its checksum (corrupt payload)",
+                path=self._path,
+                position=position,
+                detected_by="crc32",
             )
         return payload
 
@@ -309,9 +380,12 @@ class AVQFileReader:
         entry = self._entry(position)
         tuples = self._codec.decode_block(self.read_payload(position))
         if len(tuples) != entry.tuple_count:
-            raise StorageError(
-                f"{self._path}: block {position} decoded to "
-                f"{len(tuples)} tuples, directory says {entry.tuple_count}"
+            raise CorruptionError(
+                f"block {position} decoded to {len(tuples)} tuples, "
+                f"directory says {entry.tuple_count}",
+                path=self._path,
+                position=position,
+                detected_by="directory",
             )
         return tuples
 

@@ -7,7 +7,9 @@
 * :mod:`repro.storage.avqfile` — AVQ-coded relation storage (Sec. 4.2 ops)
 * :mod:`repro.storage.buffer` — an LRU buffer pool
 * :mod:`repro.storage.wal` — write-ahead logging and crash recovery
-* :mod:`repro.storage.faults` — fault injection (torn writes, crashes)
+* :mod:`repro.storage.faults` — fault injection (torn writes, crashes,
+  bit rot, transient read faults)
+* :mod:`repro.storage.integrity` — scrubbing, quarantine, block repair
 """
 
 from repro.storage.avqfile import AVQFile
@@ -26,6 +28,17 @@ from repro.storage.faults import (
     FaultyDisk,
 )
 from repro.storage.heapfile import HeapFile
+from repro.storage.integrity import (
+    DEGRADED_READ_POLICIES,
+    IntegrityManager,
+    IntegrityReport,
+    QuarantineSet,
+    RepairEngine,
+    RepairOutcome,
+    ScrubFinding,
+    ScrubReport,
+    Scrubber,
+)
 from repro.storage.packer import (
     PackedPartition,
     PackStats,
@@ -68,6 +81,15 @@ __all__ = [
     "FaultInjector",
     "FaultStats",
     "FaultyDisk",
+    "DEGRADED_READ_POLICIES",
+    "IntegrityManager",
+    "IntegrityReport",
+    "QuarantineSet",
+    "RepairEngine",
+    "RepairOutcome",
+    "ScrubFinding",
+    "ScrubReport",
+    "Scrubber",
     "LogImage",
     "RecoveryReport",
     "WALHeader",

@@ -16,10 +16,11 @@ a clustered file would.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional, Sequence, Tuple
+import zlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.codec import BlockCodec
-from repro.errors import BlockOverflowError, StorageError
+from repro.errors import BlockOverflowError, CorruptionError, RepairError, StorageError
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.storage.disk import SimulatedDisk
@@ -47,6 +48,11 @@ class AVQFile:
         self._block_min: List[int] = []   # first ordinal in each block
         self._block_max: List[int] = []   # last ordinal in each block
         self._block_count: List[int] = []
+        #: CRC32 of each block's payload as last written, keyed by the
+        #: stable disk id (positions shift; ids do not).  ``None`` for a
+        #: block adopted from a pre-checksum directory — a scrub
+        #: backfills it (docs/INTEGRITY.md).
+        self._crc_by_id: Dict[int, Optional[int]] = {}
         self._num_tuples = 0
 
     # ------------------------------------------------------------------
@@ -135,21 +141,33 @@ class AVQFile:
         cls,
         schema: Schema,
         disk: SimulatedDisk,
-        directory: Sequence[Tuple[int, int, int, int]],
+        directory: Sequence[Sequence[int]],
         *,
         codec: Optional[BlockCodec] = None,
     ) -> "AVQFile":
         """Re-adopt existing blocks from a recorded physical directory.
 
         The clean-shutdown path: each entry is ``(block_id,
-        first_ordinal, last_ordinal, tuple_count)`` exactly as
-        :meth:`directory_entries` reported it.  No block is read or
-        written — reopening a cleanly closed file is a byte-for-byte
+        first_ordinal, last_ordinal, tuple_count)`` — optionally with a
+        trailing payload CRC32 — exactly as
+        :meth:`directory_entries_checked` reported it.  No block is read
+        or written — reopening a cleanly closed file is a byte-for-byte
         no-op; :meth:`verify_directory` remains the paranoid check.
+        Entries without a CRC (a pre-checksum directory) adopt with
+        unknown checksums, which a scrub backfills.
         """
         f = cls(schema, disk, codec=codec)
         prev_max: Optional[int] = None
-        for block_id, first, last, count in directory:
+        for entry in directory:
+            if len(entry) not in (4, 5):
+                raise StorageError(
+                    f"attach: directory entry has {len(entry)} fields, "
+                    "expected 4 or 5"
+                )
+            block_id, first, last, count = (
+                entry[0], entry[1], entry[2], entry[3]
+            )
+            crc = entry[4] if len(entry) == 5 else None
             if count < 1 or last < first:
                 raise StorageError(
                     f"attach: impossible directory entry for block "
@@ -165,6 +183,7 @@ class AVQFile:
             f._block_min.append(first)
             f._block_max.append(last)
             f._block_count.append(count)
+            f._crc_by_id[block_id] = None if crc is None else int(crc)
             f._num_tuples += count
         return f
 
@@ -179,11 +198,18 @@ class AVQFile:
         self, ordinals: Sequence[int], payload: bytes
     ) -> None:
         """Append a run whose payload was already encoded (parallel path)."""
-        self._block_ids.append(self._disk.append_block(payload))
+        block_id = self._disk.append_block(payload)
+        self._block_ids.append(block_id)
         self._block_min.append(ordinals[0])
         self._block_max.append(ordinals[-1])
         self._block_count.append(len(ordinals))
+        self._crc_by_id[block_id] = zlib.crc32(payload)
         self._num_tuples += len(ordinals)
+
+    def _write_payload(self, block_id: int, payload: bytes) -> None:
+        """Rewrite one block, keeping its recorded checksum current."""
+        self._disk.write_block(block_id, payload)
+        self._crc_by_id[block_id] = zlib.crc32(payload)
 
     def _encode_ordinals(self, ordinals: Sequence[int]) -> bytes:
         tuples = [self._codec.mapper.phi_inverse(o) for o in ordinals]
@@ -239,24 +265,65 @@ class AVQFile:
 
     def read_block(self, position: int) -> List[Tuple[int, ...]]:
         """Read and decode one block (``t1`` I/O plus ``t2`` decode)."""
-        self._check_position(position)
-        payload = self._disk.read_block(self._block_ids[position])
-        return self._codec.decode_block(payload)
+        return self._codec.decode_block(self.read_payload(position))
 
     def read_block_ordinals(self, position: int) -> List[int]:
         """Read one block, decoding only to phi ordinals."""
+        return self._codec.decode_ordinals(self.read_payload(position))
+
+    def read_payload(self, position: int) -> bytes:
+        """Read one block's raw payload, checksum-verified.
+
+        Every decode path funnels through here (or through
+        :meth:`verify_payload` for id-keyed reads), so bit rot at rest
+        surfaces as :class:`~repro.errors.CorruptionError` *before* the
+        damaged bytes reach the codec — a chained difference stream
+        decodes single-bit damage into arbitrarily wrong tuples, so the
+        checksum is the only honest detector.
+        """
         self._check_position(position)
-        payload = self._disk.read_block(self._block_ids[position])
-        return self._codec.decode_ordinals(payload)
+        block_id = self._block_ids[position]
+        payload = self._disk.read_block(block_id)
+        self.verify_payload(block_id, payload)
+        return payload
 
     def read_block_id(self, block_id: int) -> List[Tuple[int, ...]]:
         """Read and decode a block by its stable disk id.
 
         Indices store disk ids (they survive block splits, unlike
         positions); this is the access path a query takes after an index
-        probe.
+        probe.  Checksum-verified like :meth:`read_payload`.
         """
-        return self._codec.decode_block(self._disk.read_block(block_id))
+        payload = self._disk.read_block(block_id)
+        self.verify_payload(block_id, payload)
+        return self._codec.decode_block(payload)
+
+    def verify_payload(self, block_id: int, payload: bytes) -> None:
+        """Check a payload against the block's recorded checksum.
+
+        A no-op for blocks adopted from a pre-checksum directory (their
+        recorded CRC is unknown until a scrub backfills it) and for ids
+        this file does not own — the buffer pool attaches this method as
+        its admission verifier, and the pool may also cache foreign
+        blocks (e.g. the WAL's).
+        """
+        expected = self._crc_by_id.get(block_id)
+        if expected is None:
+            return
+        if zlib.crc32(payload) != expected:
+            raise CorruptionError(
+                f"payload checksum mismatch on disk block {block_id}",
+                block_id=block_id,
+                position=self.position_of_id(block_id),
+                detected_by="crc32",
+            )
+
+    def position_of_id(self, block_id: int) -> Optional[int]:
+        """Current position of a disk id, or ``None`` if not in this file."""
+        try:
+            return self._block_ids.index(block_id)
+        except ValueError:
+            return None
 
     def decode_payload(self, payload: bytes) -> List[Tuple[int, ...]]:
         """Decode a raw block payload (no I/O) — the buffer-pool path."""
@@ -290,6 +357,47 @@ class AVQFile:
                 self._block_count,
             )
         )
+
+    def directory_entries_checked(
+        self,
+    ) -> List[Tuple[int, int, int, int, Optional[int]]]:
+        """Directory entries with each block's payload CRC32 appended.
+
+        ``(block_id, first, last, count, crc32)`` per block; the CRC is
+        ``None`` only for blocks adopted from a pre-checksum directory
+        and not yet scrub-backfilled.  :meth:`attach` accepts these
+        entries directly, so a clean shutdown round-trips checksums
+        through the WAL's CLEAN record.
+        """
+        return [
+            (
+                block_id,
+                self._block_min[i],
+                self._block_max[i],
+                self._block_count[i],
+                self._crc_by_id[block_id],
+            )
+            for i, block_id in enumerate(self._block_ids)
+        ]
+
+    def block_crc(self, position: int) -> Optional[int]:
+        """Recorded payload CRC32 of the ``position``-th block.
+
+        ``None`` means unknown (pre-checksum adoption), not "no check" —
+        a scrub backfills it once the payload proves decode-clean.
+        """
+        self._check_position(position)
+        return self._crc_by_id.get(self._block_ids[position])
+
+    def set_block_crc(self, position: int, crc: int) -> None:
+        """Record a backfilled checksum for a pre-checksum block.
+
+        Only the scrubber calls this, and only after proving the payload
+        decodes to exactly what the directory claims — blessing bytes
+        that were never checksum-verified requires that decode proof.
+        """
+        self._check_position(position)
+        self._crc_by_id[self._block_ids[position]] = int(crc)
 
     def all_ordinals(self) -> List[int]:
         """Every stored phi ordinal, ascending (one read per block).
@@ -347,7 +455,7 @@ class AVQFile:
         pos = self.covering_block_of_ordinal(ordinal)
         if pos is None:
             return False
-        payload = self._disk.read_block(self._block_ids[pos])
+        payload = self.read_payload(pos)
         probe = getattr(self._codec, "probe_block", None)
         if probe is not None:
             return probe(payload, ordinal)
@@ -388,7 +496,7 @@ class AVQFile:
         except BlockOverflowError:
             self._split_block(pos, ordinals)
             return pos
-        self._disk.write_block(self._block_ids[pos], payload)
+        self._write_payload(self._block_ids[pos], payload)
         self._block_min[pos] = ordinals[0]
         self._block_max[pos] = ordinals[-1]
         self._block_count[pos] = len(ordinals)
@@ -399,10 +507,12 @@ class AVQFile:
         """Replace one overfull block with two half-full ones."""
         mid = len(ordinals) // 2
         left, right = ordinals[:mid], ordinals[mid:]
-        self._disk.write_block(
+        self._write_payload(
             self._block_ids[position], self._encode_ordinals(left)
         )
-        right_id = self._disk.append_block(self._encode_ordinals(right))
+        right_payload = self._encode_ordinals(right)
+        right_id = self._disk.append_block(right_payload)
+        self._crc_by_id[right_id] = zlib.crc32(right_payload)
         self._block_min[position] = left[0]
         self._block_max[position] = left[-1]
         self._block_count[position] = len(left)
@@ -426,13 +536,14 @@ class AVQFile:
             return False
         ordinals.pop(idx)
         if not ordinals:
+            self._crc_by_id.pop(self._block_ids[pos], None)
             self._block_ids.pop(pos)
             self._block_min.pop(pos)
             self._block_max.pop(pos)
             self._block_count.pop(pos)
         else:
             payload = self._encode_ordinals(ordinals)
-            self._disk.write_block(self._block_ids[pos], payload)
+            self._write_payload(self._block_ids[pos], payload)
             self._block_min[pos] = ordinals[0]
             self._block_max[pos] = ordinals[-1]
             self._block_count[pos] = len(ordinals)
@@ -442,6 +553,56 @@ class AVQFile:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+
+    def encode_payload(self, ordinals: Sequence[int]) -> bytes:
+        """Encode a sorted ordinal run exactly as a block write would.
+
+        The repair engine uses this to re-encode a candidate tuple set
+        and compare its CRC against the directory's recorded checksum —
+        the codec is deterministic, so a CRC match on the re-encoding is
+        byte-identity with what was originally written.
+        """
+        return self._encode_ordinals(ordinals)
+
+    def restore_block(
+        self, position: int, ordinals: Sequence[int], payload: bytes
+    ) -> None:
+        """Overwrite one block with a repaired payload, then verify it.
+
+        The repair contract (docs/INTEGRITY.md): ``ordinals`` must match
+        the directory's recorded range and count for the block — repair
+        reconstructs what *was* there, never something new — and the
+        written bytes are read back and compared before the block is
+        considered healthy.  Any failure raises
+        :class:`~repro.errors.RepairError` and the block stays suspect.
+        """
+        self._check_position(position)
+        block_id = self._block_ids[position]
+        if (
+            not ordinals
+            or ordinals[0] != self._block_min[position]
+            or ordinals[-1] != self._block_max[position]
+            or len(ordinals) != self._block_count[position]
+        ):
+            raise RepairError(
+                f"restored tuple set contradicts the directory for "
+                f"block {position} (expected [{self._block_min[position]}, "
+                f"{self._block_max[position]}], "
+                f"{self._block_count[position]} tuples)",
+                block_id=block_id,
+                position=position,
+                detected_by="directory",
+            )
+        self._write_payload(block_id, payload)
+        reread = self._disk.read_block(block_id)
+        if reread != payload:
+            raise RepairError(
+                f"repaired block {position} did not read back "
+                "byte-identical",
+                block_id=block_id,
+                position=position,
+                detected_by="reread",
+            )
 
     def verify_directory(self) -> None:
         """Check the in-memory directory against the blocks on disk.
@@ -521,6 +682,7 @@ class AVQFile:
         self._block_min = []
         self._block_max = []
         self._block_count = []
+        self._crc_by_id = {}
         self._num_tuples = 0
         for run in partition.blocks:
             self._append_run(run)

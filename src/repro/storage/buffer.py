@@ -24,15 +24,23 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.storage.disk import SimulatedDisk
+
+if TYPE_CHECKING:  # circular at type level only
+    from repro.storage.integrity import QuarantineSet
 
 __all__ = ["BufferPool", "BufferStats", "DecodedBlockCache"]
 
 #: Type of the payload -> tuples decoder a decoded cache runs on a miss.
 Decoder = Callable[[bytes], List[Tuple[int, ...]]]
+
+#: Type of the integrity check a pool runs on every payload it admits:
+#: ``(block_id, payload)``, raising
+#: :class:`~repro.errors.CorruptionError` on damage.
+Verifier = Callable[[int, bytes], None]
 
 
 @dataclass
@@ -102,6 +110,8 @@ class BufferPool:
         self._capacity = capacity
         self._frames: "OrderedDict[int, bytes]" = OrderedDict()
         self._decoded_caches: List["DecodedBlockCache"] = []
+        self._verifier: Optional[Verifier] = None
+        self._quarantine: Optional["QuarantineSet"] = None
         self.stats = BufferStats()
 
     @property
@@ -115,19 +125,57 @@ class BufferPool:
         return len(self._frames)
 
     def get(self, block_id: int) -> bytes:
-        """Return a block's payload, reading from disk only on a miss."""
+        """Return a block's payload, reading from disk only on a miss.
+
+        A quarantined block is refused outright — even on a cache hit,
+        because a block quarantined *after* being cached may hold the
+        pre-corruption payload, and serving it would mask the fault the
+        quarantine exists to surface.  Freshly read payloads run through
+        the attached verifier before being cached, so a corrupt payload
+        is never admitted to a frame.
+        """
+        self.check_quarantine(block_id)
         cached = self._frames.get(block_id)
         if cached is not None:
             self._frames.move_to_end(block_id)
             self.stats.hits += 1
             return cached
         payload = self._disk.read_block(block_id)
+        if self._verifier is not None:
+            self._verifier(block_id, payload)
         self.stats.misses += 1
         self._frames[block_id] = payload
         if len(self._frames) > self._capacity:
             self._frames.popitem(last=False)
             self.stats.evictions += 1
         return payload
+
+    def attach_verifier(self, verifier: Verifier) -> None:
+        """Run ``verifier(block_id, payload)`` on every payload admitted.
+
+        :class:`~repro.db.table.Table` attaches the storage file's
+        checksum check here, so a rotted payload raises
+        :class:`~repro.errors.CorruptionError` at the pool boundary
+        instead of decoding into garbage downstream.
+        """
+        self._verifier = verifier
+
+    def attach_quarantine(self, quarantine: "QuarantineSet") -> None:
+        """Refuse quarantined block ids on every :meth:`get`.
+
+        Attaching also has no retroactive effect on resident frames —
+        the integrity layer invalidates a block when it quarantines it.
+        """
+        self._quarantine = quarantine
+
+    def check_quarantine(self, block_id: int) -> None:
+        """Raise :class:`~repro.errors.QuarantinedBlockError` if barred.
+
+        A no-op when no quarantine set is attached.  The decoded-block
+        cache calls this on its own hits, which never touch the pool.
+        """
+        if self._quarantine is not None:
+            self._quarantine.check(block_id)
 
     def attach_decoded_cache(self, cache: "DecodedBlockCache") -> None:
         """Register a decoded cache for invalidation cascade.
@@ -209,6 +257,7 @@ class DecodedBlockCache:
 
     def get(self, block_id: int) -> List[Tuple[int, ...]]:
         """Return a block's decoded tuples, decoding only on a miss."""
+        self._pool.check_quarantine(block_id)
         cached = self._frames.get(block_id)
         if cached is not None:
             self._frames.move_to_end(block_id)
@@ -229,6 +278,7 @@ class DecodedBlockCache:
         full block decode on a cold one (the early-exit difference-stream
         probe is cheaper than decoding when the block is cold).
         """
+        self._pool.check_quarantine(block_id)
         cached = self._frames.get(block_id)
         if cached is not None:
             self._frames.move_to_end(block_id)

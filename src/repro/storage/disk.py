@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import StorageError
+from repro.errors import ReadFault, StorageError
 from repro.storage.block import DEFAULT_BLOCK_SIZE
 
 __all__ = ["DiskModel", "SimulatedDisk", "DiskStats"]
@@ -73,12 +73,14 @@ class DiskStats:
     blocks_read: int = 0
     blocks_written: int = 0
     elapsed_ms: float = 0.0
+    read_retries: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
         self.blocks_read = 0
         self.blocks_written = 0
         self.elapsed_ms = 0.0
+        self.read_retries = 0
 
 
 class SimulatedDisk:
@@ -93,13 +95,26 @@ class SimulatedDisk:
         self,
         block_size: int = DEFAULT_BLOCK_SIZE,
         model: Optional[DiskModel] = None,
+        *,
+        read_retry_limit: int = 0,
+        retry_backoff_ms: float = 5.0,
     ):
         if block_size < 1:
             raise StorageError(f"block size must be positive, got {block_size}")
+        if read_retry_limit < 0:
+            raise StorageError(
+                f"read retry limit must be >= 0, got {read_retry_limit}"
+            )
+        if retry_backoff_ms < 0:
+            raise StorageError(
+                f"retry backoff must be >= 0 ms, got {retry_backoff_ms}"
+            )
         self._block_size = block_size
         self._model = model or DiskModel()
         self._blocks: Dict[int, bytes] = {}
         self._next_id = 0
+        self._read_retry_limit = read_retry_limit
+        self._retry_backoff_ms = retry_backoff_ms
         self.stats = DiskStats()
 
     @property
@@ -146,8 +161,45 @@ class SimulatedDisk:
         """
         self._blocks[block_id] = payload
 
+    @property
+    def read_retry_limit(self) -> int:
+        """Retries granted to a faulting read before it escapes."""
+        return self._read_retry_limit
+
+    @property
+    def retry_backoff_ms(self) -> float:
+        """Base backoff charged per retry (linear: attempt × base)."""
+        return self._retry_backoff_ms
+
     def read_block(self, block_id: int) -> bytes:
-        """Read one block, charging one ``t1`` of simulated time."""
+        """Read one block, charging one ``t1`` of simulated time.
+
+        A :class:`~repro.errors.ReadFault` from the medium (injected by
+        :class:`~repro.storage.faults.FaultyDisk`) is retried up to
+        ``read_retry_limit`` times with linear backoff — each retry
+        charges ``attempt × retry_backoff_ms`` of simulated time, the
+        way a controller re-seeks and waits before the next attempt.
+        Only when the budget is exhausted does the fault escape.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._read_attempt(block_id)
+            except ReadFault:
+                attempt += 1
+                if attempt > self._read_retry_limit:
+                    raise
+                self.stats.read_retries += 1
+                self.stats.elapsed_ms += self._retry_backoff_ms * attempt
+
+    def _read_attempt(self, block_id: int) -> bytes:
+        """One read attempt.
+
+        The single point where bytes leave the store —
+        :class:`~repro.storage.faults.FaultyDisk` overrides this to
+        consult the injector, so the retry loop above stays in one
+        place.
+        """
         try:
             payload = self._blocks[block_id]
         except KeyError:
@@ -155,6 +207,34 @@ class SimulatedDisk:
         self.stats.blocks_read += 1
         self.stats.elapsed_ms += self._model.block_io_ms(self._block_size)
         return payload
+
+    def corrupt_stored(self, block_id: int, bit_index: int) -> None:
+        """Flip one bit of a stored payload in place — bit rot at rest.
+
+        This is entropy, not I/O: no time is charged and no counters
+        move, exactly as a cosmic ray would.  The scrub/fsck test
+        harness sweeps ``bit_index`` exhaustively to prove detection
+        coverage (docs/INTEGRITY.md).
+        """
+        try:
+            payload = self._blocks[block_id]
+        except KeyError:
+            raise StorageError(f"cannot corrupt unwritten block {block_id}")
+        if not 0 <= bit_index < len(payload) * 8:
+            raise StorageError(
+                f"bit {bit_index} out of range for a "
+                f"{len(payload)}-byte payload"
+            )
+        mutated = bytearray(payload)
+        mutated[bit_index // 8] ^= 1 << (bit_index % 8)
+        self._blocks[block_id] = bytes(mutated)
+
+    def stored_size(self, block_id: int) -> int:
+        """Bytes currently stored in a block (no I/O charged)."""
+        try:
+            return len(self._blocks[block_id])
+        except KeyError:
+            raise StorageError(f"no stored payload for block {block_id}")
 
     def append_block(self, payload: bytes) -> int:
         """Allocate and write in one step; returns the new block id."""

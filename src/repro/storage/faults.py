@@ -17,6 +17,14 @@ This module provides the adversary for :mod:`repro.storage.wal`:
   raises, exactly as a dead machine would, until :meth:`FaultInjector.disarm`
   models the reboot.
 
+Beyond crash damage, the injector also models the *quiet* failure
+classes the integrity layer (:mod:`repro.storage.integrity`) exists
+for: seeded silent bit rot (:meth:`FaultyDisk.rot_block` flips one bit
+of a payload at rest — no write ever misbehaved, the medium decayed)
+and transient read faults (``transient_read_rate``/``transient_burst``)
+that :meth:`SimulatedDisk.read_block` absorbs with bounded
+retry/backoff.
+
 Everything is seeded (lint rule R007): the same plan over the same
 workload tears the same byte of the same write, so a failing crash test
 replays exactly.
@@ -25,11 +33,16 @@ replays exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import CrashPoint, ReadFault, StorageError
+from repro.errors import (
+    CrashPoint,
+    ReadFault,
+    StorageError,
+    TransientReadFault,
+)
 from repro.storage.block import DEFAULT_BLOCK_SIZE
 from repro.storage.disk import DiskModel, SimulatedDisk
 
@@ -56,6 +69,8 @@ class FaultStats:
     dropped_writes: int = 0
     read_errors: int = 0
     crashes: int = 0
+    transient_faults: int = 0
+    bits_flipped: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -65,6 +80,8 @@ class FaultStats:
         self.dropped_writes = 0
         self.read_errors = 0
         self.crashes = 0
+        self.transient_faults = 0
+        self.bits_flipped = 0
 
 
 class FaultInjector:
@@ -87,6 +104,8 @@ class FaultInjector:
         torn_write_rate: float = 0.0,
         drop_write_rate: float = 0.0,
         read_error_rate: float = 0.0,
+        transient_read_rate: float = 0.0,
+        transient_burst: int = 1,
         seed: int = 0,
     ):
         if crash_mode not in CRASH_MODES:
@@ -99,14 +118,22 @@ class FaultInjector:
             ("torn_write_rate", torn_write_rate),
             ("drop_write_rate", drop_write_rate),
             ("read_error_rate", read_error_rate),
+            ("transient_read_rate", transient_read_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise StorageError(f"{name} must be in [0, 1], got {rate}")
+        if transient_burst < 1:
+            raise StorageError(
+                f"transient_burst must be >= 1, got {transient_burst}"
+            )
         self._crash_after = crash_after
         self._crash_mode = crash_mode
         self._torn_rate = torn_write_rate
         self._drop_rate = drop_write_rate
         self._read_error_rate = read_error_rate
+        self._transient_rate = transient_read_rate
+        self._transient_burst = transient_burst
+        self._transient_left = 0
         self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._crashed = False
@@ -167,6 +194,8 @@ class FaultInjector:
         self._torn_rate = 0.0
         self._drop_rate = 0.0
         self._read_error_rate = 0.0
+        self._transient_rate = 0.0
+        self._transient_left = 0
 
     # ------------------------------------------------------------------
     # Fault decisions
@@ -197,9 +226,26 @@ class FaultInjector:
         return payload
 
     def check_read(self) -> None:
-        """Raise :class:`~repro.errors.ReadFault` per the read-error rate."""
+        """Raise a read fault per the configured rates.
+
+        Persistent faults (:class:`~repro.errors.ReadFault`, per
+        ``read_error_rate``) model media damage — every retry re-rolls
+        and may fail again.  Transient faults
+        (:class:`~repro.errors.TransientReadFault`, per
+        ``transient_read_rate``) model a flaky bus or controller: once
+        triggered, the next ``transient_burst - 1`` reads of the same
+        plan also fault, then the condition clears — so a disk with a
+        retry budget of at least ``transient_burst`` always recovers.
+        """
         self._require_alive()
         self.stats.reads_seen += 1
+        if self._transient_left > 0:
+            self._transient_left -= 1
+            self.stats.transient_faults += 1
+            raise TransientReadFault(
+                f"injected transient read fault (read "
+                f"#{self.stats.reads_seen}, seed {self._seed})"
+            )
         if (
             self._read_error_rate
             and self._rng.random() < self._read_error_rate
@@ -209,6 +255,33 @@ class FaultInjector:
                 f"injected read error (read #{self.stats.reads_seen}, "
                 f"seed {self._seed})"
             )
+        if (
+            self._transient_rate
+            and self._rng.random() < self._transient_rate
+        ):
+            self._transient_left = self._transient_burst - 1
+            self.stats.transient_faults += 1
+            raise TransientReadFault(
+                f"injected transient read fault (read "
+                f"#{self.stats.reads_seen}, seed {self._seed})"
+            )
+
+    def choose_block(self, num_choices: int) -> int:
+        """Seeded choice among ``num_choices`` blocks (for bit rot)."""
+        if num_choices < 1:
+            raise StorageError("no blocks to choose from")
+        return int(self._rng.integers(0, num_choices))
+
+    def choose_rot_bit(self, payload_bits: int) -> int:
+        """Seeded choice of which bit of a payload rots.
+
+        Deterministic under the seed (lint rule R007), so a failing
+        bit-rot test replays the exact flip.
+        """
+        if payload_bits < 1:
+            raise StorageError("cannot rot an empty payload")
+        self.stats.bits_flipped += 1
+        return int(self._rng.integers(0, payload_bits))
 
     def raise_crash(self) -> None:
         """Raise the sticky :class:`~repro.errors.CrashPoint`.
@@ -262,8 +335,15 @@ class FaultyDisk(SimulatedDisk):
         model: Optional[DiskModel] = None,
         *,
         injector: Optional[FaultInjector] = None,
+        read_retry_limit: int = 0,
+        retry_backoff_ms: float = 5.0,
     ):
-        super().__init__(block_size=block_size, model=model)
+        super().__init__(
+            block_size=block_size,
+            model=model,
+            read_retry_limit=read_retry_limit,
+            retry_backoff_ms=retry_backoff_ms,
+        )
         self._injector = injector if injector is not None else FaultInjector()
 
     @property
@@ -283,6 +363,24 @@ class FaultyDisk(SimulatedDisk):
         if self._injector.crashed:
             self._injector.raise_crash()
 
-    def read_block(self, block_id: int) -> bytes:
+    def _read_attempt(self, block_id: int) -> bytes:
         self._injector.check_read()
-        return super().read_block(block_id)
+        return super()._read_attempt(block_id)
+
+    def rot_block(self, block_id: Optional[int] = None) -> Tuple[int, int]:
+        """Silently flip one seeded bit of a stored payload, at rest.
+
+        The *silent* counterpart of torn and dropped writes: nothing in
+        the write path misbehaved, the medium decayed afterwards.  No
+        I/O is charged and no write is counted — only a scrub or a
+        checksummed read can notice.  Returns ``(block_id, bit_index)``
+        so a test can assert exactly which flip was detected.
+        """
+        if block_id is None:
+            ids = self.block_ids()
+            if not ids:
+                raise StorageError("no stored blocks to rot")
+            block_id = ids[self._injector.choose_block(len(ids))]
+        bit = self._injector.choose_rot_bit(self.stored_size(block_id) * 8)
+        self.corrupt_stored(block_id, bit)
+        return block_id, bit

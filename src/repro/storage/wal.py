@@ -102,8 +102,15 @@ _OP_TYPES = (REC_INSERT, REC_DELETE)
 _TID_TYPES = (REC_BEGIN, REC_INSERT, REC_DELETE, REC_COMMIT, REC_ABORT)
 
 #: Directory entry carried by a CLEAN record:
-#: ``(block_id, first_ordinal, last_ordinal, tuple_count)``.
-DirectoryEntry = Tuple[int, int, int, int]
+#: ``(block_id, first_ordinal, last_ordinal, tuple_count)``, optionally
+#: extended with a fifth element — the block payload's CRC32 (or
+#: ``None`` when unknown) — so clean shutdown round-trips checksums and
+#: a reattached table can verify reads immediately.  Four-element
+#: entries (pre-checksum logs) remain decodable forever.
+DirectoryEntry = Union[
+    Tuple[int, int, int, int],
+    Tuple[int, int, int, int, Optional[int]],
+]
 
 
 @dataclass(frozen=True)
@@ -229,13 +236,15 @@ def _encode_record(record: WALRecord) -> bytes:
         )
         body += zlib.compress(image.encode("ascii"))
     elif record.rtype == REC_CLEAN:
-        listing = json.dumps(
-            [
-                [bid, str(mn), str(mx), count]
-                for bid, mn, mx, count in record.directory
-            ],
-            separators=(",", ":"),
-        )
+        rows: List[List[object]] = []
+        for entry in record.directory:
+            row: List[object] = [
+                entry[0], str(entry[1]), str(entry[2]), entry[3]
+            ]
+            if len(entry) == 5:
+                row.append(entry[4])
+            rows.append(row)
+        listing = json.dumps(rows, separators=(",", ":"))
         body += zlib.compress(listing.encode("ascii"))
     return (
         len(body).to_bytes(4, "big") + body + zlib.crc32(body).to_bytes(4, "big")
@@ -294,10 +303,20 @@ def _decode_json_ints(blob: bytes) -> List[int]:
 def _decode_directory(blob: bytes) -> Tuple[DirectoryEntry, ...]:
     try:
         listing = json.loads(zlib.decompress(blob).decode("ascii"))
-        return tuple(
-            (int(bid), int(mn), int(mx), int(count))
-            for bid, mn, mx, count in listing
-        )
+        entries: List[DirectoryEntry] = []
+        for row in listing:
+            if len(row) not in (4, 5):
+                raise WALError(
+                    f"clean-shutdown directory row has {len(row)} "
+                    "fields, expected 4 or 5"
+                )
+            base = (int(row[0]), int(row[1]), int(row[2]), int(row[3]))
+            if len(row) == 5:
+                crc = None if row[4] is None else int(row[4])
+                entries.append(base + (crc,))
+            else:
+                entries.append(base)
+        return tuple(entries)
     except (zlib.error, UnicodeDecodeError, json.JSONDecodeError,
             TypeError, ValueError) as exc:
         raise WALError("malformed clean-shutdown directory") from exc
@@ -748,7 +767,7 @@ def recover(
             )
             blocks_rebuilt = storage.num_blocks
             log.checkpoint(image.ordinals)
-            log.write_clean(storage.directory_entries())
+            log.write_clean(storage.directory_entries_checked())
         report = RecoveryReport(
             clean=image.clean,
             records_scanned=len(log.records_at_open),

@@ -9,7 +9,12 @@ is deterministic under a seed.
 
 import pytest
 
-from repro.errors import CrashPoint, ReadFault, StorageError
+from repro.errors import (
+    CrashPoint,
+    ReadFault,
+    StorageError,
+    TransientReadFault,
+)
 from repro.storage.disk import SimulatedDisk
 from repro.storage.faults import CRASH_MODES, FaultInjector, FaultyDisk
 
@@ -178,3 +183,171 @@ class TestFaultyDisk:
         bid = disk.allocate()
         disk.write_block(bid, b"y")
         assert disk.read_block(bid) == b"y"
+
+
+class TestTransientFaults:
+    """Transient read faults and the disk's bounded retry/backoff."""
+
+    def test_transient_fault_is_a_read_fault(self):
+        assert issubclass(TransientReadFault, ReadFault)
+
+    def test_burst_clears_within_the_retry_budget(self):
+        # one triggering fault + (burst - 1) follow-ups = 3 attempts;
+        # a retry budget of 3 absorbs all of them
+        disk = FaultyDisk(
+            64,
+            injector=FaultInjector(
+                transient_read_rate=1.0, transient_burst=3, seed=8
+            ),
+            read_retry_limit=3,
+        )
+        bid = disk.allocate()
+        disk.write_block(bid, b"payload")
+        disk.injector._transient_rate = 0.0  # only the armed burst below
+        disk.injector._transient_left = 3
+        assert disk.read_block(bid) == b"payload"
+        assert disk.stats.read_retries == 3
+        assert disk.fault_stats.transient_faults == 3
+
+    def test_exhausted_retry_budget_escapes(self):
+        disk = FaultyDisk(
+            64,
+            injector=FaultInjector(transient_read_rate=1.0, seed=8),
+            read_retry_limit=2,
+        )
+        bid = disk.allocate()
+        disk.write_block(bid, b"payload")
+        # rate 1.0: every attempt (including retries) re-triggers, so
+        # the budget of 2 retries is exhausted and the fault escapes
+        with pytest.raises(TransientReadFault):
+            disk.read_block(bid)
+        assert disk.stats.read_retries == 2
+
+    def test_no_retry_budget_by_default(self):
+        disk = FaultyDisk(
+            64, injector=FaultInjector(transient_read_rate=1.0, seed=8)
+        )
+        bid = disk.allocate()
+        disk.write_block(bid, b"x")
+        with pytest.raises(TransientReadFault):
+            disk.read_block(bid)
+        assert disk.stats.read_retries == 0
+
+    def test_retry_backoff_is_charged_linearly(self):
+        disk = FaultyDisk(
+            64,
+            injector=FaultInjector(
+                transient_read_rate=1.0, transient_burst=2, seed=8
+            ),
+            read_retry_limit=2,
+            retry_backoff_ms=10.0,
+        )
+        bid = disk.allocate()
+        disk.write_block(bid, b"z")
+        disk.injector._transient_rate = 0.0
+        disk.injector._transient_left = 2
+        before = disk.stats.elapsed_ms
+        disk.read_block(bid)
+        charged = disk.stats.elapsed_ms - before
+        # 2 retries at 10 ms x attempt = 10 + 20, plus one block I/O
+        assert charged == pytest.approx(
+            30.0 + disk.model.block_io_ms(disk.block_size)
+        )
+
+    def test_persistent_read_errors_rerolls_each_retry(self):
+        """read_error_rate faults are media damage: retries re-roll and
+        at rate 1.0 always fail again, so the budget never saves them."""
+        disk = FaultyDisk(
+            64,
+            injector=FaultInjector(read_error_rate=1.0, seed=8),
+            read_retry_limit=4,
+        )
+        bid = disk.allocate()
+        disk.write_block(bid, b"x")
+        with pytest.raises(ReadFault):
+            disk.read_block(bid)
+        assert disk.stats.read_retries == 4
+        assert disk.fault_stats.read_errors == 5
+
+    def test_disarm_clears_transient_state(self):
+        inj = FaultInjector(transient_read_rate=1.0, transient_burst=5)
+        with pytest.raises(TransientReadFault):
+            inj.check_read()
+        assert inj._transient_left == 4
+        inj.disarm()
+        inj.check_read()  # no fault: rate and burst residue cleared
+
+    def test_transient_counters_and_reset(self):
+        inj = FaultInjector(transient_read_rate=1.0, transient_burst=2)
+        for _ in range(2):
+            with pytest.raises(TransientReadFault):
+                inj.check_read()
+        assert inj.stats.transient_faults == 2
+        inj.stats.reset()
+        assert inj.stats.transient_faults == 0
+        assert inj.stats.bits_flipped == 0
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            FaultInjector(transient_read_rate=-0.1)
+        with pytest.raises(StorageError):
+            FaultInjector(transient_read_rate=1.5)
+        with pytest.raises(StorageError):
+            FaultInjector(transient_burst=0)
+
+
+class TestBitRot:
+    """Seeded silent corruption at rest (the scrubber's adversary)."""
+
+    def _disk(self, seed=0):
+        disk = FaultyDisk(64, injector=FaultInjector(seed=seed))
+        for payload in (b"alpha", b"beta", b"gamma"):
+            disk.write_block(disk.allocate(), payload)
+        return disk
+
+    def test_rot_flips_exactly_one_bit(self):
+        disk = self._disk()
+        bid = disk.block_ids()[0]
+        before = disk.read_block(bid)
+        rotted, bit = disk.rot_block(bid)
+        assert rotted == bid
+        after = disk.read_block(bid)
+        diff = [
+            (i * 8 + b)
+            for i, (x, y) in enumerate(zip(before, after))
+            for b in range(8)
+            if (x ^ y) >> b & 1
+        ]
+        assert diff == [bit]
+        assert disk.fault_stats.bits_flipped == 1
+
+    def test_rot_charges_no_io(self):
+        disk = self._disk()
+        disk.stats.reset()
+        disk.rot_block()
+        assert disk.stats.blocks_read == 0
+        assert disk.stats.blocks_written == 0
+        assert disk.stats.elapsed_ms == 0.0
+
+    def test_rot_is_deterministic_under_seed(self):
+        flips = [self._disk(seed=77).rot_block() for _ in range(2)]
+        assert flips[0] == flips[1]
+
+    def test_rot_without_target_picks_a_stored_block(self):
+        disk = self._disk(seed=5)
+        bid, bit = disk.rot_block()
+        assert bid in disk.block_ids()
+        assert 0 <= bit < disk.stored_size(bid) * 8
+
+    def test_rot_refuses_empty_disk(self):
+        disk = FaultyDisk(64)
+        with pytest.raises(StorageError):
+            disk.rot_block()
+
+    def test_corrupt_stored_validation(self):
+        disk = self._disk()
+        with pytest.raises(StorageError):
+            disk.corrupt_stored(999, 0)  # unwritten block
+        bid = disk.block_ids()[0]
+        with pytest.raises(StorageError):
+            disk.corrupt_stored(bid, disk.stored_size(bid) * 8)

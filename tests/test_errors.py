@@ -12,9 +12,18 @@ ALL_ERRORS = [
     errors.CodecError,
     errors.BlockOverflowError,
     errors.StorageError,
+    errors.WALError,
+    errors.CrashPoint,
+    errors.ReadFault,
+    errors.TransientReadFault,
+    errors.IntegrityError,
+    errors.CorruptionError,
+    errors.QuarantinedBlockError,
+    errors.RepairError,
     errors.IndexError_,
     errors.QueryError,
     errors.WorkloadError,
+    errors.AnalysisError,
 ]
 
 
@@ -39,3 +48,59 @@ def test_single_except_catches_everything():
             raise exc("boom")
         except errors.ReproError as caught:
             assert str(caught) == "boom"
+
+
+def test_storage_fault_hierarchy():
+    """Fault and integrity errors are storage errors, so existing
+    storage-layer except clauses keep catching them."""
+    for exc in (errors.WALError, errors.CrashPoint, errors.ReadFault,
+                errors.IntegrityError):
+        assert issubclass(exc, errors.StorageError)
+    assert issubclass(errors.TransientReadFault, errors.ReadFault)
+
+
+def test_integrity_branch():
+    for exc in (errors.CorruptionError, errors.QuarantinedBlockError,
+                errors.RepairError):
+        assert issubclass(exc, errors.IntegrityError)
+
+
+def test_integrity_structured_payload():
+    exc = errors.CorruptionError(
+        "checksum mismatch",
+        path="/data/t.avq",
+        block_id=42,
+        position=3,
+        detected_by="crc32",
+    )
+    assert exc.details() == {
+        "path": "/data/t.avq",
+        "block_id": 42,
+        "position": 3,
+        "detected_by": "crc32",
+    }
+    line = exc.fsck_line()
+    assert line == (
+        "/data/t.avq: block 3, disk id 42: checksum mismatch [crc32]"
+    )
+
+
+def test_integrity_payload_defaults_to_none():
+    exc = errors.IntegrityError("vague damage")
+    assert exc.details() == {
+        "path": None,
+        "block_id": None,
+        "position": None,
+        "detected_by": None,
+    }
+    assert exc.fsck_line() == "<simulated disk>: container: vague damage"
+
+
+def test_integrity_payload_survives_except_storage_error():
+    try:
+        raise errors.QuarantinedBlockError(
+            "block 7 is quarantined", block_id=7, detected_by="quarantine"
+        )
+    except errors.StorageError as caught:
+        assert caught.block_id == 7
+        assert caught.detected_by == "quarantine"
