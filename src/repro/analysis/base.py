@@ -98,6 +98,13 @@ class ModuleContext:
         """True inside :mod:`repro.workload` (exempt from R007)."""
         return "workload" in self.module_name.split(".")
 
+    @property
+    def is_timing_layer(self) -> bool:
+        """True inside :mod:`repro.perf` / :mod:`repro.obs` (exempt from
+        R008 — these packages *are* the sanctioned clock wrappers)."""
+        segments = self.module_name.split(".")
+        return "perf" in segments or "obs" in segments
+
     def lines(self) -> List[str]:
         """The source split into lines (1-indexed via ``lines()[n-1]``)."""
         return self.source.splitlines()

@@ -29,7 +29,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "AST lint for repro codec invariants (R001-R007); "
+            "AST lint for repro codec invariants (R001-R008); "
             "see docs/ANALYSIS.md"
         ),
     )

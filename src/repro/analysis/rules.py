@@ -1,4 +1,4 @@
-"""The repo-specific rule set (R001–R007).
+"""The repo-specific rule set (R001–R008).
 
 Each rule guards an invariant the AVQ codec's lossless round-trip
 guarantee (Theorem 2.1) silently relies on.  Differential coders fail
@@ -31,6 +31,7 @@ __all__ = [
     "DunderAllRule",
     "MutableDefaultRule",
     "RaiseBuiltinRule",
+    "RawClockRule",
     "UnseededRandomRule",
 ]
 
@@ -587,3 +588,62 @@ class UnseededRandomRule(Rule):
                 f"numpy legacy global RNG call np.random.{chain[-1]}(); "
                 f"use a seeded default_rng Generator instead",
             )
+
+
+#: ``time`` module attributes that read a clock.  ``time.sleep`` is
+#: deliberately absent — it spends time rather than measuring it.
+_CLOCK_CALLS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+
+@register
+class RawClockRule(Rule):
+    """R008: raw clock reads are confined to repro.perf / repro.obs."""
+
+    rule_id = "R008"
+    severity = "warning"
+    summary = (
+        "raw time.time()/time.perf_counter() calls are confined to "
+        "repro.perf and repro.obs; everything else times through "
+        "repro.obs.runtime.now_ms or spans, so clocks stay injectable "
+        "and measurements flow through one pipeline"
+    )
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.is_timing_layer:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_CALLS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"imports time.{alias.name} outside the "
+                            f"timing layer; use repro.obs.runtime."
+                            f"now_ms (or a span) instead",
+                        )
+            elif isinstance(node, ast.Call):
+                chain = _attribute_chain(node.func)
+                if (
+                    len(chain) == 2
+                    and chain[0] == "time"
+                    and chain[1] in _CLOCK_CALLS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"calls time.{chain[1]}() outside the timing "
+                        f"layer; use repro.obs.runtime.now_ms (or a "
+                        f"span) so clocks stay injectable",
+                    )

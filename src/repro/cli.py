@@ -21,6 +21,12 @@ a container from such a log (docs/RECOVERY.md).
 backfills checksums onto legacy containers, and quarantines what it
 cannot prove repaired (docs/INTEGRITY.md).  Both exit 0 when the
 container is healthy and 2 when damage remains.
+
+The global ``--metrics PATH`` flag (before the subcommand) enables the
+observability layer for the run and writes its JSON-lines export —
+every counter, histogram, and retained span — to ``PATH`` afterwards
+(docs/OBSERVABILITY.md).  With it, ``stats`` also appends the
+registry's human-readable table to its report.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from typing import List, Optional
 from repro.errors import ReproError
 from repro.io.csvio import read_csv_rows, write_csv_rows
 from repro.io.format import AVQFileReader, write_avq_file
+from repro.obs import runtime as _obs
 from repro.relational.encoding import SchemaInferencer
 from repro.relational.relation import Relation
 from repro.storage.block import DEFAULT_BLOCK_SIZE
@@ -164,41 +171,56 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         from collections import OrderedDict
 
-        from repro.perf.timer import StageTimer
         from repro.storage.buffer import BufferStats
 
+        # Stage timing runs through repro.obs — the sanctioned clock
+        # (R008) — so the same numbers the CLI prints also land in the
+        # registry/tracer whenever the global --metrics flag is up.
         stats = BufferStats()
-        timer = StageTimer()
         cache: "OrderedDict[int, list]" = OrderedDict()
+        stage_ms = {"decode": 0.0, "total": 0.0}
 
         def read_cached(position: int) -> list:
-            if args.decoded_cache <= 0:
-                with timer.stage("decode"):
-                    return reader.read_block(position)
-            block = cache.get(position)
+            block = cache.get(position) if args.decoded_cache > 0 else None
             if block is not None:
                 cache.move_to_end(position)
                 stats.decoded_hits += 1
                 return block
-            with timer.stage("decode"):
-                block = reader.read_block(position)
-            stats.decoded_misses += 1
-            cache[position] = block
-            if len(cache) > args.decoded_cache:
-                cache.popitem(last=False)
-                stats.decoded_evictions += 1
+            t0 = _obs.now_ms()
+            block = reader.read_block(position)
+            stage_ms["decode"] += _obs.now_ms() - t0
+            if args.decoded_cache > 0:
+                stats.decoded_misses += 1
+                cache[position] = block
+                if len(cache) > args.decoded_cache:
+                    cache.popitem(last=False)
+                    stats.decoded_evictions += 1
             return block
 
         matches = 0
-        for repeat in range(max(1, args.repeat)):
-            matches = 0
-            with timer.stage("total"):
+        repeats = max(1, args.repeat)
+        with _obs.span(
+            "cli.query",
+            attr=args.attr,
+            candidates=len(candidates),
+            repeats=repeats,
+        ):
+            for repeat in range(repeats):
+                matches = 0
+                t0 = _obs.now_ms()
                 for position in candidates:
                     for t in read_cached(position):
                         if lo <= t[pos] <= hi:
                             matches += 1
                             if repeat == 0 and matches <= args.limit:
                                 print(schema.decode_tuple(t))
+                stage_ms["total"] += _obs.now_ms() - t0
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("cli.query.matches", matches)
+            reg.inc("cli.query.candidate_blocks", len(candidates))
+            reg.observe("cli.query.decode_ms", stage_ms["decode"])
+            reg.observe("cli.query.total_ms", stage_ms["total"])
         print(f"-- {matches} matching rows; decoded {len(candidates)} of "
               f"{reader.num_blocks} blocks (N = {len(candidates)})")
         if args.repeat > 1 or args.decoded_cache > 0:
@@ -206,10 +228,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
                   f"{stats.decoded_misses} misses, "
                   f"{stats.decoded_evictions} evictions "
                   f"(hit rate {stats.decoded_hit_rate:.1%})")
-            report = timer.report()
-            print(f"-- stages: decode {report.get('decode', 0.0):.2f} ms "
-                  f"within total {report.get('total', 0.0):.2f} ms "
-                  f"over {max(1, args.repeat)} run(s)")
+            print(f"-- stages: decode {stage_ms['decode']:.2f} ms "
+                  f"within total {stage_ms['total']:.2f} ms "
+                  f"over {repeats} run(s)")
     return 0
 
 
@@ -235,6 +256,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                   f"distinct >= {h.distinct_values():6d}  "
                   f"mid-range share = "
                   f"{h.estimate_selectivity(size // 4, 3 * size // 4):.1%}")
+        reg = _obs.REGISTRY
+        if reg is not None:
+            from repro.obs.export import stats_table
+
+            print()
+            print(stats_table(reg, title="observability"), end="")
     return 0
 
 
@@ -301,6 +328,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="AVQ relational compression (Ng & Ravishankar, ICDE 1995)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="enable the observability layer for this command and write "
+             "its JSON-lines metric/span export to PATH afterwards "
+             "(docs/OBSERVABILITY.md); goes before the subcommand",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -409,7 +442,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        if args.metrics is None:
+            return args.func(args)
+        from repro.obs.export import write_jsonl
+
+        # Fresh instruments scoped to this one command: the export
+        # reflects exactly what the command did, and the prior global
+        # state (if any) is restored on the way out.
+        with _obs.scoped() as (registry, tracer):
+            code = args.func(args)
+            rows = write_jsonl(args.metrics, registry, tracer)
+        print(f"-- metrics: {rows} event(s) -> {args.metrics}",
+              file=sys.stderr)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -43,6 +43,7 @@ from repro.core.representative import get_strategy
 from repro.core.runlength import TupleLayout, rle_decode, rle_encode
 from repro.core.stream import StreamReader, StreamWriter
 from repro.errors import BlockOverflowError, CodecError
+from repro.obs import runtime as _obs
 
 __all__ = ["BlockCodec", "HEADER_BYTES"]
 
@@ -211,6 +212,8 @@ class BlockCodec:
                 f"block holds {u} tuples; the 2-byte count field allows at "
                 f"most {MAX_TUPLES_PER_BLOCK}"
             )
+        reg = _obs.REGISTRY
+        t0 = _obs.now_ms() if reg is not None else 0.0
         ordinals = sorted(self._mapper.phi(t) for t in tuples)
         rep = self._strategy(ordinals)
 
@@ -227,7 +230,13 @@ class BlockCodec:
             raise BlockOverflowError(
                 f"{u} tuples encode to more than {capacity} bytes"
             )
-        return writer.getvalue()
+        payload = writer.getvalue()
+        if reg is not None:
+            reg.inc("codec.blocks_encoded")
+            reg.inc("codec.tuples_encoded", u)
+            reg.inc("codec.bytes_encoded", len(payload))
+            reg.observe("codec.encode_ms", _obs.now_ms() - t0)
+        return payload
 
     # ------------------------------------------------------------------
     # Decoding
@@ -240,6 +249,8 @@ class BlockCodec:
         original tuples are recovered exactly.  Trailing slack bytes beyond
         the encoded payload are ignored, matching on-disk blocks.
         """
+        reg = _obs.REGISTRY
+        t0 = _obs.now_ms() if reg is not None else 0.0
         reader = StreamReader(data)
         u = reader.read_uint(2)
         if u == 0:
@@ -262,7 +273,12 @@ class BlockCodec:
             )
 
         ordinals = self._reconstruct_ordinals(u, rep, rep_ordinal, diffs)
-        return [self._mapper.phi_inverse(o) for o in ordinals]
+        tuples = [self._mapper.phi_inverse(o) for o in ordinals]
+        if reg is not None:
+            reg.inc("codec.blocks_decoded")
+            reg.inc("codec.tuples_decoded", u)
+            reg.observe("codec.decode_ms", _obs.now_ms() - t0)
+        return tuples
 
     def decode_ordinals(self, data: bytes) -> List[int]:
         """Like :meth:`decode_block` but stop at ordinals (no tuple expansion).
@@ -270,6 +286,8 @@ class BlockCodec:
         Index probes only need phi values, so skipping the final
         ``phi_inverse`` saves most of the decode cost for those callers.
         """
+        reg = _obs.REGISTRY
+        t0 = _obs.now_ms() if reg is not None else 0.0
         reader = StreamReader(data)
         u = reader.read_uint(2)
         if u == 0:
@@ -289,7 +307,11 @@ class BlockCodec:
             diffs.append(
                 self._mapper.phi_unchecked(rle_decode(self._layout, count, tail))
             )
-        return self._reconstruct_ordinals(u, rep, rep_ordinal, diffs)
+        ordinals = self._reconstruct_ordinals(u, rep, rep_ordinal, diffs)
+        if reg is not None:
+            reg.inc("codec.ordinal_decodes")
+            reg.observe("codec.decode_ms", _obs.now_ms() - t0)
+        return ordinals
 
     def probe_block(self, data: bytes, target: int) -> bool:
         """Test whether a tuple with phi ordinal ``target`` is in the block.

@@ -26,6 +26,13 @@ space) are encoded with the vectorised
 :class:`~repro.core.fastpack.FastBlockEncoder` inside each worker; all
 other configurations use the exact scalar path.  Both agree byte for
 byte with :meth:`~repro.core.codec.BlockCodec.encode_block`.
+
+Observability: batch calls are bracketed by ``parallel.*`` spans and
+counters in the parent process.  Per-block ``codec.*`` histograms are
+recorded only on the serial/inline paths — worker processes start with
+the :mod:`repro.obs` registry disabled and their counters are
+deliberately *not* merged back (docs/OBSERVABILITY.md); the batch span
+still carries the wall-clock total either way.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from typing import List, Optional, Sequence, Tuple, Type
 
 from repro.core.codec import BlockCodec
 from repro.errors import BlockOverflowError, CodecError
+from repro.obs import runtime as _obs
 
 __all__ = [
     "SERIAL_THRESHOLD",
@@ -237,6 +245,20 @@ class ParallelBlockCodec:
         for run in runs:
             if not run:
                 raise CodecError("cannot encode an empty run")
+        with _obs.span(
+            "parallel.encode_blocks", runs=len(runs), workers=self._workers
+        ):
+            out = self._encode_batch(runs, capacity)
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("parallel.encode_batches")
+            reg.inc("parallel.runs_encoded", len(runs))
+        return out
+
+    def _encode_batch(
+        self, runs: Sequence[Sequence[int]], capacity: Optional[int]
+    ) -> List[bytes]:
+        """Encode one validated batch, serial or fanned out."""
         if len(runs) < SERIAL_THRESHOLD:
             return _encode_runs(self._codec, runs, capacity, self._fast)
         pool = self._pool()
@@ -264,6 +286,22 @@ class ParallelBlockCodec:
         self, payloads: Sequence[bytes]
     ) -> List[List[Tuple[int, ...]]]:
         """Decode block payloads back to tuples, index-aligned with input."""
+        with _obs.span(
+            "parallel.decode_blocks",
+            payloads=len(payloads),
+            workers=self._workers,
+        ):
+            out = self._decode_batch(payloads)
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("parallel.decode_batches")
+            reg.inc("parallel.payloads_decoded", len(payloads))
+        return out
+
+    def _decode_batch(
+        self, payloads: Sequence[bytes]
+    ) -> List[List[Tuple[int, ...]]]:
+        """Decode one batch to tuples, serial or fanned out."""
         if len(payloads) < SERIAL_THRESHOLD:
             return _decode_payloads(self._codec, payloads)
         pool = self._pool()
@@ -287,6 +325,17 @@ class ParallelBlockCodec:
         self, payloads: Sequence[bytes]
     ) -> List[List[int]]:
         """Decode block payloads to phi ordinals only (no tuple expansion)."""
+        with _obs.span(
+            "parallel.decode_ordinal_blocks",
+            payloads=len(payloads),
+            workers=self._workers,
+        ):
+            return self._decode_ordinal_batch(payloads)
+
+    def _decode_ordinal_batch(
+        self, payloads: Sequence[bytes]
+    ) -> List[List[int]]:
+        """Decode one batch to ordinals, serial or fanned out."""
         if len(payloads) < SERIAL_THRESHOLD:
             return _decode_payload_ordinals(self._codec, payloads)
         pool = self._pool()

@@ -10,8 +10,9 @@ quantity Figure 5.8 tabulates).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.profile import QueryProfile
 from repro.relational.algebra import RangePredicate
 
 __all__ = ["RangeQuery", "QueryResult"]
@@ -59,6 +60,10 @@ class QueryResult:
     #: answer may be incomplete — callers must check :attr:`degraded`
     #: before trusting cardinalities.
     skipped_blocks: List[int] = field(default_factory=list)
+    #: The EXPLAIN-ANALYZE-style access breakdown (docs/OBSERVABILITY.md).
+    #: Built from always-on stats deltas, so it is present whether or not
+    #: the global metrics registry is enabled.
+    profile: Optional[QueryProfile] = None
 
     @property
     def degraded(self) -> bool:

@@ -22,6 +22,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Uni
 from repro.core.codec import BlockCodec
 from repro.errors import CorruptionError, QuarantinedBlockError, QueryError
 from repro.db.query import QueryResult, RangeQuery
+from repro.obs import runtime as _obs
+from repro.obs.profile import QueryProfile, QueryProfiler
 from repro.index.hashindex import ExtendibleHashIndex
 from repro.index.primary import PrimaryIndex, TupleOrdinalIndex
 from repro.index.secondary import SecondaryIndex
@@ -467,21 +469,47 @@ class Table:
     def _filter_blocks(self, block_ids, bound, *, access_path) -> QueryResult:
         disk = self._disk()
         start_ms = disk.stats.elapsed_ms
+        profiler = QueryProfiler(
+            disk.stats,
+            self._buffer.stats if self._buffer is not None else None,
+        )
         out: List[Tuple[int, ...]] = []
         examined = 0
         skipped: List[int] = []
-        for block_id in block_ids:
-            try:
-                tuples = self._read_block_id(block_id)
-            except QuarantinedBlockError:
-                if not self._skip_degraded():
-                    raise
-                skipped.append(block_id)
-                continue
-            for t in tuples:
-                examined += 1
-                if all(lo <= t[pos] <= hi for pos, lo, hi in bound):
-                    out.append(t)
+        fetch_ms = 0.0
+        filter_ms = 0.0
+        with _obs.span(
+            "query.select",
+            table=self._name,
+            access_path=access_path,
+            candidates=len(block_ids),
+        ):
+            for block_id in block_ids:
+                t0 = _obs.now_ms()
+                try:
+                    tuples = self._read_block_id(block_id)
+                except QuarantinedBlockError:
+                    fetch_ms += _obs.now_ms() - t0
+                    if not self._skip_degraded():
+                        raise
+                    skipped.append(block_id)
+                    continue
+                t1 = _obs.now_ms()
+                fetch_ms += t1 - t0
+                for t in tuples:
+                    examined += 1
+                    if all(lo <= t[pos] <= hi for pos, lo, hi in bound):
+                        out.append(t)
+                filter_ms += _obs.now_ms() - t1
+        profile = profiler.finish(
+            access_path=access_path,
+            candidate_blocks=len(block_ids),
+            tuples_examined=examined,
+            matched=len(out),
+            skipped_blocks=len(skipped),
+            stages={"fetch_decode": fetch_ms, "filter": filter_ms},
+        )
+        self._publish_query_metrics(profile)
         return QueryResult(
             tuples=out,
             blocks_read=len(block_ids) - len(skipped),
@@ -490,6 +518,7 @@ class Table:
             io_ms=disk.stats.elapsed_ms - start_ms,
             candidate_blocks=list(block_ids),
             skipped_blocks=skipped,
+            profile=profile,
         )
 
     def _scan_all(self, bound=()) -> QueryResult:
@@ -504,22 +533,60 @@ class Table:
             return result
         disk = self._disk()
         start_ms = disk.stats.elapsed_ms
+        profiler = QueryProfiler(disk.stats)
         out: List[Tuple[int, ...]] = []
         examined = 0
         blocks = 0
-        for _, tuples in self._storage.iter_blocks():
-            blocks += 1
-            for t in tuples:
-                examined += 1
-                if all(lo <= t[pos] <= hi for pos, lo, hi in bound):
-                    out.append(t)
+        fetch_ms = 0.0
+        filter_ms = 0.0
+        with _obs.span("query.select", table=self._name, access_path="scan"):
+            block_iter = iter(self._storage.iter_blocks())
+            while True:
+                t0 = _obs.now_ms()
+                try:
+                    _, tuples = next(block_iter)
+                except StopIteration:
+                    fetch_ms += _obs.now_ms() - t0
+                    break
+                t1 = _obs.now_ms()
+                fetch_ms += t1 - t0
+                blocks += 1
+                for t in tuples:
+                    examined += 1
+                    if all(lo <= t[pos] <= hi for pos, lo, hi in bound):
+                        out.append(t)
+                filter_ms += _obs.now_ms() - t1
+        profile = profiler.finish(
+            access_path="scan",
+            candidate_blocks=blocks,
+            tuples_examined=examined,
+            matched=len(out),
+            stages={"fetch_decode": fetch_ms, "filter": filter_ms},
+        )
+        self._publish_query_metrics(profile)
         return QueryResult(
             tuples=out,
             blocks_read=blocks,
             tuples_examined=examined,
             access_path="scan",
             io_ms=disk.stats.elapsed_ms - start_ms,
+            profile=profile,
         )
+
+    def _publish_query_metrics(self, profile: QueryProfile) -> None:
+        """Mirror one query's profile into the registry when enabled."""
+        reg = _obs.REGISTRY
+        if reg is None:
+            return
+        reg.inc("query.count")
+        reg.inc("query.blocks_read", profile.blocks_read)
+        reg.inc("query.tuples_examined", profile.tuples_examined)
+        reg.inc("query.matched", profile.matched)
+        reg.observe("query.io_ms", profile.io_ms)
+        reg.observe(
+            "query.fetch_decode_ms", profile.stages.get("fetch_decode", 0.0)
+        )
+        reg.observe("query.filter_ms", profile.stages.get("filter", 0.0))
 
     def _disk(self) -> SimulatedDisk:
         return self._storage._disk  # shared within the package

@@ -19,6 +19,7 @@ __all__ = [
     "EncodingError",
     "IndexError_",
     "IntegrityError",
+    "ObservabilityError",
     "QuarantinedBlockError",
     "QueryError",
     "ReadFault",
@@ -188,3 +189,8 @@ class WorkloadError(ReproError):
 
 class AnalysisError(ReproError):
     """A static-analysis run could not start or complete (usage error)."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misused (bad metric name, type clash,
+    malformed histogram boundaries)."""

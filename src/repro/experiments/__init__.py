@@ -35,6 +35,7 @@ from repro.experiments.reporting import (
     format_fig57,
     format_fig58,
     format_fig59,
+    format_parallel_codec,
     format_table,
 )
 from repro.experiments.worked_example import (
@@ -70,6 +71,7 @@ __all__ = [
     "format_fig57",
     "format_fig58",
     "format_fig59",
+    "format_parallel_codec",
     "PAPER_DOMAIN_SIZES",
     "PAPER_BLOCK_TUPLES",
     "paper_ordinals",

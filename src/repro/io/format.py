@@ -44,6 +44,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 from repro.core.codec import BlockCodec
 from repro.errors import CorruptionError, QuarantinedBlockError, StorageError
 from repro.io.schema_json import schema_from_dict, schema_to_dict
+from repro.obs import runtime as _obs
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.storage.block import DEFAULT_BLOCK_SIZE
@@ -86,6 +87,29 @@ def write_avq_file(
     codec = codec or BlockCodec(relation.schema.domain_sizes)
     if codec.mapper.domain_sizes != relation.schema.domain_sizes:
         raise StorageError("codec domain sizes do not match the schema")
+    with _obs.span(
+        "io.write_avq", path=path, tuples=len(relation), workers=workers
+    ):
+        summary = _write_avq_file(
+            path, relation, codec, block_size=block_size, workers=workers
+        )
+    reg = _obs.REGISTRY
+    if reg is not None:
+        reg.inc("io.containers_written")
+        reg.inc("io.blocks_written", summary["blocks"])
+        reg.inc("io.payload_bytes_written", summary["payload_bytes"])
+    return summary
+
+
+def _write_avq_file(
+    path: str,
+    relation: Relation,
+    codec: BlockCodec,
+    *,
+    block_size: int,
+    workers: Optional[int],
+) -> Dict[str, int]:
+    """The :func:`write_avq_file` body, minus validation and telemetry."""
     ordinals = relation.phi_ordinals()
 
     payloads: List[bytes] = []
@@ -366,6 +390,10 @@ class AVQFileReader:
                 detected_by="quarantine",
             )
         payload = self.raw_payload(position)
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("io.payloads_read")
+            reg.inc("io.payload_bytes_read", len(payload))
         if entry.crc32 is not None and zlib.crc32(payload) != entry.crc32:
             raise CorruptionError(
                 f"block {position} failed its checksum (corrupt payload)",

@@ -1,0 +1,68 @@
+"""repro.obs — the unified observability layer (docs/OBSERVABILITY.md).
+
+One pipeline for every number the system can report about itself:
+
+* :mod:`repro.obs.metrics` — the process-wide
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  fixed-bucket histograms;
+* :mod:`repro.obs.tracing` — span-based :class:`~repro.obs.tracing.Tracer`
+  with parent nesting, per-span attributes, and ring-buffer retention;
+* :mod:`repro.obs.runtime` — the global on/off switch (off by default;
+  instrumented hot paths cost one ``is None`` check when off);
+* :mod:`repro.obs.export` — JSON-lines, Prometheus text, and the human
+  ``repro stats`` table;
+* :mod:`repro.obs.profile` — per-query
+  :class:`~repro.obs.profile.QueryProfile` (the Figure 5.8 ``N`` and the
+  Figure 5.9 stage decomposition for one live query);
+* :mod:`repro.obs.snapshot` — the ``as_dict()`` protocol shared by the
+  legacy per-subsystem stats dataclasses.
+
+Quick start::
+
+    from repro.obs import runtime, export
+
+    registry, tracer = runtime.enable()
+    ... run queries / scrubs / loads ...
+    print(export.stats_table(registry))
+    runtime.disable()
+"""
+
+from repro.obs.export import (
+    jsonl_lines,
+    prometheus_text,
+    stats_table,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import QueryProfile, QueryProfiler
+from repro.obs.snapshot import StatsSnapshot, publish, snapshot_dataclass
+from repro.obs.tracing import DEFAULT_SPAN_CAPACITY, Span, Tracer
+from repro.obs import export, runtime
+
+__all__ = [
+    "DEFAULT_MS_BUCKETS",
+    "DEFAULT_SPAN_CAPACITY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryProfile",
+    "QueryProfiler",
+    "Span",
+    "StatsSnapshot",
+    "Tracer",
+    "export",
+    "jsonl_lines",
+    "prometheus_text",
+    "publish",
+    "runtime",
+    "snapshot_dataclass",
+    "stats_table",
+    "write_jsonl",
+]

@@ -1,0 +1,189 @@
+"""Exporters: JSON-lines events, Prometheus text, and a human table.
+
+Three consumers, three formats, one registry:
+
+* :func:`jsonl_lines` / :func:`write_jsonl` — an event log for machines:
+  one JSON object per metric and per retained span.  The CLI's global
+  ``--metrics <path>`` flag dumps this after any command, and CI uploads
+  it next to the benchmark JSON.
+* :func:`prometheus_text` — the Prometheus exposition format (metric
+  names mangled ``disk.blocks_read`` -> ``repro_disk_blocks_read``,
+  histograms as cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+  ``_count``).
+* :func:`stats_table` — the ``repro stats`` operator view: aligned
+  name/value rows, histograms summarised as count/mean/total.
+
+All three iterate :meth:`MetricsRegistry.metrics`, which is name-sorted,
+so output is deterministic for golden tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "jsonl_lines",
+    "prometheus_text",
+    "stats_table",
+    "write_jsonl",
+]
+
+
+def _prom_name(name: str) -> str:
+    """Mangle a dotted metric name into a Prometheus series name."""
+    return "repro_" + name.replace(".", "_")
+
+
+def _prom_value(value: Union[int, float]) -> str:
+    """Render a sample value (Prometheus uses ``+Inf``, not ``inf``)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value):
+            return str(int(value))
+    return str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        name = _prom_name(metric.name)
+        if isinstance(metric, Counter):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_prom_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} histogram")
+            for le, count in metric.cumulative_counts():
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_value(le)}"}} {count}'
+                )
+            lines.append(f"{name}_sum {metric.sum}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def jsonl_lines(
+    registry: Optional[MetricsRegistry],
+    tracer: Optional[Tracer] = None,
+) -> Iterator[str]:
+    """One compact JSON object per metric, then per retained span.
+
+    Metric events carry ``{"event": "metric", "type", "name", ...}``;
+    span events carry ``{"event": "span", ...}`` with ``parent_id`` for
+    tree reconstruction.  Keys are sorted for determinism.
+    """
+    def dump(obj: object) -> str:
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+    if registry is not None:
+        for metric in registry.metrics():
+            if isinstance(metric, Counter):
+                yield dump(
+                    {
+                        "event": "metric",
+                        "type": "counter",
+                        "name": metric.name,
+                        "value": metric.value,
+                    }
+                )
+            elif isinstance(metric, Gauge):
+                yield dump(
+                    {
+                        "event": "metric",
+                        "type": "gauge",
+                        "name": metric.name,
+                        "value": metric.value,
+                    }
+                )
+            elif isinstance(metric, Histogram):
+                yield dump(
+                    {
+                        "event": "metric",
+                        "type": "histogram",
+                        "name": metric.name,
+                        "sum": metric.sum,
+                        "count": metric.count,
+                        "buckets": [
+                            [
+                                "inf" if math.isinf(le) else le,
+                                n,
+                            ]
+                            for le, n in metric.cumulative_counts()
+                        ],
+                    }
+                )
+    if tracer is not None:
+        for span in tracer.finished_spans():
+            row = span.as_dict()
+            row["event"] = "span"
+            yield dump(row)
+
+
+def write_jsonl(
+    path_or_file: Union[str, IO[str]],
+    registry: Optional[MetricsRegistry],
+    tracer: Optional[Tracer] = None,
+) -> int:
+    """Write the JSONL export to a path or open text file; returns rows."""
+    lines = list(jsonl_lines(registry, tracer))
+    payload = "".join(line + "\n" for line in lines)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    else:
+        path_or_file.write(payload)
+    return len(lines)
+
+
+def stats_table(
+    registry: MetricsRegistry, *, title: str = "observability"
+) -> str:
+    """The registry as an aligned, human-readable table.
+
+    Counters and gauges print one value; histograms print observation
+    count, mean, and total.  An empty registry yields a one-line note
+    rather than an empty table.
+    """
+    rows: List[List[str]] = []
+    for metric in registry.metrics():
+        if isinstance(metric, Histogram):
+            rows.append(
+                [
+                    metric.name,
+                    f"n={metric.count}",
+                    f"mean={metric.mean:.3f} ms",
+                    f"total={metric.sum:.3f} ms",
+                ]
+            )
+        else:
+            kind = "gauge" if isinstance(metric, Gauge) else "counter"
+            value = metric.value
+            shown = (
+                f"{value:.3f}" if isinstance(value, float) else str(value)
+            )
+            rows.append([metric.name, shown, kind, ""])
+    if not rows:
+        return f"-- {title}: no metrics recorded\n"
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(rows[0]))
+    ]
+    lines = [f"-- {title} ({len(rows)} metrics)"]
+    for row in rows:
+        cells = [cell.ljust(width) for cell, width in zip(row, widths)]
+        lines.append("   " + "  ".join(cells).rstrip())
+    return "\n".join(lines) + "\n"

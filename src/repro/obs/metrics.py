@@ -1,0 +1,311 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The paper's whole evaluation is counting: Figure 5.8 counts blocks
+accessed per range query, Figure 5.9 decomposes response time into
+per-block code/decode and I/O stages.  Every subsystem used to keep its
+own ad-hoc dataclass of counters; the registry gives them one shared
+vocabulary so exporters, the CLI, and the experiment drivers read a
+single pipeline (docs/OBSERVABILITY.md lists every metric name).
+
+Design constraints, in order:
+
+* **Cheap when off.**  Instrumented hot paths guard on
+  ``runtime.REGISTRY is None`` and never reach this module when
+  observability is disabled (the default).
+* **Cheap when on.**  ``inc``/``observe`` are a dict lookup plus an
+  integer/float update; histograms use pre-computed fixed bucket
+  boundaries and a linear scan over a handful of buckets.  No wall-clock
+  calls happen here — callers time with ``runtime.now_ms()`` (the one
+  sanctioned ``perf_counter`` wrapper, rule R008) and hand in the
+  milliseconds.
+* **Deterministic snapshots.**  :meth:`MetricsRegistry.snapshot` orders
+  metrics by name so exports and golden tests are stable.
+
+Metric names are dotted lowercase (``disk.blocks_read``); the Prometheus
+exporter mangles dots to underscores and prefixes ``repro_``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "DEFAULT_MS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Metric names: dotted lowercase words, digits and underscores.
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+#: Default histogram boundaries for millisecond timings: roughly
+#: logarithmic from 10 µs to 10 s, chosen so the Figure 5.9 per-block
+#: stages (sub-millisecond code/decode, ~30 ms simulated I/O) land in
+#: distinct buckets.  Observations above the last boundary fall into the
+#: implicit +Inf bucket.
+DEFAULT_MS_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+    500.0, 1000.0, 5000.0, 10000.0,
+)
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count (blocks read, cache hits...)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        """Add ``n`` (must be >= 0: counters only go up)."""
+        if n < 0:
+            raise ObservabilityError(
+                f"counter {self.name}: cannot add negative {n}"
+            )
+        self.value += n
+
+    def reset(self) -> None:
+        """Zero the count (registration survives)."""
+        self.value = 0
+
+
+class Gauge:
+    """A value that can go up and down (resident frames, cursor position)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def inc(self, n: Number = 1) -> None:
+        """Add ``n`` (may be negative)."""
+        self.value += n
+
+    def dec(self, n: Number = 1) -> None:
+        """Subtract ``n``."""
+        self.value -= n
+
+    def reset(self) -> None:
+        """Zero the value (registration survives)."""
+        self.value = 0
+
+
+class Histogram:
+    """A fixed-boundary histogram of observations (per-stage timings).
+
+    ``boundaries`` are ascending upper bounds; an observation lands in
+    the first bucket whose boundary is >= the value, or in the implicit
+    +Inf bucket past the last boundary.  ``counts`` therefore has
+    ``len(boundaries) + 1`` entries.  ``sum``/``count`` make means and
+    Prometheus ``_sum``/``_count`` series exact regardless of bucketing.
+    """
+
+    __slots__ = ("name", "help", "boundaries", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_MS_BUCKETS,
+        help: str = "",
+    ) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ObservabilityError(
+                f"histogram {name}: needs at least one bucket boundary"
+            )
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {name}: boundaries must be strictly "
+                f"ascending, got {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.boundaries = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.boundaries):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.sum / self.count
+
+    def cumulative_counts(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.boundaries, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def reset(self) -> None:
+        """Zero every bucket (boundaries survive)."""
+        self.counts = [0] * (len(self.boundaries) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A process-wide, name-keyed store of metrics.
+
+    Instruments are created on first use (``counter``/``gauge``/
+    ``histogram`` get-or-create) so instrumentation sites need no setup
+    ceremony; re-registering a name as a different type is an
+    :class:`~repro.errors.ObservabilityError` — silently returning the
+    wrong instrument would corrupt both series.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def _get_or_create(self, name: str, factory, kind) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            if not _NAME_RE.match(name):
+                raise ObservabilityError(
+                    f"bad metric name {name!r}: use dotted lowercase "
+                    f"words like 'disk.blocks_read'"
+                )
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise ObservabilityError(
+                f"metric {name!r} is a {type(metric).__name__}, not a "
+                f"{kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(  # type: ignore[return-value]
+            name, lambda: Counter(name, help), Counter
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(  # type: ignore[return-value]
+            name, lambda: Gauge(name, help), Gauge
+        )
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_MS_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create the histogram ``name``.
+
+        The boundaries are fixed at creation; later calls with different
+        boundaries return the existing histogram unchanged (bucket
+        layouts must not shift mid-run).
+        """
+        return self._get_or_create(  # type: ignore[return-value]
+            name, lambda: Histogram(name, boundaries, help), Histogram
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-path conveniences (one call, no instrument juggling)
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, n: Number = 1) -> None:
+        """Increment the counter ``name`` (created on first use)."""
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one observation on the histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Set the gauge ``name``."""
+        self.gauge(name).set(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The instrument behind ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: Number = 0) -> Number:
+        """The scalar value of a counter/gauge (``default`` if absent)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            raise ObservabilityError(
+                f"metric {name!r} is a histogram; read .sum/.count/.mean"
+            )
+        return metric.value
+
+    def metrics(self) -> Iterator[Metric]:
+        """Every registered instrument, ordered by name."""
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    def snapshot(self) -> Dict[str, Union[Number, Dict[str, object]]]:
+        """All metrics as one plain, name-sorted dict.
+
+        Counters and gauges map to their scalar value; histograms map to
+        ``{"sum", "count", "mean", "buckets"}`` with ``buckets`` keyed by
+        upper bound (the ``inf`` key is the overflow bucket).
+        """
+        out: Dict[str, Union[Number, Dict[str, object]]] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                out[metric.name] = {
+                    "sum": metric.sum,
+                    "count": metric.count,
+                    "mean": metric.mean,
+                    "buckets": {
+                        str(le): n for le, n in metric.cumulative_counts()
+                    },
+                }
+            else:
+                out[metric.name] = metric.value
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument; registrations and boundaries survive."""
+        for metric in self._metrics.values():
+            metric.reset()

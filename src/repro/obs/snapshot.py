@@ -1,0 +1,80 @@
+"""The common snapshot protocol over the legacy stats dataclasses.
+
+Before the registry existed, five disconnected dataclasses carried the
+system's counters: :class:`~repro.storage.disk.DiskStats`,
+:class:`~repro.storage.buffer.BufferStats`,
+:class:`~repro.storage.wal.WALStats`,
+:class:`~repro.storage.faults.FaultStats`, and
+:class:`~repro.storage.packer.PackStats`.  They stay — their public
+fields are API — but they now share one protocol: ``as_dict()`` returns
+a flat, stably-keyed mapping (tested for key stability in
+``tests/obs/test_snapshot_protocol.py``) and ``reset()`` zeroes the
+mutable ones.  Their live values are *also* published to the global
+registry by the instrumented call sites, so exporters see one pipeline.
+
+:func:`publish` folds any snapshot into a registry as gauges under a
+prefix — the bridge the CLI uses to put a table's ``DiskStats`` next to
+the registry-native counters in one ``repro stats`` table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+from typing import Dict, Union
+
+try:  # Protocol moved into typing in 3.8; keep a guard for clarity
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - python < 3.8 unsupported anyway
+    raise
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["StatsSnapshot", "publish", "snapshot_dataclass"]
+
+Number = Union[int, float]
+
+
+@runtime_checkable
+class StatsSnapshot(Protocol):
+    """What every stats object promises: a flat numeric dict of itself."""
+
+    def as_dict(self) -> Dict[str, Number]:
+        """All counters (and derived rates) as one flat mapping."""
+        ...  # pragma: no cover - protocol body
+
+
+def snapshot_dataclass(stats: object) -> Dict[str, Number]:
+    """Default ``as_dict`` body: every dataclass field, in field order.
+
+    The five stats classes implement ``as_dict`` by delegating here and
+    appending their derived properties (hit rates, utilisation), so the
+    field list and the snapshot can never drift apart.
+    """
+    if not is_dataclass(stats) or isinstance(stats, type):
+        raise ObservabilityError(
+            f"snapshot_dataclass needs a dataclass instance, got "
+            f"{type(stats).__name__}"
+        )
+    out: Dict[str, Number] = {}
+    for f in fields(stats):
+        value = getattr(stats, f.name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ObservabilityError(
+                f"{type(stats).__name__}.{f.name} is not numeric; "
+                f"snapshots are flat numeric mappings"
+            )
+        out[f.name] = value
+    return out
+
+
+def publish(
+    registry: MetricsRegistry, prefix: str, stats: StatsSnapshot
+) -> None:
+    """Fold one snapshot into ``registry`` as gauges under ``prefix``.
+
+    Gauges, not counters: a snapshot is a point-in-time reading that may
+    be re-published (and, after a ``reset()``, go down).
+    """
+    for key, value in stats.as_dict().items():
+        registry.set_gauge(f"{prefix}.{key}", value)

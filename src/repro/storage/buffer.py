@@ -24,9 +24,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import StorageError
+from repro.obs import runtime as _obs
+from repro.obs.snapshot import snapshot_dataclass
 from repro.storage.disk import SimulatedDisk
 
 if TYPE_CHECKING:  # circular at type level only
@@ -87,6 +89,18 @@ class BufferStats:
             return 0.0
         return self.decoded_hits / self.decoded_accesses
 
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """All counters plus derived rates, under stable keys.
+
+        The derived ``hit_rate``/``decoded_hit_rate`` are included so a
+        snapshot taken right after :meth:`reset` reads 0.0 — never a
+        division error — and exporters need no recomputation.
+        """
+        out = snapshot_dataclass(self)
+        out["hit_rate"] = self.hit_rate
+        out["decoded_hit_rate"] = self.decoded_hit_rate
+        return out
+
     def reset(self) -> None:
         """Zero the hit/miss window; eviction counts survive.
 
@@ -135,19 +149,26 @@ class BufferPool:
         is never admitted to a frame.
         """
         self.check_quarantine(block_id)
+        reg = _obs.REGISTRY
         cached = self._frames.get(block_id)
         if cached is not None:
             self._frames.move_to_end(block_id)
             self.stats.hits += 1
+            if reg is not None:
+                reg.inc("buffer.hits")
             return cached
         payload = self._disk.read_block(block_id)
         if self._verifier is not None:
             self._verifier(block_id, payload)
         self.stats.misses += 1
+        if reg is not None:
+            reg.inc("buffer.misses")
         self._frames[block_id] = payload
         if len(self._frames) > self._capacity:
             self._frames.popitem(last=False)
             self.stats.evictions += 1
+            if reg is not None:
+                reg.inc("buffer.evictions")
         return payload
 
     def attach_verifier(self, verifier: Verifier) -> None:
@@ -258,17 +279,24 @@ class DecodedBlockCache:
     def get(self, block_id: int) -> List[Tuple[int, ...]]:
         """Return a block's decoded tuples, decoding only on a miss."""
         self._pool.check_quarantine(block_id)
+        reg = _obs.REGISTRY
         cached = self._frames.get(block_id)
         if cached is not None:
             self._frames.move_to_end(block_id)
             self.stats.decoded_hits += 1
+            if reg is not None:
+                reg.inc("cache.decoded_hits")
             return cached
         tuples = self._decoder(self._pool.get(block_id))
         self.stats.decoded_misses += 1
+        if reg is not None:
+            reg.inc("cache.decoded_misses")
         self._frames[block_id] = tuples
         if len(self._frames) > self._capacity:
             self._frames.popitem(last=False)
             self.stats.decoded_evictions += 1
+            if reg is not None:
+                reg.inc("cache.decoded_evictions")
         return tuples
 
     def peek(self, block_id: int) -> Optional[List[Tuple[int, ...]]]:
@@ -283,6 +311,9 @@ class DecodedBlockCache:
         if cached is not None:
             self._frames.move_to_end(block_id)
             self.stats.decoded_hits += 1
+            reg = _obs.REGISTRY
+            if reg is not None:
+                reg.inc("cache.decoded_hits")
         return cached
 
     def drop(self, block_id: int) -> None:

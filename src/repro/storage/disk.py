@@ -19,9 +19,11 @@ so using it preserves the experiment's structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.errors import ReadFault, StorageError
+from repro.obs import runtime as _obs
+from repro.obs.snapshot import snapshot_dataclass
 from repro.storage.block import DEFAULT_BLOCK_SIZE
 
 __all__ = ["DiskModel", "SimulatedDisk", "DiskStats"]
@@ -68,12 +70,24 @@ class DiskModel:
 
 @dataclass
 class DiskStats:
-    """Access counters accumulated by :class:`SimulatedDisk`."""
+    """Access counters accumulated by :class:`SimulatedDisk`.
+
+    Implements the :class:`~repro.obs.snapshot.StatsSnapshot` protocol:
+    ``as_dict()`` exposes every field under a stable key set, and the
+    instrumented read/write paths mirror each increment into the global
+    :mod:`repro.obs` registry (``disk.*`` metrics) when it is enabled.
+    """
 
     blocks_read: int = 0
     blocks_written: int = 0
     elapsed_ms: float = 0.0
     read_retries: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """All counters as one flat mapping (key-stable; see tests)."""
+        return snapshot_dataclass(self)
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -81,6 +95,8 @@ class DiskStats:
         self.blocks_written = 0
         self.elapsed_ms = 0.0
         self.read_retries = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
 
 
 class SimulatedDisk:
@@ -147,8 +163,15 @@ class SimulatedDisk:
                 f"payload of {len(payload)} bytes exceeds block size "
                 f"{self._block_size}"
             )
+        io_ms = self._model.block_io_ms(self._block_size)
         self.stats.blocks_written += 1
-        self.stats.elapsed_ms += self._model.block_io_ms(self._block_size)
+        self.stats.bytes_written += len(payload)
+        self.stats.elapsed_ms += io_ms
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("disk.blocks_written")
+            reg.inc("disk.bytes_written", len(payload))
+            reg.observe("disk.write_io_ms", io_ms)
         self._store_block(block_id, payload)
 
     def _store_block(self, block_id: int, payload: bytes) -> None:
@@ -191,6 +214,9 @@ class SimulatedDisk:
                     raise
                 self.stats.read_retries += 1
                 self.stats.elapsed_ms += self._retry_backoff_ms * attempt
+                reg = _obs.REGISTRY
+                if reg is not None:
+                    reg.inc("disk.read_retries")
 
     def _read_attempt(self, block_id: int) -> bytes:
         """One read attempt.
@@ -204,8 +230,15 @@ class SimulatedDisk:
             payload = self._blocks[block_id]
         except KeyError:
             raise StorageError(f"read of unwritten block {block_id}")
+        io_ms = self._model.block_io_ms(self._block_size)
         self.stats.blocks_read += 1
-        self.stats.elapsed_ms += self._model.block_io_ms(self._block_size)
+        self.stats.bytes_read += len(payload)
+        self.stats.elapsed_ms += io_ms
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("disk.blocks_read")
+            reg.inc("disk.bytes_read", len(payload))
+            reg.observe("disk.read_io_ms", io_ms)
         return payload
 
     def corrupt_stored(self, block_id: int, bit_index: int) -> None:

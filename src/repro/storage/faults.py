@@ -33,7 +33,7 @@ replays exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +43,8 @@ from repro.errors import (
     StorageError,
     TransientReadFault,
 )
+from repro.obs import runtime as _obs
+from repro.obs.snapshot import snapshot_dataclass
 from repro.storage.block import DEFAULT_BLOCK_SIZE
 from repro.storage.disk import DiskModel, SimulatedDisk
 
@@ -71,6 +73,10 @@ class FaultStats:
     crashes: int = 0
     transient_faults: int = 0
     bits_flipped: int = 0
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """All counters as one flat mapping (key-stable; see tests)."""
+        return snapshot_dataclass(self)
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -222,6 +228,9 @@ class FaultInjector:
             return self._tear(payload)
         if self._drop_rate and self._rng.random() < self._drop_rate:
             self.stats.dropped_writes += 1
+            reg = _obs.REGISTRY
+            if reg is not None:
+                reg.inc("faults.dropped_writes")
             return None
         return payload
 
@@ -239,9 +248,12 @@ class FaultInjector:
         """
         self._require_alive()
         self.stats.reads_seen += 1
+        reg = _obs.REGISTRY
         if self._transient_left > 0:
             self._transient_left -= 1
             self.stats.transient_faults += 1
+            if reg is not None:
+                reg.inc("faults.transient_faults")
             raise TransientReadFault(
                 f"injected transient read fault (read "
                 f"#{self.stats.reads_seen}, seed {self._seed})"
@@ -251,6 +263,8 @@ class FaultInjector:
             and self._rng.random() < self._read_error_rate
         ):
             self.stats.read_errors += 1
+            if reg is not None:
+                reg.inc("faults.read_errors")
             raise ReadFault(
                 f"injected read error (read #{self.stats.reads_seen}, "
                 f"seed {self._seed})"
@@ -261,6 +275,8 @@ class FaultInjector:
         ):
             self._transient_left = self._transient_burst - 1
             self.stats.transient_faults += 1
+            if reg is not None:
+                reg.inc("faults.transient_faults")
             raise TransientReadFault(
                 f"injected transient read fault (read "
                 f"#{self.stats.reads_seen}, seed {self._seed})"
@@ -281,6 +297,9 @@ class FaultInjector:
         if payload_bits < 1:
             raise StorageError("cannot rot an empty payload")
         self.stats.bits_flipped += 1
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("faults.bits_flipped")
         return int(self._rng.integers(0, payload_bits))
 
     def raise_crash(self) -> None:
@@ -297,8 +316,13 @@ class FaultInjector:
     def _crash_payload(self, payload: bytes) -> Optional[bytes]:
         self._crashed = True
         self.stats.crashes += 1
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("faults.crashes")
         if self._crash_mode == "drop":
             self.stats.dropped_writes += 1
+            if reg is not None:
+                reg.inc("faults.dropped_writes")
             return None
         if self._crash_mode == "torn":
             return self._tear(payload)
@@ -307,6 +331,9 @@ class FaultInjector:
     def _tear(self, payload: bytes) -> bytes:
         """A strict prefix of the payload (possibly empty)."""
         self.stats.torn_writes += 1
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("faults.torn_writes")
         if len(payload) <= 1:
             return b""
         return payload[: int(self._rng.integers(0, len(payload)))]

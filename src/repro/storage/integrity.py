@@ -46,6 +46,7 @@ from repro.errors import (
 )
 from repro.index.primary import TupleOrdinalIndex
 from repro.index.secondary import SecondaryIndex
+from repro.obs import runtime as _obs
 from repro.storage.avqfile import AVQFile
 from repro.storage.buffer import BufferPool
 from repro.storage.wal import WriteAheadLog, read_log, replay_records
@@ -224,19 +225,27 @@ class Scrubber:
         report = ScrubReport(
             start_position=start, blocks_checked=0, complete=False
         )
-        for position in range(start, end):
-            finding = self._check_block(position, backfill, report)
-            report.blocks_checked += 1
-            if finding is not None:
-                report.findings.append(finding)
-                if self._quarantine is not None:
-                    self._quarantine.quarantine(
-                        finding.block_id, finding.message
-                    )
+        with _obs.span("scrub.pass", start=start):
+            for position in range(start, end):
+                finding = self._check_block(position, backfill, report)
+                report.blocks_checked += 1
+                if finding is not None:
+                    report.findings.append(finding)
+                    if self._quarantine is not None:
+                        self._quarantine.quarantine(
+                            finding.block_id, finding.message
+                        )
         self._cursor = end
         if self._cursor >= storage.num_blocks:
             report.complete = True
             self._cursor = 0
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("scrub.blocks_checked", report.blocks_checked)
+            reg.inc("scrub.findings", len(report.findings))
+            reg.inc("scrub.backfilled", report.backfilled)
+            if report.complete:
+                reg.inc("scrub.passes_completed")
         return report
 
     def _check_block(
@@ -363,27 +372,35 @@ class RepairEngine:
         block_id = storage.block_id_at(position)
         expected_crc = storage.block_crc(position)
         attempts: List[str] = []
-        for source, ordinals in self._candidates(position, block_id):
-            verdict = self._prove(position, ordinals, expected_crc, source)
-            if verdict is None:
-                attempts.append(source)
-                continue
-            payload, crc_verified = verdict
-            storage.restore_block(position, ordinals, payload)
-            return RepairOutcome(
-                position=position,
+        reg = _obs.REGISTRY
+        with _obs.span("repair.block", position=position):
+            for source, ordinals in self._candidates(position, block_id):
+                verdict = self._prove(
+                    position, ordinals, expected_crc, source
+                )
+                if verdict is None:
+                    attempts.append(source)
+                    continue
+                payload, crc_verified = verdict
+                storage.restore_block(position, ordinals, payload)
+                if reg is not None:
+                    reg.inc("repair.blocks_repaired")
+                return RepairOutcome(
+                    position=position,
+                    block_id=block_id,
+                    source=source,
+                    tuples=len(ordinals),
+                    crc_verified=crc_verified,
+                )
+            if reg is not None:
+                reg.inc("repair.failures")
+            tried = ", ".join(attempts) if attempts else "none available"
+            raise RepairError(
+                f"no source could prove block {position}'s contents "
+                f"(tried: {tried})",
                 block_id=block_id,
-                source=source,
-                tuples=len(ordinals),
-                crc_verified=crc_verified,
+                position=position,
             )
-        tried = ", ".join(attempts) if attempts else "none available"
-        raise RepairError(
-            f"no source could prove block {position}'s contents "
-            f"(tried: {tried})",
-            block_id=block_id,
-            position=position,
-        )
 
     def _candidates(self, position: int, block_id: int):
         """Yield ``(source_name, sorted_ordinals)`` candidates in order."""

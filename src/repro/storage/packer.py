@@ -16,10 +16,12 @@ compression-efficiency experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Union
 
 from repro.core.codec import HEADER_BYTES, BlockCodec
 from repro.errors import BlockOverflowError, StorageError
+from repro.obs import runtime as _obs
+from repro.obs.snapshot import snapshot_dataclass
 from repro.relational.relation import Relation
 from repro.storage.block import DEFAULT_BLOCK_SIZE
 
@@ -64,6 +66,20 @@ class PackStats:
         if self.num_blocks == 0:
             return 0.0
         return self.num_tuples / self.num_blocks
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """Fields plus derived sizes/rates, under stable keys.
+
+        PackStats is frozen — a one-shot summary of a finished pack, not
+        a live counter set — so it implements the snapshot protocol's
+        ``as_dict`` without a ``reset``.
+        """
+        out = snapshot_dataclass(self)
+        out["total_bytes"] = self.total_bytes
+        out["slack_bytes"] = self.slack_bytes
+        out["utilisation"] = self.utilisation
+        out["tuples_per_block"] = self.tuples_per_block
+        return out
 
 
 @dataclass(frozen=True)
@@ -164,6 +180,12 @@ def pack_ordinals(
         payload_bytes=payload_bytes,
         block_size=block_size,
     )
+    reg = _obs.REGISTRY
+    if reg is not None:
+        reg.inc("pack.blocks", stats.num_blocks)
+        reg.inc("pack.tuples", stats.num_tuples)
+        reg.inc("pack.payload_bytes", stats.payload_bytes)
+        reg.set_gauge("pack.utilisation", stats.utilisation)
     return PackedPartition(blocks=blocks, stats=stats)
 
 

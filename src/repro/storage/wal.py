@@ -57,10 +57,12 @@ import json
 import zlib
 from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import IO, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import IO, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.codec import BlockCodec
 from repro.errors import StorageError, WALError
+from repro.obs import runtime as _obs
+from repro.obs.snapshot import snapshot_dataclass
 from repro.io.schema_json import schema_from_dict, schema_to_dict
 from repro.relational.schema import Schema
 from repro.storage.avqfile import AVQFile
@@ -158,6 +160,10 @@ class WALStats:
     commits: int = 0
     aborts: int = 0
     checkpoints: int = 0
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """All counters as one flat mapping (key-stable; see tests)."""
+        return snapshot_dataclass(self)
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -630,6 +636,9 @@ class WriteAheadLog:
         self._next_tid += 1
         self._append(WALRecord(rtype=REC_BEGIN, tid=tid))
         self.stats.begins += 1
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("wal.begins")
         return tid
 
     def log_insert(self, tid: int, ordinal: int) -> None:
@@ -644,12 +653,18 @@ class WriteAheadLog:
         """Log COMMIT and force; when this returns, the txn is durable."""
         self._append(WALRecord(rtype=REC_COMMIT, tid=tid))
         self.stats.commits += 1
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("wal.commits")
         self.force()
 
     def abort(self, tid: int) -> None:
         """Log ABORT (advisory: recovery discards uncommitted anyway)."""
         self._append(WALRecord(rtype=REC_ABORT, tid=tid))
         self.stats.aborts += 1
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("wal.aborts")
 
     def checkpoint(self, ordinals: Iterable[int]) -> None:
         """Log a full logical image and force it."""
@@ -657,6 +672,9 @@ class WriteAheadLog:
             WALRecord(rtype=REC_CHECKPOINT, ordinals=tuple(ordinals))
         )
         self.stats.checkpoints += 1
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("wal.checkpoints")
         self.force()
 
     def write_clean(self, directory: Iterable[DirectoryEntry]) -> None:
@@ -715,6 +733,10 @@ class WriteAheadLog:
         self._pending.clear()
         self._clean_on_disk = False
         self.stats.forces += 1
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("wal.forces")
+            reg.inc("wal.bytes_durable", len(payload))
         if crash and self._injector is not None:
             self._injector.raise_crash()
 
@@ -723,6 +745,9 @@ class WriteAheadLog:
             raise StorageError(f"{self._path}: log is closed")
         self._pending += _encode_record(record)
         self.stats.records_appended += 1
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("wal.records_appended")
 
 
 # ----------------------------------------------------------------------
@@ -753,21 +778,31 @@ def recover(
     owns_wal = isinstance(wal, str)
     log = WriteAheadLog.open(wal) if isinstance(wal, str) else wal
     try:
-        image = replay_records(log.records_at_open)
-        codec = log.header.make_codec()
-        schema = log.header.schema
-        if image.clean:
-            storage = AVQFile.attach(
-                schema, disk, image.directory, codec=codec
-            )
-            blocks_rebuilt = 0
-        else:
-            storage = AVQFile.from_ordinals(
-                schema, disk, image.ordinals, codec=codec
-            )
-            blocks_rebuilt = storage.num_blocks
-            log.checkpoint(image.ordinals)
-            log.write_clean(storage.directory_entries_checked())
+        with _obs.span("wal.recover") as sp:
+            image = replay_records(log.records_at_open)
+            codec = log.header.make_codec()
+            schema = log.header.schema
+            if image.clean:
+                storage = AVQFile.attach(
+                    schema, disk, image.directory, codec=codec
+                )
+                blocks_rebuilt = 0
+            else:
+                storage = AVQFile.from_ordinals(
+                    schema, disk, image.ordinals, codec=codec
+                )
+                blocks_rebuilt = storage.num_blocks
+                log.checkpoint(image.ordinals)
+                log.write_clean(storage.directory_entries_checked())
+            if sp is not None:
+                sp.set_attribute("clean", image.clean)
+                sp.set_attribute("replayed_ops", image.replayed_ops)
+                sp.set_attribute("blocks_rebuilt", blocks_rebuilt)
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("wal.recoveries")
+            reg.inc("wal.replayed_ops", image.replayed_ops)
+            reg.inc("wal.blocks_rebuilt", blocks_rebuilt)
         report = RecoveryReport(
             clean=image.clean,
             records_scanned=len(log.records_at_open),

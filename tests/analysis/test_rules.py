@@ -1,4 +1,4 @@
-"""True-positive / true-negative fixtures for every rule R001–R007.
+"""True-positive / true-negative fixtures for every rule R001–R008.
 
 Each rule gets at least one snippet it must flag and one it must not —
 the acceptance bar for the self-hosted lint pass.  Snippets are analyzed
@@ -338,13 +338,60 @@ def test_r007_exempts_repro_workload():
 
 
 # ----------------------------------------------------------------------
+# R008 — raw clocks confined to the timing layer
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("call", ["time", "perf_counter", "monotonic"])
+def test_r008_flags_raw_clock_calls(call):
+    src = f"import time\ndef f():\n    return time.{call}()\n"
+    found = findings_for(src, "R008")
+    assert len(found) == 1
+    assert "now_ms" in found[0].message
+
+
+def test_r008_flags_clock_imported_from_time():
+    src = "from time import perf_counter\n"
+    assert len(findings_for(src, "R008")) == 1
+
+
+def test_r008_allows_time_sleep():
+    src = "import time\ndef f():\n    time.sleep(0.1)\n"
+    assert findings_for(src, "R008") == []
+
+
+def test_r008_exempts_perf_and_obs_packages():
+    src = "import time\ndef f():\n    return time.perf_counter()\n"
+    assert findings_for(src, "R008", module_name="repro.perf.timer") == []
+    assert findings_for(src, "R008", module_name="repro.obs.runtime") == []
+
+
+def test_r008_clean_module_passes():
+    src = (
+        "from repro.obs import runtime\n"
+        "def f():\n"
+        "    return runtime.now_ms()\n"
+    )
+    assert findings_for(src, "R008") == []
+
+
+# ----------------------------------------------------------------------
 # Registry sanity
 # ----------------------------------------------------------------------
 
 
-def test_all_seven_rules_registered():
+def test_all_eight_rules_registered():
     ids = [rule.rule_id for rule in iter_rules()]
-    assert ids == ["R001", "R002", "R003", "R004", "R005", "R006", "R007"]
+    assert ids == [
+        "R001",
+        "R002",
+        "R003",
+        "R004",
+        "R005",
+        "R006",
+        "R007",
+        "R008",
+    ]
 
 
 def test_every_rule_has_summary_and_severity():

@@ -167,3 +167,78 @@ class TestDurableAndRecover:
         rc = main(["recover", avq, str(tmp_path / "out.avq")])
         assert rc == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestMetricsFlag:
+    """The global --metrics flag: observability on, JSONL out."""
+
+    def _events(self, path):
+        import json
+
+        with open(path, encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh]
+
+    def test_query_dumps_metrics_jsonl(self, csv_path, tmp_path, capsys):
+        avq = str(tmp_path / "data.avq")
+        out = str(tmp_path / "m.jsonl")
+        main(["compress", csv_path, avq, "--block-size", "512"])
+        rc = main(["--metrics", out, "query", avq,
+                   "--attr", "years", "--between", "10", "30"])
+        assert rc == 0
+        events = self._events(out)
+        names = {e["name"] for e in events if e["event"] == "metric"}
+        assert "cli.query.matches" in names
+        assert "codec.blocks_decoded" in names
+        spans = [e for e in events if e["event"] == "span"]
+        assert any(s["name"] == "cli.query" for s in spans)
+        assert "event(s)" in capsys.readouterr().err
+
+    def test_compress_dumps_metrics_jsonl(self, csv_path, tmp_path):
+        avq = str(tmp_path / "data.avq")
+        out = str(tmp_path / "m.jsonl")
+        rc = main(["--metrics", out, "compress", csv_path, avq])
+        assert rc == 0
+        names = {
+            e["name"] for e in self._events(out)
+            if e["event"] == "metric"
+        }
+        assert "io.containers_written" in names
+        assert "io.blocks_written" in names
+
+    def test_scrub_dumps_metrics_jsonl(self, csv_path, tmp_path):
+        avq = str(tmp_path / "data.avq")
+        out = str(tmp_path / "m.jsonl")
+        main(["compress", csv_path, avq])
+        rc = main(["--metrics", out, "scrub", avq])
+        assert rc == 0
+        assert len(self._events(out)) > 0
+
+    def test_stats_appends_observability_table(self, csv_path, tmp_path,
+                                               capsys):
+        avq = str(tmp_path / "data.avq")
+        out = str(tmp_path / "m.jsonl")
+        main(["compress", csv_path, avq])
+        capsys.readouterr()
+        assert main(["--metrics", out, "stats", avq]) == 0
+        printed = capsys.readouterr().out
+        assert "-- observability" in printed
+        assert "codec.decode_ms" in printed
+
+    def test_without_flag_no_observability_output(self, csv_path,
+                                                  tmp_path, capsys):
+        avq = str(tmp_path / "data.avq")
+        main(["compress", csv_path, avq])
+        capsys.readouterr()
+        assert main(["stats", avq]) == 0
+        assert "-- observability" not in capsys.readouterr().out
+
+    def test_global_state_restored_after_run(self, csv_path, tmp_path):
+        from repro.obs import runtime
+
+        avq = str(tmp_path / "data.avq")
+        out = str(tmp_path / "m.jsonl")
+        main(["compress", csv_path, avq])
+        main(["--metrics", out, "query", avq,
+              "--attr", "years", "--between", "10", "30"])
+        assert runtime.REGISTRY is None
+        assert runtime.TRACER is None

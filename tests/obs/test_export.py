@@ -1,0 +1,99 @@
+"""Exporter goldens: Prometheus text, JSONL events, the stats table.
+
+The registry iterates name-sorted and the tracer uses an injected
+clock, so these are exact-output tests, not substring sniffs.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    jsonl_lines,
+    prometheus_text,
+    stats_table,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.inc("disk.blocks_read", 3)
+    reg.set_gauge("pack.utilisation", 0.5)
+    h = reg.histogram("codec.decode_ms", boundaries=(1.0, 10.0))
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestPrometheus:
+    def test_golden(self, registry):
+        assert prometheus_text(registry) == (
+            "# TYPE repro_codec_decode_ms histogram\n"
+            'repro_codec_decode_ms_bucket{le="1"} 1\n'
+            'repro_codec_decode_ms_bucket{le="10"} 2\n'
+            'repro_codec_decode_ms_bucket{le="+Inf"} 2\n'
+            "repro_codec_decode_ms_sum 5.5\n"
+            "repro_codec_decode_ms_count 2\n"
+            "# TYPE repro_disk_blocks_read counter\n"
+            "repro_disk_blocks_read 3\n"
+            "# TYPE repro_pack_utilisation gauge\n"
+            "repro_pack_utilisation 0.5\n"
+        )
+
+    def test_empty_registry_is_empty_string(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestJsonl:
+    def test_metric_events_golden(self, registry):
+        lines = list(jsonl_lines(registry))
+        assert lines == [
+            '{"buckets":[[1.0,1],[10.0,2],["inf",2]],"count":2,'
+            '"event":"metric","name":"codec.decode_ms","sum":5.5,'
+            '"type":"histogram"}',
+            '{"event":"metric","name":"disk.blocks_read",'
+            '"type":"counter","value":3}',
+            '{"event":"metric","name":"pack.utilisation",'
+            '"type":"gauge","value":0.5}',
+        ]
+
+    def test_span_events_follow_metrics(self, registry):
+        clock = iter([0.0, 0.004]).__next__
+        tracer = Tracer(capacity=4, clock=clock)
+        with tracer.span("query", table="emp"):
+            pass
+        lines = [json.loads(s) for s in jsonl_lines(registry, tracer)]
+        assert [row["event"] for row in lines] == [
+            "metric", "metric", "metric", "span",
+        ]
+        span = lines[-1]
+        assert span["name"] == "query"
+        assert span["attributes"] == {"table": "emp"}
+        assert span["duration_ms"] == pytest.approx(4.0)
+
+    def test_write_jsonl_to_path(self, registry, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        rows = write_jsonl(path, registry)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        assert rows == len(lines) == 3
+        for line in lines:
+            json.loads(line)  # each row is valid standalone JSON
+
+
+class TestStatsTable:
+    def test_golden(self, registry):
+        assert stats_table(registry) == (
+            "-- observability (3 metrics)\n"
+            "   codec.decode_ms   n=2    mean=2.750 ms  total=5.500 ms\n"
+            "   disk.blocks_read  3      counter\n"
+            "   pack.utilisation  0.500  gauge\n"
+        )
+
+    def test_empty_registry_notes_absence(self):
+        out = stats_table(MetricsRegistry(), title="t")
+        assert out == "-- t: no metrics recorded\n"

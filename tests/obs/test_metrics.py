@@ -1,0 +1,138 @@
+"""MetricsRegistry: get-or-create semantics, bucketing, snapshots."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("disk.blocks_read")
+        reg.inc("disk.blocks_read", 4)
+        assert reg.value("disk.blocks_read") == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ObservabilityError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_type_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("a.b")
+        with pytest.raises(ObservabilityError):
+            reg.histogram("a.b")
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", "Upper.case", "1starts.digit", "trailing.", "a..b"):
+            with pytest.raises(ObservabilityError):
+                reg.counter(bad)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("pool.resident")
+        g.set(7)
+        g.inc(3)
+        g.dec(5)
+        assert g.value == 5
+
+    def test_registry_set_gauge(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("pack.utilisation", 0.93)
+        assert reg.value("pack.utilisation") == pytest.approx(0.93)
+
+
+class TestHistogramBucketing:
+    def test_observation_lands_in_first_covering_bucket(self):
+        h = Histogram("t", boundaries=(1.0, 10.0, 100.0))
+        h.observe(0.5)     # <= 1.0
+        h.observe(1.0)     # boundary is inclusive
+        h.observe(9.9)     # <= 10.0
+        h.observe(100.0)   # <= 100.0
+        h.observe(1000.0)  # overflow -> +Inf bucket
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(0.5 + 1.0 + 9.9 + 100.0 + 1000.0)
+
+    def test_cumulative_counts_end_with_inf(self):
+        h = Histogram("t", boundaries=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        cum = h.cumulative_counts()
+        assert cum == [(1.0, 1), (10.0, 2), (float("inf"), 3)]
+
+    def test_mean_zero_when_empty(self):
+        assert Histogram("t").mean == 0.0
+
+    def test_boundaries_must_ascend(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("t", boundaries=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("t", boundaries=())
+
+    def test_default_buckets_separate_fig59_stages(self):
+        """Sub-ms decode and the ~30 ms simulated I/O must not share a
+        bucket — that separation is the point of the defaults."""
+        h = Histogram("t", boundaries=DEFAULT_MS_BUCKETS)
+        h.observe(0.4)    # per-block decode
+        h.observe(30.0)   # t1 block I/O
+        decode_bucket = next(
+            i for i, b in enumerate(h.boundaries) if 0.4 <= b
+        )
+        io_bucket = next(i for i, b in enumerate(h.boundaries) if 30.0 <= b)
+        assert decode_bucket != io_bucket
+
+    def test_later_boundaries_do_not_rebucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t", boundaries=(1.0, 2.0))
+        assert reg.histogram("t", boundaries=(5.0,)) is h
+        assert h.boundaries == (1.0, 2.0)
+
+
+class TestRegistryReading:
+    def test_metrics_are_name_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("zeta")
+        reg.inc("alpha")
+        reg.set_gauge("mid", 1)
+        assert [m.name for m in reg.metrics()] == ["alpha", "mid", "zeta"]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.observe("h", 3.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["sum"] == pytest.approx(3.0)
+        assert "inf" in snap["h"]["buckets"]
+
+    def test_value_on_histogram_rejected(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        with pytest.raises(ObservabilityError):
+            reg.value("h")
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 9)
+        reg.observe("h", 4.0)
+        reg.reset()
+        assert reg.value("c") == 0
+        assert reg.histogram("h").count == 0
+        assert len(reg) == 2

@@ -1,0 +1,133 @@
+"""QueryProfile: Figure 5.8 parity against the always-on disk counters.
+
+The profile's ``blocks_read`` must equal the delta of
+``DiskStats.blocks_read`` across the query — the profile *is* the
+paper's ``N`` for one live query, derived from the same counters the
+experiments read, with or without the global registry enabled.
+"""
+
+import random
+
+import pytest
+
+from repro.db.query import RangeQuery
+from repro.db.table import Table
+from repro.obs import runtime
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled():
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(5)]
+    )
+
+
+def make_table(schema, n=1200, seed=11, **kwargs):
+    rng = random.Random(seed)
+    rel = Relation(
+        schema,
+        [tuple(rng.randrange(64) for _ in range(5)) for _ in range(n)],
+    )
+    disk = SimulatedDisk(block_size=512)
+    return Table.from_relation("t", rel, disk, **kwargs), disk
+
+
+class TestFig58Parity:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            RangeQuery.between("a0", 10, 30),   # primary index
+            RangeQuery.between("a3", 5, 20),    # full scan
+        ],
+        ids=["primary", "scan"],
+    )
+    def test_blocks_read_equals_disk_delta(self, schema, query):
+        table, disk = make_table(schema)
+        before_blocks = disk.stats.blocks_read
+        before_bytes = disk.stats.bytes_read
+        before_ms = disk.stats.elapsed_ms
+        result = table.select(query)
+        profile = result.profile
+        assert profile is not None
+        assert profile.blocks_read == disk.stats.blocks_read - before_blocks
+        assert profile.bytes_read == disk.stats.bytes_read - before_bytes
+        assert profile.io_ms == pytest.approx(
+            disk.stats.elapsed_ms - before_ms
+        )
+        # The profile agrees with the result's own accounting.
+        assert profile.blocks_read == result.blocks_read
+        assert profile.matched == len(result.tuples)
+        assert profile.tuples_examined == result.tuples_examined
+        assert profile.access_path == result.access_path
+
+    def test_profile_present_with_observability_disabled(self, schema):
+        assert not runtime.is_enabled()
+        table, _ = make_table(schema)
+        result = table.select(RangeQuery.between("a0", 0, 15))
+        assert result.profile is not None
+        assert result.profile.blocks_read > 0
+
+    def test_warm_cache_reports_zero_blocks(self, schema):
+        table, disk = make_table(schema, buffer_capacity=256)
+        query = RangeQuery.between("a0", 10, 30)
+        table.select(query)
+        before = disk.stats.blocks_read
+        result = table.select(query)
+        assert disk.stats.blocks_read == before  # pool absorbed it all
+        assert result.profile.blocks_read == 0
+        assert result.profile.cache_hits > 0
+
+    def test_stage_times_cover_fetch_and_filter(self, schema):
+        table, _ = make_table(schema)
+        result = table.select(RangeQuery.between("a0", 0, 40))
+        stages = result.profile.stages
+        assert set(stages) == {"fetch_decode", "filter"}
+        assert all(ms >= 0.0 for ms in stages.values())
+        assert result.profile.total_ms == pytest.approx(sum(stages.values()))
+
+    def test_explain_mentions_the_block_count(self, schema):
+        table, _ = make_table(schema)
+        result = table.select(RangeQuery.between("a0", 10, 30))
+        text = result.profile.explain()
+        assert f"N = {result.profile.blocks_read}" in text
+        assert "access path: primary" in text
+
+
+class TestRegistryDualWrite:
+    def test_query_metrics_mirror_profile_when_enabled(self, schema):
+        table, _ = make_table(schema)
+        with runtime.scoped() as (registry, tracer):
+            result = table.select(RangeQuery.between("a0", 10, 30))
+            profile = result.profile
+            assert registry.value("query.count") == 1
+            assert (
+                registry.value("query.blocks_read") == profile.blocks_read
+            )
+            assert (
+                registry.value("query.tuples_examined")
+                == profile.tuples_examined
+            )
+            assert registry.value("query.matched") == profile.matched
+            assert registry.histogram("query.io_ms").sum == pytest.approx(
+                profile.io_ms
+            )
+            names = [s.name for s in tracer.finished_spans()]
+            assert "query.select" in names
+
+    def test_no_query_metrics_when_disabled(self, schema):
+        table, _ = make_table(schema)
+        with runtime.scoped() as (registry, _):
+            pass  # registry exists but is no longer installed
+        table.select(RangeQuery.between("a0", 10, 30))
+        assert "query.count" not in registry

@@ -1,0 +1,84 @@
+"""The global observability switch: off by default, scoped, restorable."""
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+class TestSwitch:
+    def test_disabled_by_default(self):
+        assert runtime.REGISTRY is None
+        assert runtime.TRACER is None
+        assert not runtime.is_enabled()
+
+    def test_enable_creates_instruments(self):
+        registry, tracer = runtime.enable()
+        assert runtime.REGISTRY is registry
+        assert runtime.TRACER is tracer
+        assert runtime.is_enabled()
+
+    def test_enable_is_idempotent_on_existing_instruments(self):
+        registry, tracer = runtime.enable()
+        again_reg, again_tr = runtime.enable()
+        assert again_reg is registry
+        assert again_tr is tracer
+
+    def test_enable_accepts_explicit_instruments(self):
+        mine = MetricsRegistry()
+        registry, _ = runtime.enable(mine)
+        assert registry is mine
+
+    def test_disable_drops_instruments(self):
+        runtime.enable()
+        runtime.disable()
+        assert runtime.REGISTRY is None
+        assert runtime.get_registry() is None
+        assert runtime.get_tracer() is None
+
+
+class TestScoped:
+    def test_scoped_installs_fresh_and_restores(self):
+        outer_reg, _ = runtime.enable()
+        with runtime.scoped() as (registry, tracer):
+            assert runtime.REGISTRY is registry
+            assert registry is not outer_reg
+            assert isinstance(tracer, Tracer)
+        assert runtime.REGISTRY is outer_reg
+
+    def test_scoped_restores_disabled_state(self):
+        with runtime.scoped():
+            assert runtime.is_enabled()
+        assert not runtime.is_enabled()
+
+    def test_scoped_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with runtime.scoped():
+                raise RuntimeError("boom")
+        assert not runtime.is_enabled()
+
+
+class TestSpanHelper:
+    def test_null_span_when_disabled(self):
+        with runtime.span("anything", x=1) as span:
+            assert span is None
+
+    def test_real_span_when_enabled(self):
+        _, tracer = runtime.enable()
+        with runtime.span("query", table="emp") as span:
+            assert span is not None
+            assert span.name == "query"
+        assert [s.name for s in tracer.finished_spans()] == ["query"]
+
+    def test_now_ms_monotonic(self):
+        a = runtime.now_ms()
+        b = runtime.now_ms()
+        assert b >= a

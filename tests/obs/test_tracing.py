@@ -1,0 +1,140 @@
+"""Tracer: nesting, ring retention, deterministic clocks."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.tracing import Span, Tracer
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in (seconds)."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance_ms(self, ms):
+        self.t += ms / 1000.0
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(capacity=8, clock=clock)
+
+
+class TestNesting:
+    def test_parent_ids_and_depth(self, tracer):
+        with tracer.span("query") as outer:
+            assert tracer.current_span is outer
+            assert outer.parent_id is None
+            assert outer.depth == 0
+            with tracer.span("decode") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == 1
+        assert tracer.current_span is None
+        names = [s.name for s in tracer.finished_spans()]
+        assert names == ["decode", "query"]  # children close first
+
+    def test_durations_from_injected_clock(self, tracer, clock):
+        with tracer.span("outer"):
+            clock.advance_ms(5)
+            with tracer.span("inner"):
+                clock.advance_ms(2)
+        inner, outer = tracer.finished_spans()
+        assert inner.duration_ms == pytest.approx(2.0)
+        assert outer.duration_ms == pytest.approx(7.0)
+
+    def test_out_of_order_close_rejected(self, tracer):
+        outer_cm = tracer.span("outer")
+        outer_cm.__enter__()
+        inner_cm = tracer.span("inner")
+        inner_cm.__enter__()
+        with pytest.raises(ObservabilityError):
+            outer_cm.__exit__(None, None, None)
+
+    def test_exception_marks_span_failed(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished_spans()
+        assert span.attributes["failed"] is True
+
+    def test_empty_name_rejected(self, tracer):
+        with pytest.raises(ObservabilityError):
+            tracer.span("")
+
+
+class TestAttributes:
+    def test_attributes_at_creation_and_live(self, tracer):
+        with tracer.span("scrub", blocks=12) as span:
+            span.set_attribute("findings", 0)
+            tracer.annotate("complete", True)
+        (finished,) = tracer.finished_spans()
+        assert finished.attributes == {
+            "blocks": 12,
+            "findings": 0,
+            "complete": True,
+        }
+
+    def test_attributes_frozen_after_finish(self, tracer):
+        with tracer.span("s") as span:
+            pass
+        with pytest.raises(ObservabilityError):
+            span.set_attribute("late", 1)
+
+    def test_annotate_outside_any_span_is_noop(self, tracer):
+        tracer.annotate("ignored", 1)  # must not raise
+        assert tracer.finished_spans() == []
+
+
+class TestRingRetention:
+    def test_oldest_spans_evicted_at_capacity(self, clock):
+        tracer = Tracer(capacity=3, clock=clock)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [s.name for s in tracer.finished_spans()]
+        assert names == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+
+    def test_reset_clears_retention(self, tracer):
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.finished_spans() == []
+        assert tracer.dropped == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(capacity=0)
+
+
+class TestStageTotals:
+    def test_totals_sum_per_name(self, tracer, clock):
+        for ms in (3, 7):
+            with tracer.span("encode"):
+                clock.advance_ms(ms)
+        with tracer.span("decode"):
+            clock.advance_ms(5)
+        totals = tracer.stage_totals()
+        assert totals["encode"] == pytest.approx(10.0)
+        assert totals["decode"] == pytest.approx(5.0)
+
+
+class TestSpanAsDict:
+    def test_row_shape(self, tracer, clock):
+        with tracer.span("query", table="emp"):
+            clock.advance_ms(4)
+        row = tracer.finished_spans()[0].as_dict()
+        assert row["name"] == "query"
+        assert row["parent_id"] is None
+        assert row["depth"] == 0
+        assert row["duration_ms"] == pytest.approx(4.0)
+        assert row["attributes"] == {"table": "emp"}

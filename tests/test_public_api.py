@@ -78,7 +78,14 @@ EXPECTED_EXPORTS = {
         "measure_local_codec", "measure_parallel_codec",
         "ParallelCodecTimings", "paper_response_table",
         "measured_response_table", "format_fig57", "format_fig58",
-        "format_fig59", "paper_ordinals", "paper_relation", "paper_blocks",
+        "format_fig59", "format_parallel_codec", "paper_ordinals",
+        "paper_relation", "paper_blocks",
+    ],
+    "repro.obs": [
+        "MetricsRegistry", "Counter", "Gauge", "Histogram", "Span",
+        "Tracer", "QueryProfile", "QueryProfiler", "StatsSnapshot",
+        "snapshot_dataclass", "prometheus_text", "jsonl_lines",
+        "write_jsonl", "stats_table",
     ],
     "repro.io": [
         "write_avq_file", "read_avq_file", "AVQFileReader", "read_csv_rows",
