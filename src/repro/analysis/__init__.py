@@ -7,13 +7,26 @@ randomness — plus the plumbing to run it::
 
     python -m repro.analysis src/repro          # text report, exit 0/1/2
     python -m repro.analysis --format json ...  # stable JSON schema
+    python -m repro.analysis --project ...      # whole-program rules too
     python -m repro lint                        # same, via the main CLI
+
+Two rule families exist.  Per-module rules (R001–R008, plus the R015
+unused-suppression pass) see one file at a time; project rules
+(R009–R014) see a whole-program :class:`~repro.analysis.project.
+ProjectContext` — import graph, symbol table, call graph, and a
+per-function resource-dataflow layer — so they can prove global
+properties: resources closed on all paths, shared mutable state
+registered, exception contracts held at package boundaries, async-ready
+code free of blocking calls.  ``--baseline`` makes the strict rules
+diff-aware: CI fails only on *new* findings (see
+:mod:`repro.analysis.baseline`).
 
 The pass is *self-hosted*: ``tests/analysis/test_self_lint.py`` fails
 the tier-1 suite whenever ``src/repro`` violates any rule, so the
 invariants hold even where CI is unavailable.  Rules live in
-:mod:`repro.analysis.rules`; see ``docs/ANALYSIS.md`` for the rule
-catalogue and the ``# repro: noqa[R00x]`` suppression syntax.
+:mod:`repro.analysis.rules` and :mod:`repro.analysis.rules_project`;
+see ``docs/ANALYSIS.md`` for the rule catalogue and the
+``# repro: noqa[R00x]`` suppression syntax.
 """
 
 from __future__ import annotations
@@ -21,39 +34,73 @@ from __future__ import annotations
 from repro.analysis.base import (
     Finding,
     ModuleContext,
+    ProjectRule,
     Rule,
+    all_project_rule_ids,
     all_rule_ids,
     get_rule,
+    iter_project_rules,
     iter_rules,
     register,
+    register_project,
+)
+from repro.analysis.baseline import (
+    BASELINE_SCHEMA_VERSION,
+    apply_baseline,
+    fingerprint_findings,
+    load_baseline,
+    write_baseline,
 )
 from repro.analysis.report import (
     JSON_SCHEMA_VERSION,
     render_json,
     render_rules,
+    render_shared_state,
     render_text,
 )
-from repro.analysis.runner import ScanResult, analyze_source, scan_paths
+from repro.analysis.runner import (
+    ScanResult,
+    analyze_source,
+    parse_module,
+    scan_paths,
+    scan_project,
+)
+from repro.analysis.project import ProjectContext, build_project
 
-# Importing the module registers the built-in rule set.
+# Importing the rule modules registers both built-in rule sets.
 from repro.analysis import rules as _rules  # noqa: F401
+from repro.analysis import rules_project as _rules_project  # noqa: F401
 
 __all__ = [
+    "BASELINE_SCHEMA_VERSION",
     "JSON_SCHEMA_VERSION",
     "Finding",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "ScanResult",
+    "all_project_rule_ids",
     "all_rule_ids",
     "analyze_source",
+    "apply_baseline",
+    "build_project",
+    "fingerprint_findings",
     "get_rule",
+    "iter_project_rules",
     "iter_rules",
+    "load_baseline",
     "main",
+    "parse_module",
     "register",
+    "register_project",
     "render_json",
     "render_rules",
+    "render_shared_state",
     "render_text",
     "scan_paths",
+    "scan_project",
+    "write_baseline",
 ]
 
 from repro.analysis.cli import main

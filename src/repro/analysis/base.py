@@ -31,11 +31,16 @@ __all__ = [
     "SEVERITIES",
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
+    "all_project_rule_ids",
     "all_rule_ids",
     "get_rule",
+    "iter_project_rules",
     "iter_rules",
     "register",
+    "register_project",
+    "resolve_project_rule_ids",
     "resolve_rule_ids",
     "walk_without_functions",
 ]
@@ -55,10 +60,26 @@ class Finding:
     col: int
     message: str
     suppressed: bool = False
+    #: Set by a baseline-aware scan: the finding pre-dates the rule and
+    #: is reported without failing the build (see
+    #: :mod:`repro.analysis.baseline`).
+    baselined: bool = False
+    #: Stable line-independent identity used by the baseline file;
+    #: empty until :func:`repro.analysis.baseline.fingerprint_findings`
+    #: stamps it.
+    fingerprint: str = ""
 
     def suppress(self) -> "Finding":
         """A copy of this finding marked as suppressed by ``noqa``."""
         return replace(self, suppressed=True)
+
+    def baseline(self) -> "Finding":
+        """A copy of this finding marked as baselined."""
+        return replace(self, baselined=True)
+
+    def with_fingerprint(self, fingerprint: str) -> "Finding":
+        """A copy of this finding carrying its stable fingerprint."""
+        return replace(self, fingerprint=fingerprint)
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         """Stable ordering: by file, then location, then rule id."""
@@ -148,35 +169,98 @@ class Rule:
         )
 
 
-_REGISTRY: Dict[str, Rule] = {}
+class ProjectRule:
+    """Base class for one whole-program rule (R009+).
+
+    Project rules see the fully built
+    :class:`~repro.analysis.project.ProjectContext` instead of one
+    module at a time, so they can consult the import graph, the call
+    graph, and the dataflow layer.  Like per-module rules they must be
+    stateless across scans.
+    """
+
+    #: Stable identifier, e.g. ``"R009"``.
+    rule_id: str = ""
+    #: ``"error"`` or ``"warning"``.
+    severity: str = "error"
+    #: One-line human summary shown by ``--list-rules``.
+    summary: str = ""
+
+    def run(self, project: "object") -> Iterator[Finding]:
+        """Yield findings for the whole project.  Subclasses override."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        *,
+        col: int = 0,
+    ) -> Finding:
+        """Build a :class:`Finding` at an explicit location."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+        )
 
 
-def register(cls: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding a rule to the global registry."""
-    if not cls.rule_id:
+_REGISTRY: Dict[str, Rule] = {}  # repro: shared-state[per-module rule registry; filled once at import time by @register, read-only afterwards]
+
+_PROJECT_REGISTRY: Dict[str, ProjectRule] = {}  # repro: shared-state[project rule registry; filled once at import time by @register_project, read-only afterwards]
+
+
+def _check_rule_class(cls: type) -> None:
+    if not getattr(cls, "rule_id", ""):
         raise AnalysisError(f"rule class {cls.__name__} has no rule_id")
-    if cls.severity not in SEVERITIES:
+    if getattr(cls, "severity", None) not in SEVERITIES:
         raise AnalysisError(
             f"rule {cls.rule_id}: unknown severity {cls.severity!r}"
         )
-    if cls.rule_id in _REGISTRY:
+    if cls.rule_id in _REGISTRY or cls.rule_id in _PROJECT_REGISTRY:
         raise AnalysisError(f"duplicate rule id {cls.rule_id}")
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a per-module rule to the registry."""
+    _check_rule_class(cls)
     _REGISTRY[cls.rule_id] = cls()
     return cls
 
 
+def register_project(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a project rule to the registry."""
+    _check_rule_class(cls)
+    _PROJECT_REGISTRY[cls.rule_id] = cls()
+    return cls
+
+
 def iter_rules() -> List[Rule]:
-    """All registered rules, ordered by rule id."""
+    """All registered per-module rules, ordered by rule id."""
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
 
 
+def iter_project_rules() -> List[ProjectRule]:
+    """All registered project rules, ordered by rule id."""
+    return [_PROJECT_REGISTRY[rule_id] for rule_id in sorted(_PROJECT_REGISTRY)]
+
+
 def all_rule_ids() -> List[str]:
-    """Sorted ids of every registered rule."""
+    """Sorted ids of every registered per-module rule."""
     return sorted(_REGISTRY)
 
 
+def all_project_rule_ids() -> List[str]:
+    """Sorted ids of every registered project rule."""
+    return sorted(_PROJECT_REGISTRY)
+
+
 def get_rule(rule_id: str) -> Rule:
-    """Look up one rule by id."""
+    """Look up one per-module rule by id."""
     try:
         return _REGISTRY[rule_id]
     except KeyError as exc:
@@ -185,11 +269,15 @@ def get_rule(rule_id: str) -> Rule:
         ) from exc
 
 
+def _known_ids() -> List[str]:
+    return sorted(list(_REGISTRY) + list(_PROJECT_REGISTRY))
+
+
 def resolve_rule_ids(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
 ) -> List[Rule]:
-    """The rule set implied by ``--select``/``--ignore`` arguments.
+    """The per-module rule set implied by ``--select``/``--ignore``.
 
     ``select`` limits the scan to the named rules; ``ignore`` removes
     rules from whatever ``select`` produced.  Unknown ids raise
@@ -200,6 +288,34 @@ def resolve_rule_ids(
         get_rule(rule_id)  # raises on unknown ids
     dropped = frozenset(ignore or [])
     return [get_rule(rule_id) for rule_id in chosen if rule_id not in dropped]
+
+
+def resolve_project_rule_ids(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    """Both rule families for a ``--project`` scan.
+
+    Ids are validated against the union of the two registries, then
+    each family keeps its own members, so ``--select R002,R009`` runs
+    one per-module rule and one project rule in a single pass.
+    """
+    for rule_id in list(select or []) + list(ignore or []):
+        if rule_id not in _REGISTRY and rule_id not in _PROJECT_REGISTRY:
+            raise AnalysisError(
+                f"unknown rule {rule_id!r} (known: {', '.join(_known_ids())})"
+            )
+    chosen = list(select) if select else _known_ids()
+    dropped = frozenset(ignore or [])
+    module_rules = [
+        _REGISTRY[r] for r in chosen if r in _REGISTRY and r not in dropped
+    ]
+    project_rules = [
+        _PROJECT_REGISTRY[r]
+        for r in chosen
+        if r in _PROJECT_REGISTRY and r not in dropped
+    ]
+    return module_rules, project_rules
 
 
 def walk_without_functions(node: ast.AST) -> Iterable[ast.AST]:

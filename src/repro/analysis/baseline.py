@@ -1,0 +1,159 @@
+"""Finding fingerprints and the diff-aware CI baseline.
+
+Strict whole-program rules cannot land with a big-bang cleanup: the
+first scan of a mature tree reports pre-existing findings that are not
+regressions.  The baseline workflow makes the rules enforceable from
+day one:
+
+1. ``repro lint --project --write-baseline analysis-baseline.json``
+   records every current finding's *fingerprint*;
+2. the baseline file is committed;
+3. CI runs ``repro lint --project --baseline analysis-baseline.json``,
+   which marks known findings as *baselined* (reported, excluded from
+   the exit code) and fails only on **new** findings.
+
+Fingerprints are **line-independent**: unrelated edits that shift a
+finding up or down the file do not churn the baseline.  A fingerprint
+hashes the rule id, the normalised path (relative to the nearest
+``src`` directory, so scans from different working directories agree),
+the message, and an occurrence index that disambiguates identical
+findings in one file.  Fixing one of N identical findings therefore
+invalidates only the last occurrence — strictly better than including
+the line and invalidating all of them on any edit above.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path, PurePosixPath
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.base import Finding
+from repro.errors import AnalysisError
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "apply_baseline",
+    "fingerprint_findings",
+    "load_baseline",
+    "normalize_path",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def normalize_path(path: str) -> str:
+    """Invocation-independent form of a finding path.
+
+    Posix separators, anchored at the last ``src`` segment when one is
+    present (``/root/repo/src/repro/io/wal.py`` and ``src/repro/io/
+    wal.py`` agree); otherwise the path is used as given.
+    """
+    parts = PurePosixPath(Path(path).as_posix()).parts
+    if "src" in parts:
+        last = len(parts) - 1 - tuple(reversed(parts)).index("src")
+        parts = parts[last:]
+    return "/".join(parts)
+
+
+def fingerprint_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Copies of ``findings`` with stable fingerprints filled in.
+
+    Input order does not matter: occurrence indices are assigned in
+    ``sort_key`` order so the same finding set always produces the
+    same fingerprints.
+    """
+    counters: Counter = Counter()
+    stamped: Dict[int, Finding] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = (
+            f"{finding.rule_id}:{normalize_path(finding.path)}:"
+            f"{finding.message}"
+        )
+        occurrence = counters[key]
+        counters[key] += 1
+        digest = hashlib.sha256(
+            f"{key}:{occurrence}".encode("utf-8")
+        ).hexdigest()[:16]
+        stamped[id(finding)] = finding.with_fingerprint(digest)
+    return [stamped[id(f)] for f in findings]
+
+
+def apply_baseline(
+    findings: Sequence[Finding], known: frozenset
+) -> List[Finding]:
+    """Mark findings whose fingerprint appears in the baseline."""
+    out: List[Finding] = []
+    for finding in findings:
+        if finding.fingerprint and finding.fingerprint in known:
+            out.append(finding.baseline())
+        else:
+            out.append(finding)
+    return out
+
+
+def load_baseline(path: Path) -> frozenset:
+    """The set of baselined fingerprints in a baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"{path}: cannot read baseline: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"{path}: invalid baseline JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise AnalysisError(f"{path}: not a baseline file (no findings key)")
+    version = payload.get("version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise AnalysisError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_SCHEMA_VERSION})"
+        )
+    fingerprints = []
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise AnalysisError(
+                f"{path}: baseline entry without a fingerprint: {entry!r}"
+            )
+        fingerprints.append(entry["fingerprint"])
+    return frozenset(fingerprints)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Write active findings as the new baseline; returns the count.
+
+    Suppressed findings are excluded — a ``# repro: noqa`` waiver is
+    already an explicit decision and needs no baseline entry.  Entries
+    carry the human-readable context next to the fingerprint so a
+    baseline diff reviews like a report, but only the fingerprint is
+    consulted when the baseline is applied.
+    """
+    entries: List[Tuple[str, Dict[str, object]]] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        if finding.suppressed:
+            continue
+        entries.append(
+            (
+                finding.fingerprint,
+                {
+                    "fingerprint": finding.fingerprint,
+                    "rule": finding.rule_id,
+                    "file": normalize_path(finding.path),
+                    "line": finding.line,
+                    "message": finding.message,
+                },
+            )
+        )
+    payload = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "findings": [entry for _, entry in entries],
+    }
+    try:
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+    except OSError as exc:
+        raise AnalysisError(f"{path}: cannot write baseline: {exc}") from exc
+    return len(entries)

@@ -6,6 +6,17 @@ Exit codes (mirrored by ``repro lint`` and asserted by
 * ``0`` — scan ran, no active findings
 * ``1`` — scan ran, at least one active finding
 * ``2`` — usage error (unknown rule id, missing path, bad flag)
+
+Project mode (``--project``) parses the tree once and runs the
+whole-program rules R009–R014 alongside R001–R008/R015.  The
+diff-aware baseline workflow rides on it::
+
+    python -m repro.analysis --project --write-baseline analysis-baseline.json
+    python -m repro.analysis --project --baseline analysis-baseline.json
+
+With ``--baseline``, findings recorded in the file are reported as
+*baselined* and excluded from the exit code: CI fails only on new
+findings.
 """
 
 from __future__ import annotations
@@ -15,8 +26,18 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.report import render_json, render_rules, render_text
-from repro.analysis.runner import scan_paths
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.report import (
+    render_json,
+    render_rules,
+    render_shared_state,
+    render_text,
+)
+from repro.analysis.runner import scan_paths, scan_project
 from repro.errors import AnalysisError
 
 __all__ = ["build_parser", "main"]
@@ -29,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "AST lint for repro codec invariants (R001-R008); "
+            "AST lint for repro codec invariants (R001-R015); "
             "see docs/ANALYSIS.md"
         ),
     )
@@ -64,6 +85,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "whole-program mode: build the project context and run "
+            "R009-R014 alongside the per-module rules"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "baseline file of known findings; matches are reported as "
+            "baselined and excluded from the exit code (implies "
+            "--project)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help=(
+            "record the current findings as the new baseline and exit 0 "
+            "(implies --project)"
+        ),
+    )
+    parser.add_argument(
+        "--shared-state",
+        action="store_true",
+        help=(
+            "print the audited shared-state registry (R010 inventory) "
+            "and exit (implies --project)"
+        ),
+    )
     return parser
 
 
@@ -81,12 +135,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_rules())
         return 0
     paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    project_mode = (
+        args.project
+        or args.baseline is not None
+        or args.write_baseline is not None
+        or args.shared_state
+    )
     try:
-        result = scan_paths(
-            paths,
-            select=_split_ids(args.select),
-            ignore=_split_ids(args.ignore),
-        )
+        if project_mode:
+            result, project = scan_project(
+                paths,
+                select=_split_ids(args.select),
+                ignore=_split_ids(args.ignore),
+            )
+        else:
+            result = scan_paths(
+                paths,
+                select=_split_ids(args.select),
+                ignore=_split_ids(args.ignore),
+            )
+            project = None
+        if args.shared_state:
+            print(render_shared_state(project))
+            return 0
+        if args.write_baseline is not None:
+            count = write_baseline(Path(args.write_baseline), result.findings)
+            print(
+                f"wrote {count} finding(s) to {args.write_baseline}",
+                file=sys.stderr,
+            )
+            return 0
+        if args.baseline is not None:
+            known = load_baseline(Path(args.baseline))
+            result.findings = apply_baseline(result.findings, known)
     except AnalysisError as exc:
         print(f"usage error: {exc}", file=sys.stderr)
         return USAGE_ERROR

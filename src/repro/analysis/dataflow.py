@@ -1,0 +1,449 @@
+"""Per-function dataflow for resource lifetimes (the R009 engine).
+
+The analysis is a structural abstract interpretation of one function
+body.  For each *acquisition* — a call that constructs a resource
+(:class:`~repro.analysis.project.ProjectContext` knows which classes
+own ``close``/``__exit__``; ``open()`` and the stdlib executors are
+built in) bound to a local name — the interpreter flows the rest of
+the function with a two-state lattice per path:
+
+* ``open``  — the resource is live and this path still owns it, and
+* ``done``  — the path closed it, entered it as a ``with`` context, or
+  transferred ownership (returned/yielded it, passed it as a call
+  argument, stored it on an object/container, or aliased it).
+
+Paths leave a function three ways — falling through, ``return``, or an
+exception — and the verdict distinguishes the two failure classes:
+
+* **open on a normal exit**: some straight-line path never closes the
+  resource (the hard leak), and
+* **open on an exceptional exit**: the happy path closes it, but a
+  statement between acquisition and close can raise with nothing
+  (``with``, ``finally``, or a broad close-and-reraise handler) to
+  release it.
+
+Exceptional edges are modelled conservatively: while a path is
+``open``, any statement containing a call is assumed able to raise.
+``try`` statements route those edges through their handlers (a broad
+``except``/``except BaseException`` absorbs them; narrow handlers do
+not, since an unlisted exception would still escape) and ``finally``
+blocks run on every edge.  Loops are executed zero-or-more times
+without fixpoint iteration — the body is flowed once and merged with
+the skip path, which is sound for a monotone two-state lattice.
+
+A local that escapes into a closure (a nested ``def`` referencing it)
+is treated as transferred: the closure owns the lifetime.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Acquisition",
+    "LeakReport",
+    "analyze_function_resources",
+    "find_acquisitions",
+]
+
+_OPEN = "open"
+_DONE = "done"
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One resource-constructing call bound to a local name."""
+
+    var: str
+    resource: str  # human-readable constructor, e.g. "WriteAheadLog.create"
+    node: ast.stmt  # the assignment statement
+    line: int
+
+
+@dataclass(frozen=True)
+class LeakReport:
+    """Verdict for one acquisition."""
+
+    acquisition: Acquisition
+    #: ``"normal"`` — open on a fall-through/return path;
+    #: ``"exception"`` — closed on the happy path, open when a
+    #: statement in between raises.
+    kind: str
+
+
+@dataclass
+class _Out:
+    """States leaving a statement list, by exit category."""
+
+    normal: Set[str] = field(default_factory=set)
+    raised: Set[str] = field(default_factory=set)
+    returned: Set[str] = field(default_factory=set)
+    broke: Set[str] = field(default_factory=set)
+
+    def absorb_exits(self, other: "_Out") -> None:
+        """Merge the non-local exits (raise/return) of a nested flow."""
+        self.raised |= other.raised
+        self.returned |= other.returned
+
+
+def find_acquisitions(
+    func: ast.AST,
+    is_resource_call: Callable[[ast.Call], Optional[str]],
+) -> List[Acquisition]:
+    """Assignments of resource-constructor calls to plain local names.
+
+    ``is_resource_call`` maps a call node to a display name when the
+    call constructs a resource (``None`` otherwise); the caller wires
+    in project-level symbol resolution.  Assignments to attributes or
+    subscripts are ownership transfers by definition and are skipped,
+    as are acquisitions consumed directly by a ``with`` item.
+    """
+    out: List[Acquisition] = []
+    with_items: Set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                with_items.add(id(expr))
+                if isinstance(expr, ast.Call):
+                    for arg in list(expr.args) + [
+                        kw.value for kw in expr.keywords
+                    ]:
+                        with_items.add(id(arg))
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call) or id(value) in with_items:
+            continue
+        resource = is_resource_call(value)
+        if resource is None:
+            continue
+        out.append(
+            Acquisition(
+                var=node.targets[0].id,
+                resource=resource,
+                node=node,
+                line=node.lineno,
+            )
+        )
+    return out
+
+
+def analyze_function_resources(
+    func: ast.AST,
+    is_resource_call: Callable[[ast.Call], Optional[str]],
+) -> List[LeakReport]:
+    """Every leaking acquisition in one function body."""
+    body = list(getattr(func, "body", []))
+    reports: List[LeakReport] = []
+    for acq in find_acquisitions(func, is_resource_call):
+        if _escapes_into_closure(func, acq):
+            continue
+        flow = _ResourceFlow(acq)
+        out = flow.flow_stmts(body, {_PRE})
+        exits_open = (
+            _OPEN in out.normal
+            or _OPEN in out.returned
+            or _OPEN in out.broke
+            or flow.overwrote
+        )
+        if exits_open:
+            reports.append(LeakReport(acquisition=acq, kind="normal"))
+        elif _OPEN in out.raised:
+            reports.append(LeakReport(acquisition=acq, kind="exception"))
+    return reports
+
+
+_PRE = "pre"  # path state before the acquisition statement executes
+
+
+def _escapes_into_closure(func: ast.AST, acq: Acquisition) -> bool:
+    for node in ast.walk(func):
+        if node is func or not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Name)
+                and inner.id == acq.var
+                and isinstance(inner.ctx, ast.Load)
+            ):
+                return True
+    return False
+
+
+class _ResourceFlow:
+    """Flows one acquisition's variable through a statement tree."""
+
+    def __init__(self, acq: Acquisition) -> None:
+        self.acq = acq
+        self.var = acq.var
+        #: Set when the variable is rebound while the resource is still
+        #: open — the old object becomes unreachable unclosed.
+        self.overwrote = False
+
+    # -- statement-level predicates ------------------------------------
+
+    def _is_close_call(self, stmt: ast.stmt) -> bool:
+        """``var.close()`` (or ``var.shutdown()``) as a statement."""
+        if not isinstance(stmt, ast.Expr):
+            return False
+        call = stmt.value
+        return (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr in ("close", "shutdown")
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == self.var
+        )
+
+    def _escapes(self, stmt: ast.stmt) -> bool:
+        """Ownership leaves through this statement (see module doc)."""
+        parents: dict = {}
+        for parent in ast.walk(stmt):
+            for child in ast.iter_child_nodes(parent):
+                parents[id(child)] = parent
+        for node in ast.walk(stmt):
+            if not (
+                isinstance(node, ast.Name)
+                and node.id == self.var
+                and isinstance(node.ctx, ast.Load)
+            ):
+                continue
+            parent = parents.get(id(node))
+            if isinstance(parent, ast.Attribute) and parent.value is node:
+                continue  # receiver of a method call / attribute read
+            if isinstance(parent, ast.Call) and parent.func is node:
+                continue  # calling the resource itself transfers nothing
+            if isinstance(parent, ast.Compare) or isinstance(
+                parent, (ast.BoolOp, ast.UnaryOp)
+            ):
+                continue  # truthiness / identity tests
+            if isinstance(parent, ast.Subscript) and parent.value is node:
+                continue  # indexing the resource reads it, no transfer
+            return True
+        return False
+
+    def _may_raise(self, stmt: ast.stmt) -> bool:
+        """Conservatively: any embedded call can raise."""
+        for node in _walk_shallow(stmt):
+            if isinstance(node, ast.Call):
+                return True
+        return False
+
+    def _mentions_with_context(self, stmt: ast.stmt) -> bool:
+        if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return False
+        for item in stmt.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Name)
+                and expr.id == self.var
+            ):
+                return True
+        return False
+
+    # -- the interpreter ------------------------------------------------
+
+    def flow_stmts(
+        self, stmts: Sequence[ast.stmt], entry: Set[str]
+    ) -> _Out:
+        out = _Out(normal=set(entry))
+        for stmt in stmts:
+            if not out.normal:
+                break
+            step = self.flow_stmt(stmt, out.normal)
+            out.normal = step.normal
+            out.raised |= step.raised
+            out.returned |= step.returned
+            out.broke |= step.broke
+        return out
+
+    def flow_stmt(self, stmt: ast.stmt, state: Set[str]) -> _Out:
+        if stmt is self.acq.node:
+            return _Out(normal={_OPEN})
+        if self._is_close_call(stmt):
+            return _Out(normal=_done(state))
+        if isinstance(stmt, (ast.Return,)):
+            returned = _done(state) if self._escapes(stmt) else set(state)
+            return _Out(returned=returned)
+        if isinstance(stmt, ast.Raise):
+            return _Out(raised=set(state))
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return _Out(broke=set(state))
+        if isinstance(stmt, (ast.If, ast.While, ast.For, ast.Try,
+                             ast.With, ast.AsyncWith)):
+            # Compound statements are entered, never short-circuited:
+            # escapes and raises inside are seen statement by statement.
+            return self._flow_compound(stmt, state)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return _Out(normal=set(state))
+        if self._reassigns_var(stmt):
+            if _OPEN in state:
+                self.overwrote = True
+            return _Out(normal=_done(state))
+        if self._escapes(stmt):
+            # Ownership transfers mid-statement, before any exception
+            # the rest of the statement might raise.
+            return _Out(normal=_done(state))
+        out = _Out(normal=set(state))
+        if _OPEN in state and self._may_raise(stmt):
+            out.raised.add(_OPEN)
+        return out
+
+    def _reassigns_var(self, stmt: ast.stmt) -> bool:
+        """A later plain assignment rebinding the tracked name."""
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        else:
+            return False
+        return any(
+            isinstance(t, ast.Name) and t.id == self.var for t in targets
+        )
+
+    def _flow_compound(self, stmt: ast.stmt, state: Set[str]) -> _Out:
+        if isinstance(stmt, ast.If):
+            then = self.flow_stmts(stmt.body, self._test_step(stmt, state))
+            other = self.flow_stmts(
+                stmt.orelse, self._test_step(stmt, state)
+            )
+            return _merge(then, other)
+        if isinstance(stmt, (ast.While, ast.For)):
+            entry = self._test_step(stmt, state)
+            body = self.flow_stmts(stmt.body, entry)
+            orelse = self.flow_stmts(stmt.orelse, entry | body.normal)
+            out = _Out(
+                normal=entry | body.normal | body.broke | orelse.normal
+            )
+            out.absorb_exits(body)
+            out.absorb_exits(orelse)
+            return out
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            if self._mentions_with_context(stmt):
+                # ``with var:`` — the context manager closes it.
+                body = self.flow_stmts(stmt.body, _done(state))
+                out = _Out(normal=body.normal | body.broke)
+                out.absorb_exits(body)
+                return out
+            entry = self._test_step(stmt, state)
+            body = self.flow_stmts(stmt.body, entry)
+            out = _Out(normal=body.normal | body.broke)
+            out.absorb_exits(body)
+            return out
+        if isinstance(stmt, ast.Try):
+            return self._flow_try(stmt, state)
+        return _Out(normal=set(state))
+
+    def _test_step(self, stmt: ast.stmt, state: Set[str]) -> Set[str]:
+        """Evaluating a test/iter/context expression may transfer."""
+        exprs: List[Optional[ast.expr]] = []
+        if isinstance(stmt, (ast.If, ast.While)):
+            exprs = [stmt.test]
+        elif isinstance(stmt, ast.For):
+            exprs = [stmt.iter]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            exprs = [item.context_expr for item in stmt.items]
+        for expr in exprs:
+            if expr is None:
+                continue
+            wrapper = ast.Expr(value=expr)
+            if self._escapes(wrapper):
+                return _done(state)
+        return set(state)
+
+    def _flow_try(self, stmt: ast.Try, state: Set[str]) -> _Out:
+        body = self.flow_stmts(stmt.body, state)
+        orelse = self.flow_stmts(stmt.orelse, body.normal)
+        normal = orelse.normal
+        raised = body.raised | orelse.raised
+        returned = body.returned | orelse.returned
+        broke = body.broke | orelse.broke
+
+        handled: Set[str] = set()
+        uncaught = set(raised)
+        handler_raised: Set[str] = set()
+        for handler in stmt.handlers:
+            h_out = self.flow_stmts(handler.body, set(raised))
+            handled |= h_out.normal
+            returned |= h_out.returned
+            broke |= h_out.broke
+            # a re-raise from the handler leaves with the handler's
+            # own state (it may have closed the resource first)
+            handler_raised |= h_out.raised
+            if _is_broad_handler(handler):
+                uncaught = set()
+        normal = normal | handled
+        raised = uncaught | handler_raised
+
+        if stmt.finalbody:
+            normal = self._through_finally(stmt, normal)
+            raised = self._through_finally(stmt, raised)
+            returned = self._through_finally(stmt, returned)
+            broke = self._through_finally(stmt, broke)
+        return _Out(
+            normal=normal, raised=raised, returned=returned, broke=broke
+        )
+
+    def _through_finally(
+        self, stmt: ast.Try, states: Set[str]
+    ) -> Set[str]:
+        if not states:
+            return states
+        return self.flow_stmts(stmt.finalbody, states).normal
+
+
+def _done(state: Set[str]) -> Set[str]:
+    return {(_DONE if s == _OPEN else s) for s in state}
+
+
+def _merge(*outs: _Out) -> _Out:
+    merged = _Out()
+    for out in outs:
+        merged.normal |= out.normal
+        merged.raised |= out.raised
+        merged.returned |= out.returned
+        merged.broke |= out.broke
+    return merged
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for t in types:
+        name = (
+            t.id
+            if isinstance(t, ast.Name)
+            else t.attr if isinstance(t, ast.Attribute) else None
+        )
+        if name in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def _walk_shallow(stmt: ast.stmt) -> Sequence[ast.AST]:
+    """Statement and descendants, not crossing into nested defs."""
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ) and node is not stmt:
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return out

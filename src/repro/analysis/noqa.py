@@ -1,7 +1,7 @@
 """``# repro: noqa`` suppression-comment parsing.
 
-Two forms are recognised, anywhere in a physical line (normally a
-trailing comment on the flagged statement)::
+Two forms are recognised, as a *comment* on the flagged line (normally
+trailing the statement)::
 
     x = risky()  # repro: noqa            -- suppress every rule here
     x = risky()  # repro: noqa[R002]      -- suppress only R002
@@ -12,6 +12,12 @@ The bracket list is comma-separated and whitespace-tolerant.  A bare
 of codec invariants must be explicit about which invariant they waive,
 and greppable as ``repro: noqa``.
 
+Pragmas are extracted from real ``tokenize`` comment tokens, so pragma
+*text* inside a docstring or a string literal (like the examples above)
+neither suppresses anything nor trips the R015 unused-suppression
+pass.  When a file cannot be tokenized the parser falls back to
+line-based matching — over-suppressing beats crashing mid-scan.
+
 Suppressed findings still appear in JSON reports (flagged
 ``"suppressed": true``) so audits can count waived invariants; they do
 not affect the exit code.
@@ -19,7 +25,9 @@ not affect the exit code.
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from typing import Dict, FrozenSet
 
 __all__ = ["NOQA_ALL", "is_suppressed", "parse_noqa"]
@@ -32,6 +40,26 @@ _NOQA_RE = re.compile(
 )
 
 
+def _iter_comments(source: str) -> Dict[int, str]:
+    """1-indexed line -> comment text, via the tokenizer when possible."""
+    out: Dict[int, str] = {}
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        # Fall back to raw lines: everything from the first ``#`` on a
+        # line is treated as its comment.
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "#" in line:
+                out[lineno] = line[line.index("#") :]
+        return out
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            out[token.start[0]] = token.string
+    return out
+
+
 def parse_noqa(source: str) -> Dict[int, FrozenSet[str]]:
     """Map 1-indexed line numbers to the rule ids suppressed there.
 
@@ -39,10 +67,12 @@ def parse_noqa(source: str) -> Dict[int, FrozenSet[str]]:
     was used and every rule is suppressed on that line.
     """
     out: Dict[int, FrozenSet[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if "#" not in line or "noqa" not in line:
+    for lineno, comment in _iter_comments(source).items():
+        if "noqa" not in comment:
             continue
-        match = _NOQA_RE.search(line)
+        # Anchored at the start of the comment: a doc-comment that
+        # merely *mentions* the pragma is not a suppression.
+        match = _NOQA_RE.match(comment)
         if match is None:
             continue
         rules = match.group("rules")

@@ -1,0 +1,659 @@
+"""Whole-program context for the project-mode rules (R009–R014).
+
+Per-module rules (R001–R008) see one file at a time; the properties
+that matter for the concurrent serving layer — resources closed on all
+paths, shared mutable state latched, blocking calls kept off async
+paths, exception contracts held at package boundaries — are *global*
+properties.  :class:`ProjectContext` parses every module of a package
+tree exactly once and derives the shared structures the project rules
+consume:
+
+* an **import graph** (which project modules import which, and under
+  what local aliases),
+* a **symbol table** (top-level defs, classes, and methods, with
+  re-exports chased through ``__init__`` modules),
+* a conservative **call graph** (name- and attribute-based resolution;
+  unresolved dynamic calls are dropped, so reachability is an
+  under-approximation while per-call-site facts stay precise),
+* the set of **resource classes** (any project class defining
+  ``close()`` or ``__exit__``, plus the stdlib executors), and
+* the **shared-state registry**: every module-level mutable binding,
+  with the reason string from its ``# repro: shared-state[reason]``
+  pragma when one is present.
+
+Two source pragmas are recognised (both greppable, like ``repro:
+noqa``)::
+
+    CACHE: Dict[str, int] = {}   # repro: shared-state[reason ...]
+
+    # repro: async-ready
+    def handle_query(...):       # R012 checks blocking reachability
+
+Build cost is one parse per file; the context is reused by every
+project rule in a scan (see :mod:`repro.analysis.rules_project`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import ModuleContext
+from repro.analysis.runner import collect_files, parse_module
+from repro.errors import AnalysisError
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ProjectContext",
+    "SharedStateEntry",
+    "build_project",
+]
+
+_SHARED_STATE_RE = re.compile(
+    r"#\s*repro:\s*shared-state\[(?P<reason>[^\]]*)\]"
+)
+_ASYNC_READY_RE = re.compile(r"#\s*repro:\s*async-ready\b")
+
+#: External classes treated as resources even though their source is
+#: not part of the project (imported from :mod:`concurrent.futures`).
+_EXTERNAL_RESOURCES = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "concurrent.futures.thread.ThreadPoolExecutor",
+    }
+)
+
+#: Module-level value expressions that make a binding mutable.
+_MUTABLE_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "defaultdict",
+        "deque",
+        "Counter",
+        "OrderedDict",
+    }
+)
+
+
+@dataclass(frozen=True)
+class SharedStateEntry:
+    """One module-level mutable binding (the R010 inventory row)."""
+
+    module: str
+    name: str
+    line: int
+    #: Reason string from ``# repro: shared-state[...]``, or ``None``
+    #: when the binding carries no pragma (an R010 finding).
+    reason: Optional[str]
+    #: ``"mutable-value"`` or ``"rebound-global"``.
+    kind: str
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge, with its exception-guard context."""
+
+    callee: str
+    line: int
+    #: Exception type names of ``except`` clauses enclosing the call
+    #: site within the calling function (``None`` entries mean a bare
+    #: ``except:``), flattened across nesting levels.
+    guards: Tuple[Optional[str], ...]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method known to the project."""
+
+    qualname: str
+    module: str
+    name: str
+    class_name: Optional[str]
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    lineno: int
+    is_public: bool
+    async_ready: bool = False
+    calls: List[CallSite] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class, with its methods and base-class names."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: List[str] = field(default_factory=list)
+
+    def classmethods(self) -> Set[str]:
+        """Names of methods decorated ``@classmethod``."""
+        out: Set[str] = set()
+        for name, info in self.methods.items():
+            decorators = getattr(info.node, "decorator_list", [])
+            for dec in decorators:
+                target = dec.func if isinstance(dec, ast.Call) else dec
+                if isinstance(target, ast.Name) and target.id == "classmethod":
+                    out.add(name)
+        return out
+
+
+@dataclass
+class _ModuleInfo:
+    """Per-module structures the context builder accumulates."""
+
+    ctx: ModuleContext
+    #: alias -> dotted module name, for imports that bind a module.
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: alias -> (source module, source name), for from-imports of names.
+    symbol_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: top-level def/class names defined in this module.
+    defs: Set[str] = field(default_factory=set)
+
+
+class ProjectContext:
+    """Everything the project rules need, built once per scan."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleContext] = {}
+        self.import_graph: Dict[str, Set[str]] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.resource_classes: Set[str] = set()
+        self.shared_state: List[SharedStateEntry] = []
+        self._info: Dict[str, _ModuleInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def module_for_path(self, path: str) -> Optional[ModuleContext]:
+        """The parsed module at ``path``, if it is part of the project."""
+        for ctx in self.modules.values():
+            if str(ctx.path) == path:
+                return ctx
+        return None
+
+    def resolve_module(self, module: str, alias: str) -> Optional[str]:
+        """The project module an alias refers to, if any."""
+        info = self._info.get(module)
+        if info is None:
+            return None
+        target = info.module_aliases.get(alias)
+        if target is not None and target in self.modules:
+            return target
+        return None
+
+    def resolve_symbol(
+        self, module: str, name: str, _seen: Tuple[str, ...] = ()
+    ) -> Optional[str]:
+        """Dotted target of a top-level name, chasing re-exports.
+
+        Returns ``"repro.storage.wal.WriteAheadLog"`` style qualnames
+        for project symbols, the external dotted path for names
+        imported from outside the project, or ``None`` for names the
+        module never binds.
+        """
+        key = f"{module}:{name}"
+        if key in _seen:  # re-export cycle
+            return None
+        info = self._info.get(module)
+        if info is None:
+            return None
+        if name in info.defs:
+            return f"{module}.{name}"
+        if name in info.symbol_imports:
+            src_module, src_name = info.symbol_imports[name]
+            if src_module in self.modules:
+                resolved = self.resolve_symbol(
+                    src_module, src_name, _seen + (key,)
+                )
+                if resolved is not None:
+                    return resolved
+                # ``from repro.storage import wal`` style: the "symbol"
+                # is really a submodule.
+                if f"{src_module}.{src_name}" in self.modules:
+                    return f"{src_module}.{src_name}"
+                return None
+            return f"{src_module}.{src_name}"
+        if name in info.module_aliases:
+            return info.module_aliases[name]
+        return None
+
+    def is_resource(self, qualname: Optional[str]) -> bool:
+        """Whether a resolved target names a resource class."""
+        if qualname is None:
+            return False
+        return (
+            qualname in self.resource_classes
+            or qualname in _EXTERNAL_RESOURCES
+        )
+
+    def shared_state_registry(self) -> List[SharedStateEntry]:
+        """Annotated entries only — the audited shared-state list."""
+        return [e for e in self.shared_state if e.reason is not None]
+
+    def public_entry_points(
+        self, packages: Sequence[str]
+    ) -> List[FunctionInfo]:
+        """Public functions/methods defined under the given packages."""
+        out: List[FunctionInfo] = []
+        for fn in self.functions.values():
+            segments = fn.module.split(".")
+            if not any(pkg in segments for pkg in packages):
+                continue
+            if fn.is_public:
+                out.append(fn)
+        return sorted(out, key=lambda f: f.qualname)
+
+
+def build_project(paths: Iterable[Path]) -> ProjectContext:
+    """Parse a package tree and derive every project-level structure."""
+    project = ProjectContext()
+    files = collect_files(paths)
+    if not files:
+        raise AnalysisError("project scan found no python files")
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"{path}: cannot read: {exc}") from exc
+        ctx = parse_module(source, path)
+        project.modules[ctx.module_name] = ctx
+        project._info[ctx.module_name] = _ModuleInfo(ctx=ctx)
+    for name, info in project._info.items():
+        _collect_imports(name, info)
+        _collect_defs(project, name, info)
+        _collect_shared_state(project, name, info)
+    _build_import_graph(project)
+    _find_resource_classes(project)
+    for fn in project.functions.values():
+        _collect_calls(project, fn)
+    return project
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+
+def _iter_import_nodes(tree: ast.Module) -> Iterable[ast.stmt]:
+    """Top-level imports, including those inside If/Try guards."""
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            yield stmt
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            for inner in ast.walk(stmt):
+                if isinstance(inner, (ast.Import, ast.ImportFrom)):
+                    yield inner
+
+
+def _collect_imports(module: str, info: _ModuleInfo) -> None:
+    for stmt in _iter_import_nodes(info.ctx.tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                info.module_aliases[bound] = target
+        elif isinstance(stmt, ast.ImportFrom):
+            src = stmt.module or ""
+            if stmt.level:  # relative import: resolve against this module
+                base = module.split(".")
+                if info.ctx.is_package_init:
+                    base = base + ["_"]  # packages count from themselves
+                base = base[: len(base) - stmt.level]
+                src = ".".join(base + ([src] if src else []))
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                info.symbol_imports[bound] = (src, alias.name)
+
+
+def _collect_defs(
+    project: ProjectContext, module: str, info: _ModuleInfo
+) -> None:
+    lines = info.ctx.lines()
+    for stmt in info.ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.defs.add(stmt.name)
+            fn = _function_info(module, None, stmt, lines)
+            project.functions[fn.qualname] = fn
+        elif isinstance(stmt, ast.ClassDef):
+            info.defs.add(stmt.name)
+            cls = ClassInfo(
+                qualname=f"{module}.{stmt.name}",
+                module=module,
+                name=stmt.name,
+                node=stmt,
+                bases=[b for b in map(_base_name, stmt.bases) if b],
+            )
+            for member in stmt.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    fn = _function_info(module, stmt.name, member, lines)
+                    cls.methods[member.name] = fn
+                    project.functions[fn.qualname] = fn
+            project.classes[cls.qualname] = cls
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            for target in _assign_names(stmt):
+                info.defs.add(target)
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _assign_names(stmt: ast.stmt) -> List[str]:
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, ast.AnnAssign):
+        targets = [stmt.target]
+    out: List[str] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            out.append(target.id)
+    return out
+
+
+def _function_info(
+    module: str,
+    class_name: Optional[str],
+    node: ast.stmt,
+    lines: List[str],
+) -> FunctionInfo:
+    name = getattr(node, "name", "<anon>")
+    qual = (
+        f"{module}.{class_name}.{name}"
+        if class_name
+        else f"{module}.{name}"
+    )
+    public = not name.startswith("_") and (
+        class_name is None or not class_name.startswith("_")
+    )
+    return FunctionInfo(
+        qualname=qual,
+        module=module,
+        name=name,
+        class_name=class_name,
+        node=node,
+        lineno=getattr(node, "lineno", 1),
+        is_public=public,
+        async_ready=_is_async_ready(node, lines),
+    )
+
+
+def _is_async_ready(node: ast.stmt, lines: List[str]) -> bool:
+    """True when the def (or the line above it) carries the pragma."""
+    candidates: List[int] = [getattr(node, "lineno", 1)]
+    decorators = getattr(node, "decorator_list", [])
+    first = min(
+        [getattr(d, "lineno", candidates[0]) for d in decorators],
+        default=candidates[0],
+    )
+    candidates.append(first)
+    candidates.append(first - 1)
+    for lineno in candidates:
+        if 1 <= lineno <= len(lines) and _ASYNC_READY_RE.search(
+            lines[lineno - 1]
+        ):
+            return True
+    return False
+
+
+def _collect_shared_state(
+    project: ProjectContext, module: str, info: _ModuleInfo
+) -> None:
+    tree = info.ctx.tree
+    lines = info.ctx.lines()
+    rebound: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            rebound.update(node.names)
+    for stmt in tree.body:
+        names = _assign_names(stmt)
+        if not names:
+            continue
+        value = stmt.value if isinstance(stmt, (ast.Assign, ast.AnnAssign)) else None
+        for name in names:
+            if name.startswith("__"):  # __all__ and friends
+                continue
+            mutable_value = value is not None and _is_mutable_value(value)
+            is_rebound = name in rebound
+            if not (mutable_value or is_rebound):
+                continue
+            lineno = stmt.lineno
+            reason: Optional[str] = None
+            if 1 <= lineno <= len(lines):
+                match = _SHARED_STATE_RE.search(lines[lineno - 1])
+                if match is not None:
+                    reason = match.group("reason").strip() or None
+            project.shared_state.append(
+                SharedStateEntry(
+                    module=module,
+                    name=name,
+                    line=lineno,
+                    reason=reason,
+                    kind=(
+                        "rebound-global" if is_rebound else "mutable-value"
+                    ),
+                )
+            )
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    if isinstance(node, ast.IfExp):
+        return _is_mutable_value(node.body) or _is_mutable_value(node.orelse)
+    return False
+
+
+def _build_import_graph(project: ProjectContext) -> None:
+    for module, info in project._info.items():
+        edges: Set[str] = set()
+        for target in info.module_aliases.values():
+            if target in project.modules:
+                edges.add(target)
+        for src_module, src_name in info.symbol_imports.values():
+            if src_module in project.modules:
+                edges.add(src_module)
+            if f"{src_module}.{src_name}" in project.modules:
+                edges.add(f"{src_module}.{src_name}")
+        edges.discard(module)
+        project.import_graph[module] = edges
+
+
+def _find_resource_classes(project: ProjectContext) -> None:
+    """Classes owning ``close``/``__exit__``, propagated through bases."""
+    for cls in project.classes.values():
+        if "close" in cls.methods or "__exit__" in cls.methods:
+            project.resource_classes.add(cls.qualname)
+    changed = True
+    while changed:
+        changed = False
+        for cls in project.classes.values():
+            if cls.qualname in project.resource_classes:
+                continue
+            for base in cls.bases:
+                target = project.resolve_symbol(cls.module, base)
+                if target is not None and project.is_resource(target):
+                    project.resource_classes.add(cls.qualname)
+                    changed = True
+                    break
+
+
+# ----------------------------------------------------------------------
+# Call-graph construction
+# ----------------------------------------------------------------------
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Collect resolved call sites, tracking enclosing except guards."""
+
+    def __init__(self, project: ProjectContext, fn: FunctionInfo) -> None:
+        self.project = project
+        self.fn = fn
+        self.guards: List[Optional[str]] = []
+
+    def visit_Try(self, node: ast.Try) -> None:
+        handler_names: List[Optional[str]] = []
+        for handler in node.handlers:
+            handler_names.extend(_handler_type_names(handler))
+        for stmt in node.body:
+            self.guards.extend(handler_names)
+            self.visit(stmt)
+            del self.guards[len(self.guards) - len(handler_names):]
+        for handler in node.handlers:
+            for stmt in handler.body:
+                self.visit(stmt)
+        for stmt in node.orelse + node.finalbody:
+            self.visit(stmt)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _resolve_call(self.project, self.fn, node)
+        if callee is not None:
+            self.fn.calls.append(
+                CallSite(
+                    callee=callee,
+                    line=node.lineno,
+                    guards=tuple(self.guards),
+                )
+            )
+        self.generic_visit(node)
+
+
+def _handler_type_names(
+    handler: ast.ExceptHandler,
+) -> List[Optional[str]]:
+    if handler.type is None:
+        return [None]
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    out: List[Optional[str]] = []
+    for t in types:
+        if isinstance(t, ast.Name):
+            out.append(t.id)
+        elif isinstance(t, ast.Attribute):
+            out.append(t.attr)
+    return out
+
+
+def _collect_calls(project: ProjectContext, fn: FunctionInfo) -> None:
+    collector = _CallCollector(project, fn)
+    for stmt in getattr(fn.node, "body", []):
+        collector.visit(stmt)
+
+
+def _resolve_call(
+    project: ProjectContext, fn: FunctionInfo, node: ast.Call
+) -> Optional[str]:
+    """Conservative call-target resolution (see module docstring)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        target = project.resolve_symbol(fn.module, func.id)
+        if target is None:
+            return None
+        if target in project.functions:
+            return target
+        cls = project.classes.get(target)
+        if cls is not None:
+            init = cls.methods.get("__init__")
+            return init.qualname if init is not None else target
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    chain: List[str] = [func.attr]
+    base: ast.expr = func.value
+    while isinstance(base, ast.Attribute):
+        chain.append(base.attr)
+        base = base.value
+    if not isinstance(base, ast.Name):
+        return None
+    chain.append(base.id)
+    chain.reverse()
+    head, rest = chain[0], chain[1:]
+    if head in ("self", "cls") and fn.class_name is not None and len(rest) == 1:
+        method = _lookup_method(project, fn.module, fn.class_name, rest[0])
+        return method.qualname if method is not None else None
+    target = project.resolve_symbol(fn.module, head)
+    if target is None:
+        return None
+    if target in project.modules and rest:
+        # module alias: mod.func(...) or mod.Class.method(...)
+        symbol = project.resolve_symbol(target, rest[0])
+        if symbol is None:
+            return None
+        if len(rest) == 1:
+            if symbol in project.functions:
+                return symbol
+            cls = project.classes.get(symbol)
+            if cls is not None:
+                init = cls.methods.get("__init__")
+                return init.qualname if init is not None else symbol
+            return None
+        cls = project.classes.get(symbol)
+        if cls is not None and len(rest) == 2:
+            method = cls.methods.get(rest[1])
+            return method.qualname if method is not None else None
+        return None
+    cls = project.classes.get(target)
+    if cls is not None and len(rest) == 1:
+        method = cls.methods.get(rest[0])
+        return method.qualname if method is not None else None
+    return None
+
+
+def _lookup_method(
+    project: ProjectContext,
+    module: str,
+    class_name: str,
+    method: str,
+) -> Optional[FunctionInfo]:
+    """A method on a class or its project-resolvable bases."""
+    seen: Set[str] = set()
+    queue: List[Optional[str]] = [f"{module}.{class_name}"]
+    while queue:
+        qualname = queue.pop(0)
+        if qualname is None or qualname in seen:
+            continue
+        seen.add(qualname)
+        cls = project.classes.get(qualname)
+        if cls is None:
+            continue
+        if method in cls.methods:
+            return cls.methods[method]
+        for base in cls.bases:
+            queue.append(project.resolve_symbol(cls.module, base))
+    return None

@@ -3,19 +3,26 @@
 The JSON schema is versioned and stable so CI tooling can parse it::
 
     {
-      "version": 1,
+      "version": 2,
       "files_scanned": 42,
-      "summary": {"active": 2, "suppressed": 1, "by_rule": {"R002": 2}},
+      "summary": {"active": 2, "suppressed": 1, "baselined": 3,
+                  "by_rule": {"R002": 2}},
       "findings": [
         {"file": "src/repro/io/format.py", "line": 155, "col": 8,
          "rule": "R002", "severity": "error",
-         "message": "...", "suppressed": false},
+         "message": "...", "fingerprint": "9f3c21ab0d5e7712",
+         "suppressed": false, "baselined": false},
         ...
       ]
     }
 
-``by_rule`` counts only active findings — suppressed ones appear in the
-findings list (with ``"suppressed": true``) so waived invariants stay
+Schema v2 (this PR) added ``fingerprint`` and ``baselined`` per
+finding plus the ``baselined`` summary count; the ``fingerprint`` is
+the same stable identity :mod:`repro.analysis.baseline` records, so a
+findings report and a baseline file can be joined directly.
+
+``by_rule`` counts only active findings — suppressed and baselined
+ones appear in the findings list (flagged) so waived invariants stay
 auditable, but they never fail a build.
 """
 
@@ -25,12 +32,18 @@ import json
 from collections import Counter
 from typing import Any, Dict
 
-from repro.analysis.base import iter_rules
+from repro.analysis.base import iter_project_rules, iter_rules
 from repro.analysis.runner import ScanResult
 
-__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_rules", "render_text"]
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "render_json",
+    "render_rules",
+    "render_shared_state",
+    "render_text",
+]
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(result: ScanResult, *, show_suppressed: bool = False) -> str:
@@ -39,7 +52,11 @@ def render_text(result: ScanResult, *, show_suppressed: bool = False) -> str:
     for f in result.findings:
         if f.suppressed and not show_suppressed:
             continue
-        tag = " (suppressed)" if f.suppressed else ""
+        tag = ""
+        if f.suppressed:
+            tag = " (suppressed)"
+        elif f.baselined:
+            tag = " (baselined)"
         lines.append(
             f"{f.path}:{f.line}:{f.col}: {f.rule_id} "
             f"{f.severity}: {f.message}{tag}"
@@ -55,13 +72,14 @@ def render_text(result: ScanResult, *, show_suppressed: bool = False) -> str:
             f"file(s) [{counts}]"
         )
     else:
+        extras = []
+        if result.suppressed:
+            extras.append(f"{len(result.suppressed)} suppressed")
+        if result.baselined:
+            extras.append(f"{len(result.baselined)} baselined")
+        suffix = f" ({', '.join(extras)})" if extras else ""
         lines.append(
-            f"clean: {result.files_scanned} file(s), 0 findings"
-            + (
-                f" ({len(result.suppressed)} suppressed)"
-                if result.suppressed
-                else ""
-            )
+            f"clean: {result.files_scanned} file(s), 0 findings" + suffix
         )
     return "\n".join(lines)
 
@@ -74,6 +92,7 @@ def render_json(result: ScanResult) -> str:
         "summary": {
             "active": len(result.active),
             "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
             "by_rule": dict(
                 sorted(Counter(f.rule_id for f in result.active).items())
             ),
@@ -86,7 +105,9 @@ def render_json(result: ScanResult) -> str:
                 "rule": f.rule_id,
                 "severity": f.severity,
                 "message": f.message,
+                "fingerprint": f.fingerprint,
                 "suppressed": f.suppressed,
+                "baselined": f.baselined,
             }
             for f in result.findings
         ],
@@ -95,8 +116,33 @@ def render_json(result: ScanResult) -> str:
 
 
 def render_rules() -> str:
-    """The ``--list-rules`` table."""
+    """The ``--list-rules`` table (per-module, then project rules)."""
     lines = []
     for rule in iter_rules():
         lines.append(f"{rule.rule_id}  [{rule.severity:7s}] {rule.summary}")
+    for project_rule in iter_project_rules():
+        lines.append(
+            f"{project_rule.rule_id}  [{project_rule.severity:7s}] "
+            f"(project) {project_rule.summary}"
+        )
+    return "\n".join(lines)
+
+
+def render_shared_state(project: Any) -> str:
+    """The ``--shared-state`` audit table: every registered entry.
+
+    ``project`` is a :class:`~repro.analysis.project.ProjectContext`;
+    typed loosely to keep this module import-light.
+    """
+    lines = []
+    for entry in sorted(
+        project.shared_state, key=lambda e: (e.module, e.line, e.name)
+    ):
+        reason = entry.reason if entry.reason is not None else "<UNREGISTERED>"
+        lines.append(
+            f"{entry.module}:{entry.line}  {entry.name}  "
+            f"[{entry.kind}]  {reason}"
+        )
+    if not lines:
+        return "no module-level mutable state"
     return "\n".join(lines)

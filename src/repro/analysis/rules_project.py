@@ -1,0 +1,548 @@
+"""The whole-program rule set (R009–R014).
+
+These rules encode the properties the concurrent serving layer breaks
+first — properties a per-module pass cannot prove because they span
+functions, modules, and packages:
+
+* **R009** — every resource acquisition is closed on *all* paths
+  (``with``, ``try/finally``, or an ownership transfer), via the
+  :mod:`repro.analysis.dataflow` abstract interpreter;
+* **R010** — every module-level mutable binding is registered with a
+  ``# repro: shared-state[reason]`` pragma, producing the audited
+  shared-state inventory the MVCC server will latch;
+* **R011** — public entry points in the ``db``/``storage``/``io``
+  packages only let :class:`repro.errors.ReproError` subclasses
+  escape, checked through the conservative call graph;
+* **R012** — functions marked ``# repro: async-ready`` cannot reach a
+  blocking call (``time.sleep``, raw ``open()``, future/thread joins)
+  through the call graph;
+* **R013** — instrumented modules access ``_obs.REGISTRY`` /
+  ``_obs.TRACER`` through the bind-then-guard idiom, never chained
+  directly into a call;
+* **R014** — private ``_names`` are never imported across a package
+  boundary.
+
+All six consume one shared
+:class:`~repro.analysis.project.ProjectContext`; none re-parses a
+file.  See ``docs/ANALYSIS.md`` for rationale and before/after
+examples.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    ProjectRule,
+    register_project,
+    walk_without_functions,
+)
+from repro.analysis.dataflow import analyze_function_resources
+from repro.analysis.project import FunctionInfo, ProjectContext
+from repro.analysis.rules import (
+    _BUILTIN_EXCEPTIONS,
+    _R001_ALLOWED,
+    _attribute_chain,
+    _exception_name,
+)
+
+__all__ = [
+    "BlockingReachabilityRule",
+    "ExceptionContractRule",
+    "ObsGuardRule",
+    "PrivateImportRule",
+    "ResourceLeakRule",
+    "SharedStateRule",
+]
+
+#: Packages whose public functions form the library's API surface for
+#: the R011 exception contract.
+_ENTRY_PACKAGES: Tuple[str, ...] = ("db", "storage", "io")
+
+#: Attribute names whose call blocks the caller (future/thread joins).
+_BLOCKING_ATTRS = frozenset({"result", "join"})
+
+#: The observability globals R013 guards (see :mod:`repro.obs.runtime`).
+_OBS_GLOBALS = frozenset({"REGISTRY", "TRACER"})
+
+
+def _path_of(project: ProjectContext, module: str) -> str:
+    return str(project.modules[module].path)
+
+
+def _parent_map(tree: ast.AST) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[id(child)] = parent
+    return parents
+
+
+# ----------------------------------------------------------------------
+# R009 — resource leaks
+# ----------------------------------------------------------------------
+
+
+def _constructor_classmethods(
+    project: ProjectContext, qualname: str
+) -> Set[str]:
+    """Classmethods of a resource class that return ``cls(...)``."""
+    cls = project.classes.get(qualname)
+    if cls is None:
+        return set()
+    out: Set[str] = set()
+    for name in cls.classmethods():
+        fn = cls.methods[name]
+        for stmt in getattr(fn.node, "body", []):
+            for node in walk_without_functions(stmt):
+                if (
+                    isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                    and node.value.func.id == "cls"
+                ):
+                    out.add(name)
+    return out
+
+
+def _resource_constructor(
+    project: ProjectContext, module: str, call: ast.Call
+) -> Optional[str]:
+    """Display name when ``call`` constructs a resource, else ``None``.
+
+    Recognised shapes: the ``open()`` builtin, ``Cls(...)`` /
+    ``mod.Cls(...)`` for any discovered resource class, and
+    ``Cls.create(...)``-style classmethod constructors that return
+    ``cls(...)``.
+    """
+    func = call.func
+    if isinstance(func, ast.Name):
+        if (
+            func.id == "open"
+            and project.resolve_symbol(module, "open") is None
+        ):
+            return "open"
+        target = project.resolve_symbol(module, func.id)
+        if project.is_resource(target):
+            return func.id
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    chain = _attribute_chain(func)
+    if not chain:
+        return None
+    head, rest = chain[0], chain[1:]
+    target = project.resolve_symbol(module, head)
+    if target is None:
+        return None
+    if target in project.modules and rest:
+        symbol = project.resolve_symbol(target, rest[0])
+        if symbol is None or not project.is_resource(symbol):
+            return None
+        if len(rest) == 1:
+            return ".".join(chain)
+        if len(rest) == 2 and rest[1] in _constructor_classmethods(
+            project, symbol
+        ):
+            return ".".join(chain)
+        return None
+    if (
+        project.is_resource(target)
+        and len(rest) == 1
+        and rest[0] in _constructor_classmethods(project, target)
+    ):
+        return ".".join(chain)
+    return None
+
+
+@register_project
+class ResourceLeakRule(ProjectRule):
+    """R009: resources acquired locally must be released on all paths."""
+
+    rule_id = "R009"
+    severity = "error"
+    summary = (
+        "resource acquisitions (open(), close()-bearing classes, "
+        "executors) must be released on every path: with, try/finally, "
+        "or ownership transfer"
+    )
+
+    def run(self, project: ProjectContext) -> Iterator[Finding]:
+        for fn in sorted(
+            project.functions.values(), key=lambda f: f.qualname
+        ):
+            if fn.module not in project.modules:
+                continue
+
+            def _resolver(
+                call: ast.Call, _module: str = fn.module
+            ) -> Optional[str]:
+                return _resource_constructor(project, _module, call)
+
+            for report in analyze_function_resources(fn.node, _resolver):
+                acq = report.acquisition
+                if report.kind == "normal":
+                    detail = (
+                        "is not closed on every non-exception path "
+                        "(close it, use 'with', or transfer ownership)"
+                    )
+                else:
+                    detail = (
+                        "leaks when a statement between acquisition and "
+                        "close raises (use 'with', try/finally, or "
+                        "close-and-reraise)"
+                    )
+                yield self.finding(
+                    _path_of(project, fn.module),
+                    acq.line,
+                    f"resource '{acq.var}' from {acq.resource}(...) in "
+                    f"'{fn.qualname}' {detail}",
+                )
+
+
+# ----------------------------------------------------------------------
+# R010 — shared-state inventory
+# ----------------------------------------------------------------------
+
+
+@register_project
+class SharedStateRule(ProjectRule):
+    """R010: module-level mutable state must be registered with a reason."""
+
+    rule_id = "R010"
+    severity = "error"
+    summary = (
+        "module-level mutable bindings must carry a '# repro: "
+        "shared-state[reason]' pragma — the audited list the "
+        "concurrent serving layer will latch"
+    )
+
+    def run(self, project: ProjectContext) -> Iterator[Finding]:
+        for entry in sorted(
+            project.shared_state, key=lambda e: (e.module, e.line, e.name)
+        ):
+            if entry.reason is not None:
+                continue
+            yield self.finding(
+                _path_of(project, entry.module),
+                entry.line,
+                f"module-level mutable binding '{entry.name}' "
+                f"({entry.kind}) has no '# repro: shared-state[reason]' "
+                f"annotation; register it (with why it is safe) or make "
+                f"it immutable",
+            )
+
+
+# ----------------------------------------------------------------------
+# R011 — exception contract at package boundaries
+# ----------------------------------------------------------------------
+
+
+def _direct_builtin_raises(fn: FunctionInfo) -> Set[str]:
+    """Builtin (non-ReproError) exceptions ``fn`` raises directly."""
+    out: Set[str] = set()
+    for stmt in getattr(fn.node, "body", []):
+        for node in walk_without_functions(stmt):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _exception_name(node.exc)
+            if (
+                name is not None
+                and name in _BUILTIN_EXCEPTIONS
+                and name not in _R001_ALLOWED
+            ):
+                out.add(name)
+    return out
+
+
+def _guards_cover(
+    guards: Sequence[Optional[str]], exc_name: str
+) -> bool:
+    """Whether the except clauses around a call site catch ``exc_name``."""
+    exc_type = getattr(builtins, exc_name, None)
+    for guard in guards:
+        if guard is None or guard in ("Exception", "BaseException"):
+            return True
+        if guard == exc_name:
+            return True
+        guard_type = getattr(builtins, guard, None)
+        if (
+            isinstance(exc_type, type)
+            and isinstance(guard_type, type)
+            and issubclass(exc_type, guard_type)
+        ):
+            return True
+    return False
+
+
+@register_project
+class ExceptionContractRule(ProjectRule):
+    """R011: the public API only lets ReproError subclasses escape."""
+
+    rule_id = "R011"
+    severity = "error"
+    summary = (
+        "public entry points in db/storage/io may only let "
+        "repro.errors.ReproError subclasses escape (checked through "
+        "the call graph)"
+    )
+
+    def run(self, project: ProjectContext) -> Iterator[Finding]:
+        leaks: Dict[str, Set[str]] = {
+            fn.qualname: _direct_builtin_raises(fn)
+            for fn in project.functions.values()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fn in project.functions.values():
+                mine = leaks[fn.qualname]
+                for call in fn.calls:
+                    for exc in leaks.get(call.callee, ()):
+                        if exc in mine or _guards_cover(call.guards, exc):
+                            continue
+                        mine.add(exc)
+                        changed = True
+        for fn in project.public_entry_points(_ENTRY_PACKAGES):
+            escaped = sorted(leaks.get(fn.qualname, ()))
+            if not escaped:
+                continue
+            yield self.finding(
+                _path_of(project, fn.module),
+                fn.lineno,
+                f"public entry point '{fn.qualname}' may let builtin "
+                f"exception(s) escape: {', '.join(escaped)}; wrap them "
+                f"in a repro.errors.ReproError subclass at the package "
+                f"boundary",
+            )
+
+
+# ----------------------------------------------------------------------
+# R012 — blocking-call reachability from async-ready functions
+# ----------------------------------------------------------------------
+
+
+def _shutdown_blocks(call: ast.Call) -> bool:
+    """``executor.shutdown(...)`` blocks unless ``wait=False``."""
+    for kw in call.keywords:
+        if (
+            kw.arg == "wait"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is False
+        ):
+            return False
+    return True
+
+
+def _direct_blocking_calls(
+    project: ProjectContext, fn: FunctionInfo
+) -> List[str]:
+    """Display names of blocking calls ``fn`` makes directly."""
+    out: List[str] = []
+    for stmt in getattr(fn.node, "body", []):
+        for node in walk_without_functions(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if (
+                    func.id == "open"
+                    and project.resolve_symbol(fn.module, "open") is None
+                ):
+                    out.append("open()")
+                elif (
+                    func.id == "sleep"
+                    and project.resolve_symbol(fn.module, "sleep")
+                    == "time.sleep"
+                ):
+                    out.append("time.sleep()")
+            elif isinstance(func, ast.Attribute):
+                chain = _attribute_chain(func)
+                if (
+                    chain
+                    and chain[-1] == "sleep"
+                    and project.resolve_symbol(fn.module, chain[0])
+                    == "time"
+                ):
+                    out.append("time.sleep()")
+                elif func.attr in _BLOCKING_ATTRS:
+                    out.append(f".{func.attr}()")
+                elif func.attr == "shutdown" and _shutdown_blocks(node):
+                    out.append(".shutdown()")
+    return out
+
+
+@register_project
+class BlockingReachabilityRule(ProjectRule):
+    """R012: async-ready functions must not reach blocking calls."""
+
+    rule_id = "R012"
+    severity = "error"
+    summary = (
+        "functions marked '# repro: async-ready' must not reach "
+        "time.sleep, raw open(), or future/thread joins through the "
+        "call graph"
+    )
+
+    def run(self, project: ProjectContext) -> Iterator[Finding]:
+        blocking = {
+            fn.qualname: _direct_blocking_calls(project, fn)
+            for fn in project.functions.values()
+        }
+        roots = sorted(
+            (fn for fn in project.functions.values() if fn.async_ready),
+            key=lambda f: f.qualname,
+        )
+        for root in roots:
+            seen: Set[str] = {root.qualname}
+            queue: List[str] = [root.qualname]
+            reported: Set[Tuple[str, str]] = set()
+            while queue:
+                qual = queue.pop(0)
+                for desc in blocking.get(qual, ()):
+                    key = (qual, desc)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    where = (
+                        "directly"
+                        if qual == root.qualname
+                        else f"via '{qual}'"
+                    )
+                    yield self.finding(
+                        _path_of(project, root.module),
+                        root.lineno,
+                        f"async-ready function '{root.qualname}' "
+                        f"reaches blocking call {desc} {where}; move "
+                        f"the blocking work behind an executor before "
+                        f"the serving layer goes async",
+                    )
+                info = project.functions.get(qual)
+                for call in info.calls if info is not None else []:
+                    if (
+                        call.callee in project.functions
+                        and call.callee not in seen
+                    ):
+                        seen.add(call.callee)
+                        queue.append(call.callee)
+
+
+# ----------------------------------------------------------------------
+# R013 — observability hot-path guard idiom
+# ----------------------------------------------------------------------
+
+
+@register_project
+class ObsGuardRule(ProjectRule):
+    """R013: bind ``_obs.REGISTRY``/``TRACER`` before using it."""
+
+    rule_id = "R013"
+    severity = "error"
+    summary = (
+        "instrumented modules must use the bind-then-guard idiom "
+        "(reg = _obs.REGISTRY; if reg is not None: ...) instead of "
+        "chaining through the nullable global"
+    )
+
+    def run(self, project: ProjectContext) -> Iterator[Finding]:
+        for module, ctx in sorted(project.modules.items()):
+            if "obs" in module.split("."):
+                continue  # repro.obs owns these globals
+            parents = _parent_map(ctx.tree)
+            for node in ast.walk(ctx.tree):
+                if not (
+                    isinstance(node, ast.Attribute)
+                    and node.attr in _OBS_GLOBALS
+                    and isinstance(node.value, ast.Name)
+                ):
+                    continue
+                alias = node.value.id
+                target = project.resolve_symbol(module, alias)
+                if target is None or not target.startswith("repro.obs"):
+                    continue
+                parent = parents.get(id(node))
+                chained = (
+                    isinstance(parent, (ast.Attribute, ast.Subscript))
+                    or (
+                        isinstance(parent, ast.Call)
+                        and parent.func is node
+                    )
+                )
+                if not chained:
+                    continue
+                yield self.finding(
+                    str(ctx.path),
+                    node.lineno,
+                    f"'{alias}.{node.attr}' is used directly in an "
+                    f"expression; observability is nullable — bind it "
+                    f"first (reg = {alias}.{node.attr}; if reg is not "
+                    f"None: ...)",
+                )
+
+
+# ----------------------------------------------------------------------
+# R014 — no private imports across package boundaries
+# ----------------------------------------------------------------------
+
+
+def _absolute_import_source(
+    module: str, ctx: ModuleContext, stmt: ast.ImportFrom
+) -> str:
+    src = stmt.module or ""
+    if stmt.level:
+        base = module.split(".")
+        if ctx.is_package_init:
+            base = base + ["_"]
+        base = base[: len(base) - stmt.level]
+        src = ".".join(base + ([src] if src else []))
+    return src
+
+
+def _package_of(project: ProjectContext, module: str) -> str:
+    ctx = project.modules[module]
+    if ctx.is_package_init or "." not in module:
+        return module
+    return module.rsplit(".", 1)[0]
+
+
+@register_project
+class PrivateImportRule(ProjectRule):
+    """R014: ``_private`` names stay inside their package."""
+
+    rule_id = "R014"
+    severity = "error"
+    summary = (
+        "private _names must not be imported across package "
+        "boundaries; export a public name instead"
+    )
+
+    def run(self, project: ProjectContext) -> Iterator[Finding]:
+        for module, ctx in sorted(project.modules.items()):
+            importer_pkg = _package_of(project, module)
+            for stmt in ast.walk(ctx.tree):
+                if not isinstance(stmt, ast.ImportFrom):
+                    continue
+                src = _absolute_import_source(module, ctx, stmt)
+                if src not in project.modules:
+                    continue  # external modules are out of scope
+                src_pkg = _package_of(project, src)
+                if importer_pkg == src_pkg:
+                    continue
+                for alias in stmt.names:
+                    name = alias.name
+                    if not name.startswith("_"):
+                        continue
+                    if name.startswith("__") and name.endswith("__"):
+                        continue  # dunders are protocol, not private
+                    yield self.finding(
+                        str(ctx.path),
+                        stmt.lineno,
+                        f"imports private name '{name}' from '{src}' "
+                        f"across a package boundary; private names are "
+                        f"package-internal — import or re-export a "
+                        f"public name instead",
+                    )

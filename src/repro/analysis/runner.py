@@ -1,10 +1,26 @@
 """Scan orchestration: find files, parse once, run every rule.
 
 The runner is the only layer that touches the filesystem; rules see a
-pre-parsed :class:`~repro.analysis.base.ModuleContext` and the
+pre-parsed :class:`~repro.analysis.base.ModuleContext` (or, in project
+mode, a :class:`~repro.analysis.project.ProjectContext`) and the
 reporters see a finished :class:`ScanResult`.  That separation keeps
 rules trivially unit-testable from source strings (see
 ``tests/analysis/``).
+
+Two scan shapes exist:
+
+* :func:`scan_paths` — the original per-module pass (R001–R008 plus
+  R015), one :class:`~repro.analysis.base.ModuleContext` at a time;
+* :func:`scan_project` — parses the whole tree once, runs the
+  per-module rules *and* the whole-program rules (R009–R014) over a
+  shared :class:`~repro.analysis.project.ProjectContext`, and stamps
+  every finding with its baseline fingerprint.
+
+R015 (unused suppression) is synthesised here rather than in a rule:
+whether a ``# repro: noqa`` pragma suppressed anything is only known
+after every other rule has run.  R015 findings are deliberately not
+themselves suppressible — a noqa waiving its own unused-ness would be
+self-certifying.
 """
 
 from __future__ import annotations
@@ -12,18 +28,45 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.base import (
     Finding,
     ModuleContext,
     Rule,
+    register,
+    resolve_project_rule_ids,
     resolve_rule_ids,
 )
-from repro.analysis.noqa import is_suppressed, parse_noqa
+from repro.analysis.baseline import fingerprint_findings
+from repro.analysis.noqa import NOQA_ALL, is_suppressed, parse_noqa
 from repro.errors import AnalysisError
 
-__all__ = ["ScanResult", "analyze_source", "collect_files", "scan_paths"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.project import ProjectContext
+
+__all__ = [
+    "ScanResult",
+    "UnusedSuppressionRule",
+    "analyze_source",
+    "collect_files",
+    "parse_module",
+    "scan_paths",
+    "scan_project",
+]
+
+UNUSED_NOQA_ID = "R015"
 
 
 @dataclass
@@ -35,8 +78,11 @@ class ScanResult:
 
     @property
     def active(self) -> List[Finding]:
-        """Findings not waived by a ``# repro: noqa`` pragma."""
-        return [f for f in self.findings if not f.suppressed]
+        """Findings that fail the build: neither suppressed by a
+        ``# repro: noqa`` pragma nor recorded in the baseline."""
+        return [
+            f for f in self.findings if not f.suppressed and not f.baselined
+        ]
 
     @property
     def suppressed(self) -> List[Finding]:
@@ -44,9 +90,34 @@ class ScanResult:
         return [f for f in self.findings if f.suppressed]
 
     @property
+    def baselined(self) -> List[Finding]:
+        """Pre-existing findings recorded in the baseline file."""
+        return [f for f in self.findings if f.baselined]
+
+    @property
     def exit_code(self) -> int:
         """0 when clean, 1 when any active finding remains."""
         return 1 if self.active else 0
+
+
+@register
+class UnusedSuppressionRule(Rule):
+    """R015 — a ``# repro: noqa`` pragma that suppresses nothing.
+
+    The findings are synthesised by the runner after every other rule
+    has run (see module docstring); :meth:`run` itself is empty so the
+    rule still appears in ``--list-rules`` and ``--select``.
+    """
+
+    rule_id = UNUSED_NOQA_ID
+    severity = "warning"
+    summary = (
+        "# repro: noqa pragma suppresses nothing on its line "
+        "(stale waiver; remove it)"
+    )
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
 
 
 def _module_name(path: Path) -> str:
@@ -69,29 +140,68 @@ def _module_name(path: Path) -> str:
     return ".".join(parts) if parts else path.stem
 
 
-def analyze_source(
+def _decorator_groups(tree: ast.Module) -> Dict[int, FrozenSet[int]]:
+    """Lines belonging to one decorated def/class, keyed by each line.
+
+    A finding on a decorated ``def`` may anchor at the ``def`` line
+    while the pragma sits on a decorator line (or vice versa); grouping
+    them makes the suppression land wherever the author wrote it.
+    """
+    groups: Dict[int, FrozenSet[int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.decorator_list:
+            continue
+        lines = frozenset(
+            [d.lineno for d in node.decorator_list] + [node.lineno]
+        )
+        for lineno in lines:
+            groups[lineno] = lines
+    return groups
+
+
+def _alias_decorated_noqa(
+    tree: ast.Module, noqa: Dict[int, FrozenSet[str]]
+) -> None:
+    """Spread noqa pragmas across a decorated def's line group."""
+    for lines in set(_decorator_groups(tree).values()):
+        present = [noqa[ln] for ln in lines if ln in noqa]
+        if not present:
+            continue
+        if any(ids == NOQA_ALL for ids in present):
+            combined = NOQA_ALL
+        else:
+            combined = frozenset().union(*present)
+        for lineno in lines:
+            noqa[lineno] = combined
+
+
+def parse_module(
     source: str,
     path: Path,
-    rules: Sequence[Rule],
     *,
     module_name: Optional[str] = None,
-) -> List[Finding]:
-    """Run ``rules`` over one module's source text.
-
-    Findings suppressed by ``# repro: noqa`` pragmas are *returned* but
-    marked ``suppressed`` — callers decide whether to show them.
-    """
+) -> ModuleContext:
+    """Parse one module into the context every rule consumes."""
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         raise AnalysisError(f"{path}: cannot parse: {exc}") from exc
-    ctx = ModuleContext(
+    noqa = parse_noqa(source)
+    _alias_decorated_noqa(tree, noqa)
+    return ModuleContext(
         path=path,
         source=source,
         tree=tree,
         module_name=module_name or _module_name(path),
-        noqa=parse_noqa(source),
+        noqa=noqa,
     )
+
+
+def _run_rules(ctx: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
     findings: List[Finding] = []
     for rule in rules:
         for finding in rule.run(ctx):
@@ -100,6 +210,85 @@ def analyze_source(
             findings.append(finding)
     findings.sort(key=Finding.sort_key)
     return findings
+
+
+def analyze_source(
+    source: str,
+    path: Path,
+    rules: Sequence[Rule],
+    *,
+    module_name: Optional[str] = None,
+    flag_unused_noqa: bool = False,
+) -> List[Finding]:
+    """Run ``rules`` over one module's source text.
+
+    Findings suppressed by ``# repro: noqa`` pragmas are *returned* but
+    marked ``suppressed`` — callers decide whether to show them.  With
+    ``flag_unused_noqa`` the R015 post-pass runs too, treating every
+    pragma as checkable against exactly the rules passed in.
+    """
+    ctx = parse_module(source, path, module_name=module_name)
+    findings = _run_rules(ctx, rules)
+    if flag_unused_noqa:
+        ran_ids = frozenset(rule.rule_id for rule in rules)
+        findings.extend(
+            _unused_noqa_findings([ctx], findings, ran_ids, check_bare=True)
+        )
+        findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _unused_noqa_findings(
+    contexts: Sequence[ModuleContext],
+    findings: Sequence[Finding],
+    ran_ids: FrozenSet[str],
+    *,
+    check_bare: bool,
+) -> List[Finding]:
+    """R015: pragmas that suppressed nothing in this scan.
+
+    A *named* pragma is reported only when every rule it names actually
+    ran and none fired — a partially-run rule set cannot prove a waiver
+    stale.  A *bare* pragma is judged only when the full rule set ran
+    (``check_bare``), for the same reason.
+    """
+    suppressed_at: Dict[str, Set[Tuple[int, str]]] = {}
+    for f in findings:
+        if f.suppressed:
+            suppressed_at.setdefault(f.path, set()).add((f.line, f.rule_id))
+    out: List[Finding] = []
+    for ctx in contexts:
+        groups = _decorator_groups(ctx.tree)
+        hits = suppressed_at.get(str(ctx.path), set())
+        for line, ids in sorted(parse_noqa(ctx.source).items()):
+            covered = groups.get(line, frozenset()) | {line}
+            used = {rid for (ln, rid) in hits if ln in covered}
+            if used:
+                continue
+            if ids == NOQA_ALL:
+                if not check_bare:
+                    continue
+                message = (
+                    "unused '# repro: noqa': no finding is suppressed here"
+                )
+            elif ids <= ran_ids:
+                message = (
+                    f"unused '# repro: noqa[{','.join(sorted(ids))}]': "
+                    f"the named rule(s) never fire here"
+                )
+            else:
+                continue
+            out.append(
+                Finding(
+                    rule_id=UNUSED_NOQA_ID,
+                    severity="warning",
+                    path=str(ctx.path),
+                    line=line,
+                    col=0,
+                    message=message,
+                )
+            )
+    return out
 
 
 def collect_files(paths: Iterable[Path]) -> List[Path]:
@@ -121,15 +310,80 @@ def scan_paths(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
 ) -> ScanResult:
-    """Scan files and directories with the selected rule set."""
+    """Scan files and directories with the selected per-module rules."""
     rules = resolve_rule_ids(select, ignore)
     result = ScanResult()
+    contexts: List[ModuleContext] = []
     for path in collect_files(paths):
         try:
             source = path.read_text(encoding="utf-8")
         except OSError as exc:
             raise AnalysisError(f"{path}: cannot read: {exc}") from exc
-        result.findings.extend(analyze_source(source, path, rules))
+        ctx = parse_module(source, path)
+        contexts.append(ctx)
+        result.findings.extend(_run_rules(ctx, rules))
         result.files_scanned += 1
+    if any(rule.rule_id == UNUSED_NOQA_ID for rule in rules):
+        ran_ids = frozenset(rule.rule_id for rule in rules)
+        result.findings.extend(
+            _unused_noqa_findings(
+                contexts,
+                result.findings,
+                ran_ids,
+                check_bare=select is None,
+            )
+        )
+    result.findings = fingerprint_findings(result.findings)
     result.findings.sort(key=Finding.sort_key)
     return result
+
+
+def scan_project(
+    paths: Iterable[Path],
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> Tuple[ScanResult, "ProjectContext"]:
+    """One whole-program scan: per-module and project rules together.
+
+    Returns the result *and* the built
+    :class:`~repro.analysis.project.ProjectContext` so callers (the
+    ``--shared-state`` report, tests) can inspect the derived
+    structures without a second parse.
+    """
+    # Imported here: project.py itself uses parse_module from this
+    # module, so a top-level import would be circular.
+    from repro.analysis.project import build_project
+
+    module_rules, project_rules = resolve_project_rule_ids(select, ignore)
+    project = build_project(paths)
+    result = ScanResult(files_scanned=len(project.modules))
+    for ctx in project.modules.values():
+        result.findings.extend(_run_rules(ctx, module_rules))
+    noqa_by_path = {
+        str(ctx.path): ctx.noqa for ctx in project.modules.values()
+    }
+    for rule in project_rules:
+        for finding in rule.run(project):
+            noqa = noqa_by_path.get(finding.path)
+            if noqa is not None and is_suppressed(
+                noqa, finding.line, finding.rule_id
+            ):
+                finding = finding.suppress()
+            result.findings.append(finding)
+    ran_ids = frozenset(
+        [rule.rule_id for rule in module_rules]
+        + [rule.rule_id for rule in project_rules]
+    )
+    if UNUSED_NOQA_ID in ran_ids:
+        result.findings.extend(
+            _unused_noqa_findings(
+                list(project.modules.values()),
+                result.findings,
+                ran_ids,
+                check_bare=select is None,
+            )
+        )
+    result.findings = fingerprint_findings(result.findings)
+    result.findings.sort(key=Finding.sort_key)
+    return result, project

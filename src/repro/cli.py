@@ -314,6 +314,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--show-suppressed")
     if args.list_rules:
         argv.append("--list-rules")
+    if args.project:
+        argv.append("--project")
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv += ["--write-baseline", args.write_baseline]
+    if args.shared_state:
+        argv.append("--shared-state")
     return lint_main(argv)
 
 
@@ -419,6 +427,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print findings waived by # repro: noqa")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--project", action="store_true",
+                   help="whole-program mode: run R009-R014 over the "
+                        "project context too")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="known-findings file; fail only on new findings "
+                        "(implies --project)")
+    p.add_argument("--write-baseline", metavar="FILE", default=None,
+                   help="record current findings as the baseline "
+                        "(implies --project)")
+    p.add_argument("--shared-state", action="store_true",
+                   help="print the audited shared-state registry "
+                        "(implies --project)")
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("query", help="range-select from a container")

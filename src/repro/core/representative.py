@@ -76,7 +76,7 @@ def total_distortion(ordinals: Sequence[int], index: int) -> int:
     return sum(abs(o - anchor) for o in ordinals)
 
 
-STRATEGIES: Dict[str, Strategy] = {
+STRATEGIES: Dict[str, Strategy] = {  # repro: shared-state[strategy registry; written only at import time, read-only lookup afterwards]
     "median": median_index,
     "first": first_index,
     "last": last_index,

@@ -207,8 +207,12 @@ class Table:
                 block_size=disk.block_size,
                 injector=getattr(disk, "injector", None),
             )
-            wal.checkpoint(relation.phi_ordinals())
-            wal.write_clean(storage.directory_entries_checked())
+            try:
+                wal.checkpoint(relation.phi_ordinals())
+                wal.write_clean(storage.directory_entries_checked())
+            except BaseException:
+                wal.close()
+                raise
         table = cls(
             name,
             relation.schema,

@@ -18,7 +18,7 @@ formula) and also reports the non-AVQ baselines for context.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.avq import AVQBaseline
 from repro.baselines.nocoding import NaturalWidthBaseline, NoCodingBaseline
@@ -54,15 +54,15 @@ class TestConfig:
 
 
 #: Figure 5.7 Table (a): the four relation-characteristic combinations.
-TEST_CONFIGS: List[TestConfig] = [
+TEST_CONFIGS: Tuple[TestConfig, ...] = (
     TestConfig(1, skew=True, variance="small"),
     TestConfig(2, skew=True, variance="large"),
     TestConfig(3, skew=False, variance="small"),
     TestConfig(4, skew=False, variance="large"),
-]
+)
 
 #: Figure 5.7 Table (b): the paper's reported reductions, by test number.
-PAPER_REDUCTIONS: Dict[int, float] = {1: 73.0, 2: 65.6, 3: 73.0, 4: 65.6}
+PAPER_REDUCTIONS: Dict[int, float] = {1: 73.0, 2: 65.6, 3: 73.0, 4: 65.6}  # repro: shared-state[paper constants; written once here, read-only lookup table]
 
 #: Mean (active) domain size for the Figure 5.7 relations.  The paper never
 #: states it; census-style categorical data (the authors' CIESIN context)

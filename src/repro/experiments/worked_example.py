@@ -58,8 +58,8 @@ _PAPER_ORDINALS: Tuple[int, ...] = (
 )
 
 # Value dictionaries the paper names explicitly (Example 3.1 / Figure 2.2).
-_DEPARTMENTS = {2: "management", 3: "production", 4: "marketing", 5: "personnel"}
-_JOBS = {
+_DEPARTMENTS = {2: "management", 3: "production", 4: "marketing", 5: "personnel"}  # repro: shared-state[paper constants (Example 3.1); written once here, read-only lookup table]
+_JOBS = {  # repro: shared-state[paper constants (Figure 2.2); written once here, read-only lookup table]
     4: "executive",
     5: "secretary",
     6: "worker1",

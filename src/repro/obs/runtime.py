@@ -55,10 +55,10 @@ __all__ = [
 #: The active registry, or ``None`` when observability is off.  Hot
 #: paths read this attribute directly (``runtime.REGISTRY``) — do not
 #: rebind it except through :func:`enable`/:func:`disable`.
-REGISTRY: Optional[MetricsRegistry] = None
+REGISTRY: Optional[MetricsRegistry] = None  # repro: shared-state[process-wide observability switch; rebound only by enable/disable/scoped, single-threaded today and latched before the serving layer forks]
 
 #: The active tracer, or ``None`` when observability is off.
-TRACER: Optional[Tracer] = None
+TRACER: Optional[Tracer] = None  # repro: shared-state[process-wide tracing switch; rebound only by enable/disable/scoped, same latching plan as REGISTRY]
 
 
 def now_ms() -> float:

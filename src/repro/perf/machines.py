@@ -16,7 +16,7 @@ present-day data point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, Tuple
 
 __all__ = [
     "MachineProfile",
@@ -74,7 +74,11 @@ HP_9000_735 = MachineProfile("HP 9000/735", 13.91, 13.85, 1.34)
 SUN_4_50 = MachineProfile("Sun 4/50", 40.29, 40.45, 3.70)
 DEC_5000_120 = MachineProfile("Dec 5000/120", 69.92, 61.33, 9.77)
 
-PAPER_MACHINES: List[MachineProfile] = [HP_9000_735, SUN_4_50, DEC_5000_120]
+PAPER_MACHINES: Tuple[MachineProfile, ...] = (
+    HP_9000_735,
+    SUN_4_50,
+    DEC_5000_120,
+)
 
 
 def calibrated_profile(

@@ -540,12 +540,16 @@ class WriteAheadLog:
             separators=(",", ":"),
         ).encode("utf-8")
         f = open(path, "wb")
-        f.write(_MAGIC)
-        f.write(_VERSION.to_bytes(2, "big"))
-        f.write(len(header_json).to_bytes(4, "big"))
-        f.write(header_json)
-        f.write(zlib.crc32(header_json).to_bytes(4, "big"))
-        f.flush()
+        try:
+            f.write(_MAGIC)
+            f.write(_VERSION.to_bytes(2, "big"))
+            f.write(len(header_json).to_bytes(4, "big"))
+            f.write(header_json)
+            f.write(zlib.crc32(header_json).to_bytes(4, "big"))
+            f.flush()
+        except BaseException:
+            f.close()
+            raise
         return cls(path, header, injector=injector, _file=f)
 
     @classmethod

@@ -91,7 +91,7 @@ def _check(domain_size: int, count: int) -> None:
         raise WorkloadError(f"count must be >= 0, got {count}")
 
 
-SAMPLERS: Dict[str, Sampler] = {
+SAMPLERS: Dict[str, Sampler] = {  # repro: shared-state[sampler registry; written only at import time, read-only lookup afterwards]
     "uniform": uniform_values,
     "skewed": skewed_values,
     "zipf": zipf_values,

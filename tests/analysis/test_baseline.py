@@ -1,0 +1,166 @@
+"""Fingerprints and the diff-aware baseline workflow."""
+
+import json
+
+import pytest
+
+from repro.analysis.base import Finding
+from repro.analysis.baseline import (
+    BASELINE_SCHEMA_VERSION,
+    apply_baseline,
+    fingerprint_findings,
+    load_baseline,
+    normalize_path,
+    write_baseline,
+)
+from repro.errors import AnalysisError
+
+
+def make_finding(rule="R001", path="src/repro/m.py", line=3, message="boom"):
+    return Finding(
+        rule_id=rule,
+        severity="error",
+        path=path,
+        line=line,
+        col=0,
+        message=message,
+    )
+
+
+# ----------------------------------------------------------------------
+# Path normalisation
+# ----------------------------------------------------------------------
+
+
+def test_normalize_path_anchors_at_src():
+    assert (
+        normalize_path("/root/repo/src/repro/io/wal.py")
+        == "src/repro/io/wal.py"
+    )
+    assert normalize_path("src/repro/io/wal.py") == "src/repro/io/wal.py"
+
+
+def test_normalize_path_uses_last_src_segment():
+    assert (
+        normalize_path("/home/src/checkout/src/repro/m.py")
+        == "src/repro/m.py"
+    )
+
+
+def test_normalize_path_passes_through_without_src():
+    assert normalize_path("tests/analysis/x.py") == "tests/analysis/x.py"
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+
+def test_fingerprints_are_stable_across_input_order():
+    a = make_finding(message="first")
+    b = make_finding(message="second")
+    forward = fingerprint_findings([a, b])
+    backward = fingerprint_findings([b, a])
+    by_message = lambda fs: {f.message: f.fingerprint for f in fs}
+    assert by_message(forward) == by_message(backward)
+
+
+def test_fingerprints_are_line_independent():
+    before = fingerprint_findings([make_finding(line=3)])
+    after = fingerprint_findings([make_finding(line=97)])
+    assert before[0].fingerprint == after[0].fingerprint
+
+
+def test_fingerprints_are_invocation_path_independent():
+    relative = fingerprint_findings([make_finding(path="src/repro/m.py")])
+    absolute = fingerprint_findings(
+        [make_finding(path="/root/repo/src/repro/m.py")]
+    )
+    assert relative[0].fingerprint == absolute[0].fingerprint
+
+
+def test_identical_findings_get_distinct_occurrence_fingerprints():
+    stamped = fingerprint_findings([make_finding(), make_finding()])
+    prints = {f.fingerprint for f in stamped}
+    assert len(prints) == 2
+
+
+def test_distinct_rules_and_messages_never_collide():
+    stamped = fingerprint_findings(
+        [
+            make_finding(rule="R001"),
+            make_finding(rule="R003"),
+            make_finding(message="other"),
+        ]
+    )
+    assert len({f.fingerprint for f in stamped}) == 3
+
+
+# ----------------------------------------------------------------------
+# Write / load / apply
+# ----------------------------------------------------------------------
+
+
+def test_write_load_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = fingerprint_findings([make_finding(), make_finding(rule="R003")])
+    assert write_baseline(path, findings) == 2
+    known = load_baseline(path)
+    assert known == {f.fingerprint for f in findings}
+    payload = json.loads(path.read_text())
+    assert payload["version"] == BASELINE_SCHEMA_VERSION
+    entry = payload["findings"][0]
+    assert set(entry) == {"fingerprint", "rule", "file", "line", "message"}
+
+
+def test_write_baseline_excludes_suppressed(tmp_path):
+    path = tmp_path / "baseline.json"
+    active, waived = fingerprint_findings(
+        [make_finding(), make_finding(message="waived")]
+    )
+    assert write_baseline(path, [active, waived.suppress()]) == 1
+    assert load_baseline(path) == {active.fingerprint}
+
+
+def test_apply_baseline_marks_known_findings_only():
+    known_f, new_f = fingerprint_findings(
+        [make_finding(), make_finding(message="regression")]
+    )
+    out = apply_baseline([known_f, new_f], frozenset({known_f.fingerprint}))
+    assert out[0].baselined
+    assert not out[1].baselined
+
+
+def test_load_rejects_invalid_baselines(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(AnalysisError):
+        load_baseline(missing)
+
+    bad_json = tmp_path / "bad.json"
+    bad_json.write_text("{not json")
+    with pytest.raises(AnalysisError):
+        load_baseline(bad_json)
+
+    wrong_shape = tmp_path / "shape.json"
+    wrong_shape.write_text('{"version": 1}')
+    with pytest.raises(AnalysisError):
+        load_baseline(wrong_shape)
+
+    wrong_version = tmp_path / "version.json"
+    wrong_version.write_text('{"version": 99, "findings": []}')
+    with pytest.raises(AnalysisError):
+        load_baseline(wrong_version)
+
+    no_fingerprint = tmp_path / "entry.json"
+    no_fingerprint.write_text('{"version": 1, "findings": [{"rule": "R001"}]}')
+    with pytest.raises(AnalysisError):
+        load_baseline(no_fingerprint)
+
+
+def test_committed_repo_baseline_is_loadable():
+    # The file CI consumes must always parse with the current schema.
+    from pathlib import Path
+
+    repo_baseline = Path(__file__).resolve().parents[2] / "analysis-baseline.json"
+    assert repo_baseline.is_file()
+    load_baseline(repo_baseline)  # must not raise

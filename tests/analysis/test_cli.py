@@ -99,3 +99,105 @@ def test_syntax_error_is_a_usage_error(tmp_path, capsys):
     bad.write_text("def f(:\n")
     assert analysis_main([str(bad)]) == 2
     assert "cannot parse" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Project mode and the baseline workflow
+# ----------------------------------------------------------------------
+
+PROJECT_CLEAN = (
+    "__all__ = []\n"
+    "CACHE = {}  # repro: shared-state[test cache]\n"
+)
+PROJECT_DIRTY = "__all__ = []\nCACHE = {}\n"
+
+
+def project_tree(tmp_path, source):
+    root = tmp_path / "src" / "repro"
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "state.py").write_text(source)
+    return root
+
+
+def test_project_mode_exit_codes(tmp_path, capsys):
+    clean = project_tree(tmp_path / "clean", PROJECT_CLEAN)
+    dirty = project_tree(tmp_path / "dirty", PROJECT_DIRTY)
+    assert analysis_main(["--project", str(clean)]) == 0
+    assert analysis_main(["--project", str(dirty)]) == 1
+    assert "R010" in capsys.readouterr().out
+
+
+def test_project_json_carries_fingerprints(tmp_path, capsys):
+    dirty = project_tree(tmp_path, PROJECT_DIRTY)
+    assert analysis_main(["--project", str(dirty), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "R010"
+    assert len(finding["fingerprint"]) == 16
+
+
+def test_write_then_apply_baseline_flow(tmp_path, capsys):
+    root = project_tree(tmp_path, PROJECT_DIRTY)
+    baseline = tmp_path / "baseline.json"
+
+    # Recording the current findings succeeds and exits 0.
+    assert analysis_main([str(root), "--write-baseline", str(baseline)]) == 0
+    assert "wrote 1 finding(s)" in capsys.readouterr().err
+
+    # With the baseline applied the same tree is green...
+    assert analysis_main([str(root), "--baseline", str(baseline)]) == 0
+    # ...but a new violation still fails.
+    (root / "extra.py").write_text("__all__ = []\nTABLE = {}\n")
+    assert analysis_main([str(root), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "TABLE" in out
+
+
+def test_baselined_findings_are_labelled_in_json(tmp_path, capsys):
+    root = project_tree(tmp_path, PROJECT_DIRTY)
+    baseline = tmp_path / "baseline.json"
+    assert analysis_main([str(root), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert (
+        analysis_main(
+            [str(root), "--baseline", str(baseline), "--format", "json"]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["baselined"] == 1
+    assert payload["findings"][0]["baselined"] is True
+
+
+def test_invalid_baseline_is_a_usage_error(tmp_path, capsys):
+    root = project_tree(tmp_path, PROJECT_CLEAN)
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert analysis_main([str(root), "--baseline", str(bad)]) == 2
+    assert "usage error" in capsys.readouterr().err
+
+
+def test_shared_state_listing(tmp_path, capsys):
+    root = project_tree(tmp_path, PROJECT_CLEAN)
+    assert analysis_main(["--shared-state", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "CACHE" in out
+    assert "test cache" in out
+
+
+def test_repro_lint_project_passthrough(tmp_path, capsys):
+    clean = project_tree(tmp_path / "clean", PROJECT_CLEAN)
+    dirty = project_tree(tmp_path / "dirty", PROJECT_DIRTY)
+    baseline = tmp_path / "baseline.json"
+    assert repro_main(["lint", "--project", str(clean)]) == 0
+    assert repro_main(["lint", "--project", str(dirty)]) == 1
+    assert (
+        repro_main(
+            ["lint", str(dirty), "--write-baseline", str(baseline)]
+        )
+        == 0
+    )
+    assert repro_main(["lint", str(dirty), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert repro_main(["lint", "--shared-state", str(clean)]) == 0
+    assert "CACHE" in capsys.readouterr().out

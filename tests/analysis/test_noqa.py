@@ -4,7 +4,7 @@ from pathlib import Path
 
 from repro.analysis.base import get_rule
 from repro.analysis.noqa import NOQA_ALL, is_suppressed, parse_noqa
-from repro.analysis.runner import analyze_source
+from repro.analysis.runner import UNUSED_NOQA_ID, analyze_source
 
 
 def test_parse_bare_noqa_suppresses_all():
@@ -48,3 +48,116 @@ def test_suppressing_a_different_rule_does_not_hide_finding():
     found = analyze_source(src, Path("snippet.py"), [get_rule("R001")])
     assert len(found) == 1
     assert not found[0].suppressed
+
+
+# ----------------------------------------------------------------------
+# Edge cases: multi-rule pragmas, docstrings, decorated defs, R015
+# ----------------------------------------------------------------------
+
+
+def test_multi_rule_pragma_suppresses_both_rules_on_one_line():
+    src = (
+        "import time\n"
+        "def f(x):\n"
+        "    raise ValueError(time.time())  # repro: noqa[R001,R008]\n"
+    )
+    rules = [get_rule("R001"), get_rule("R008")]
+    found = analyze_source(src, Path("snippet.py"), rules)
+    assert len(found) == 2
+    assert all(f.suppressed for f in found)
+
+
+def test_pragma_text_inside_docstring_is_not_a_suppression():
+    src = (
+        'def f(x):\n'
+        '    """Use ``# repro: noqa[R001]`` to waive this."""\n'
+        '    raise ValueError("bad")\n'
+    )
+    assert parse_noqa(src) == {}
+    found = analyze_source(src, Path("snippet.py"), [get_rule("R001")])
+    assert len(found) == 1
+    assert not found[0].suppressed
+
+
+def test_doc_comment_mentioning_pragma_is_not_a_suppression():
+    src = "#: lines with ``# repro: noqa`` pragmas\nx = {}\n"
+    assert parse_noqa(src) == {}
+
+
+def test_untokenizable_source_falls_back_to_line_matching():
+    # An unterminated string breaks the tokenizer but not splitlines().
+    src = "x = f()  # repro: noqa[R001]\ny = '''\n"
+    assert parse_noqa(src)[1] == frozenset({"R001"})
+
+
+def test_pragma_on_decorator_line_suppresses_finding_on_def():
+    src = (
+        "import functools\n"
+        "@functools.cache  # repro: noqa[R004]\n"
+        "def f(x=[]):\n"
+        "    return x\n"
+    )
+    found = analyze_source(src, Path("snippet.py"), [get_rule("R004")])
+    assert len(found) == 1
+    assert found[0].suppressed
+
+
+def test_pragma_on_def_line_covers_decorated_group():
+    src = (
+        "import functools\n"
+        "@functools.cache\n"
+        "def f(x=[]):  # repro: noqa[R004]\n"
+        "    return x\n"
+    )
+    found = analyze_source(src, Path("snippet.py"), [get_rule("R004")])
+    assert len(found) == 1
+    assert found[0].suppressed
+
+
+def test_unused_bare_pragma_gets_r015_warning():
+    src = "x = 1  # repro: noqa\n"
+    found = analyze_source(
+        src,
+        Path("snippet.py"),
+        [get_rule("R001"), get_rule(UNUSED_NOQA_ID)],
+        flag_unused_noqa=True,
+    )
+    assert [f.rule_id for f in found] == [UNUSED_NOQA_ID]
+    assert found[0].severity == "warning"
+    assert found[0].line == 1
+
+
+def test_unused_named_pragma_gets_r015_warning():
+    src = "def f(x):\n    return x  # repro: noqa[R001]\n"
+    found = analyze_source(
+        src,
+        Path("snippet.py"),
+        [get_rule("R001"), get_rule(UNUSED_NOQA_ID)],
+        flag_unused_noqa=True,
+    )
+    assert [f.rule_id for f in found] == [UNUSED_NOQA_ID]
+    assert "R001" in found[0].message
+
+
+def test_used_pragma_gets_no_r015_warning():
+    src = "def f(x):\n    raise ValueError('bad')  # repro: noqa[R001]\n"
+    found = analyze_source(
+        src,
+        Path("snippet.py"),
+        [get_rule("R001"), get_rule(UNUSED_NOQA_ID)],
+        flag_unused_noqa=True,
+    )
+    assert [f.rule_id for f in found] == ["R001"]
+    assert found[0].suppressed
+
+
+def test_named_pragma_for_rule_that_did_not_run_is_not_flagged():
+    # R002 never ran, so the waiver cannot be proven stale.
+    src = "def f(x):\n    return x  # repro: noqa[R002]\n"
+    found = analyze_source(
+        src,
+        Path("snippet.py"),
+        [get_rule("R001"), get_rule(UNUSED_NOQA_ID)],
+        flag_unused_noqa=True,
+    )
+    assert found == []

@@ -1,0 +1,251 @@
+"""ProjectContext construction: imports, symbols, resources, state.
+
+Every test builds a scratch tree shaped like ``<tmp>/src/repro/...`` so
+module names resolve the same way they do for the real package.
+"""
+
+from repro.analysis.project import build_project
+
+
+def build(tmp_path, files):
+    root = tmp_path / "src" / "repro"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return build_project([root])
+
+
+# ----------------------------------------------------------------------
+# Import graph
+# ----------------------------------------------------------------------
+
+
+def test_import_graph_records_project_edges(tmp_path):
+    project = build(
+        tmp_path,
+        {
+            "a.py": "import repro.b as b\nimport json\n",
+            "b.py": "from repro import c\n",
+            "c.py": "",
+        },
+    )
+    assert project.import_graph["repro.a"] == {"repro.b"}
+    assert project.import_graph["repro.b"] == {"repro.c"}
+    assert project.import_graph["repro.c"] == set()
+
+
+def test_relative_imports_resolve_against_the_module(tmp_path):
+    project = build(
+        tmp_path,
+        {
+            "pkg/__init__.py": "from . import impl\n",
+            "pkg/impl.py": "from .sibling import f\n",
+            "pkg/sibling.py": "def f():\n    return 1\n",
+        },
+    )
+    assert "repro.pkg.impl" in project.import_graph["repro.pkg"]
+    assert project.import_graph["repro.pkg.impl"] == {"repro.pkg.sibling"}
+
+
+# ----------------------------------------------------------------------
+# Symbol resolution
+# ----------------------------------------------------------------------
+
+
+def test_resolve_symbol_finds_local_defs(tmp_path):
+    project = build(tmp_path, {"m.py": "def f():\n    return 1\n"})
+    assert project.resolve_symbol("repro.m", "f") == "repro.m.f"
+    assert project.resolve_symbol("repro.m", "ghost") is None
+
+
+def test_resolve_symbol_chases_reexports_through_init(tmp_path):
+    project = build(
+        tmp_path,
+        {
+            "pkg/__init__.py": "from repro.pkg.impl import Thing\n",
+            "pkg/impl.py": "class Thing:\n    pass\n",
+            "user.py": "from repro.pkg import Thing\n",
+        },
+    )
+    assert (
+        project.resolve_symbol("repro.user", "Thing")
+        == "repro.pkg.impl.Thing"
+    )
+
+
+def test_resolve_symbol_returns_external_dotted_paths(tmp_path):
+    project = build(
+        tmp_path,
+        {"m.py": "from concurrent.futures import ThreadPoolExecutor\n"},
+    )
+    target = project.resolve_symbol("repro.m", "ThreadPoolExecutor")
+    assert target == "concurrent.futures.ThreadPoolExecutor"
+    assert project.is_resource(target)
+
+
+# ----------------------------------------------------------------------
+# Resource-class discovery
+# ----------------------------------------------------------------------
+
+
+def test_resource_classes_found_by_close_exit_and_inheritance(tmp_path):
+    project = build(
+        tmp_path,
+        {
+            "res.py": (
+                "class Conn:\n"
+                "    def close(self):\n"
+                "        pass\n"
+                "\n"
+                "class Sub(Conn):\n"
+                "    pass\n"
+                "\n"
+                "class Ctx:\n"
+                "    def __exit__(self, *exc):\n"
+                "        pass\n"
+                "\n"
+                "class Plain:\n"
+                "    def ping(self):\n"
+                "        pass\n"
+            ),
+        },
+    )
+    assert project.is_resource("repro.res.Conn")
+    assert project.is_resource("repro.res.Sub")  # via base propagation
+    assert project.is_resource("repro.res.Ctx")
+    assert not project.is_resource("repro.res.Plain")
+    assert not project.is_resource(None)
+
+
+# ----------------------------------------------------------------------
+# Shared-state inventory
+# ----------------------------------------------------------------------
+
+
+def test_shared_state_collects_mutable_bindings_with_reasons(tmp_path):
+    project = build(
+        tmp_path,
+        {
+            "state.py": (
+                "__all__ = []\n"
+                "CACHE = {}  # repro: shared-state[test cache]\n"
+                "TABLE = {}\n"
+                "LIMIT = 3\n"
+            ),
+        },
+    )
+    by_name = {e.name: e for e in project.shared_state}
+    assert set(by_name) == {"CACHE", "TABLE"}  # __all__/LIMIT excluded
+    assert by_name["CACHE"].reason == "test cache"
+    assert by_name["CACHE"].kind == "mutable-value"
+    assert by_name["TABLE"].reason is None
+    registry = project.shared_state_registry()
+    assert [e.name for e in registry] == ["CACHE"]
+
+
+def test_shared_state_sees_rebound_globals(tmp_path):
+    project = build(
+        tmp_path,
+        {
+            "flag.py": (
+                "FLAG = None\n"
+                "\n"
+                "def set_flag():\n"
+                "    global FLAG\n"
+                "    FLAG = True\n"
+            ),
+        },
+    )
+    (entry,) = project.shared_state
+    assert entry.name == "FLAG"
+    assert entry.kind == "rebound-global"
+
+
+# ----------------------------------------------------------------------
+# async-ready pragma and the call graph
+# ----------------------------------------------------------------------
+
+
+def test_async_ready_pragma_detected_on_preceding_line(tmp_path):
+    project = build(
+        tmp_path,
+        {
+            "serve.py": (
+                "# repro: async-ready\n"
+                "def handler():\n"
+                "    return 1\n"
+                "\n"
+                "def plain():\n"
+                "    return 2\n"
+            ),
+        },
+    )
+    assert project.functions["repro.serve.handler"].async_ready
+    assert not project.functions["repro.serve.plain"].async_ready
+
+
+def test_call_graph_edges_carry_except_guards(tmp_path):
+    project = build(
+        tmp_path,
+        {
+            "m.py": (
+                "def helper():\n"
+                "    return 1\n"
+                "\n"
+                "def caller():\n"
+                "    try:\n"
+                "        helper()\n"
+                "    except ValueError:\n"
+                "        pass\n"
+                "    helper()\n"
+            ),
+        },
+    )
+    calls = project.functions["repro.m.caller"].calls
+    assert [c.callee for c in calls] == ["repro.m.helper"] * 2
+    assert calls[0].guards == ("ValueError",)
+    assert calls[1].guards == ()
+
+
+def test_call_graph_resolves_self_methods_and_module_aliases(tmp_path):
+    project = build(
+        tmp_path,
+        {
+            "util.py": "def fetch(key):\n    return key\n",
+            "svc.py": (
+                "from repro import util\n"
+                "\n"
+                "class Service:\n"
+                "    def _load(self, key):\n"
+                "        return util.fetch(key)\n"
+                "\n"
+                "    def get(self, key):\n"
+                "        return self._load(key)\n"
+            ),
+        },
+    )
+    get_calls = [c.callee for c in project.functions["repro.svc.Service.get"].calls]
+    assert get_calls == ["repro.svc.Service._load"]
+    load_calls = [
+        c.callee for c in project.functions["repro.svc.Service._load"].calls
+    ]
+    assert load_calls == ["repro.util.fetch"]
+
+
+def test_public_entry_points_filters_by_package_and_visibility(tmp_path):
+    project = build(
+        tmp_path,
+        {
+            "db/api.py": (
+                "def get(key):\n"
+                "    return key\n"
+                "\n"
+                "def _internal():\n"
+                "    return None\n"
+            ),
+            "core/misc.py": "def other():\n    return 1\n",
+        },
+    )
+    names = [f.qualname for f in project.public_entry_points(("db",))]
+    assert names == ["repro.db.api.get"]

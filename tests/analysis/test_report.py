@@ -21,22 +21,25 @@ def scan_snippet(source):
 
 def test_json_schema_fields():
     payload = json.loads(render_json(scan_snippet(BAD)))
-    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["version"] == JSON_SCHEMA_VERSION == 2
     assert payload["files_scanned"] == 1
     assert payload["summary"] == {
         "active": 1,
         "suppressed": 0,
+        "baselined": 0,
         "by_rule": {"R001": 1},
     }
     (finding,) = payload["findings"]
     assert set(finding) == {
-        "file", "line", "col", "rule", "severity", "message", "suppressed",
+        "file", "line", "col", "rule", "severity", "message",
+        "fingerprint", "suppressed", "baselined",
     }
     assert finding["file"] == "snippet.py"
     assert finding["line"] == 2
     assert finding["rule"] == "R001"
     assert finding["severity"] == "error"
     assert finding["suppressed"] is False
+    assert finding["baselined"] is False
 
 
 def test_json_includes_suppressed_findings_for_audit():

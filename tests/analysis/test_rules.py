@@ -380,7 +380,7 @@ def test_r008_clean_module_passes():
 # ----------------------------------------------------------------------
 
 
-def test_all_eight_rules_registered():
+def test_per_module_rules_registered():
     ids = [rule.rule_id for rule in iter_rules()]
     assert ids == [
         "R001",
@@ -391,6 +391,7 @@ def test_all_eight_rules_registered():
         "R006",
         "R007",
         "R008",
+        "R015",
     ]
 
 

@@ -1,0 +1,424 @@
+"""True-positive / true-negative fixtures for the project rules R009–R014.
+
+Each rule must flag a deliberately introduced violation (leak, naked
+global, broad escape, blocking call, unguarded obs chain, private
+import) and must stay quiet on the idiomatic counterpart — the
+acceptance bar for the whole-program pass.  Scratch trees are laid out
+as ``<tmp>/src/repro/...`` so module and package names resolve.
+"""
+
+from repro.analysis.runner import scan_project
+
+
+def findings_for(tmp_path, files, rule_id):
+    root = tmp_path / "src" / "repro"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    result, _ = scan_project([root], select=[rule_id], ignore=None)
+    return result.active
+
+
+# ----------------------------------------------------------------------
+# R009 — resource leaks
+# ----------------------------------------------------------------------
+
+
+def test_r009_flags_open_never_closed(tmp_path):
+    files = {
+        "io_mod.py": (
+            "def leaky(path):\n"
+            "    f = open(path)\n"
+            "    return f.read()\n"
+        ),
+    }
+    (finding,) = findings_for(tmp_path, files, "R009")
+    assert finding.rule_id == "R009"
+    assert "'f' from open(...)" in finding.message
+    assert "non-exception path" in finding.message
+
+
+def test_r009_flags_leak_on_exception_path(tmp_path):
+    files = {
+        "io_mod.py": (
+            "def risky(path, validate):\n"
+            "    f = open(path)\n"
+            "    validate(path)\n"
+            "    f.close()\n"
+        ),
+    }
+    (finding,) = findings_for(tmp_path, files, "R009")
+    assert "raises" in finding.message
+
+
+def test_r009_allows_with_try_finally_and_transfer(tmp_path):
+    files = {
+        "io_mod.py": (
+            "def with_stmt(path):\n"
+            "    with open(path) as f:\n"
+            "        return f.read()\n"
+            "\n"
+            "def try_finally(path):\n"
+            "    f = open(path)\n"
+            "    try:\n"
+            "        return f.read()\n"
+            "    finally:\n"
+            "        f.close()\n"
+            "\n"
+            "def transfer(path):\n"
+            "    f = open(path)\n"
+            "    return f\n"
+        ),
+    }
+    assert findings_for(tmp_path, files, "R009") == []
+
+
+def test_r009_tracks_project_resource_classes(tmp_path):
+    files = {
+        "res.py": (
+            "class Conn:\n"
+            "    def close(self):\n"
+            "        pass\n"
+        ),
+        "use.py": (
+            "from repro.res import Conn\n"
+            "\n"
+            "def leak():\n"
+            "    c = Conn()\n"
+            "    return 1\n"
+            "\n"
+            "def ok():\n"
+            "    c = Conn()\n"
+            "    c.close()\n"
+            "    return 1\n"
+        ),
+    }
+    (finding,) = findings_for(tmp_path, files, "R009")
+    assert "'c' from Conn(...)" in finding.message
+    assert "repro.use.leak" in finding.message
+
+
+def test_r009_tracks_classmethod_constructors(tmp_path):
+    files = {
+        "res.py": (
+            "class Conn:\n"
+            "    def close(self):\n"
+            "        pass\n"
+            "\n"
+            "    @classmethod\n"
+            "    def create(cls):\n"
+            "        return cls()\n"
+        ),
+        "use.py": (
+            "from repro.res import Conn\n"
+            "\n"
+            "def leak():\n"
+            "    c = Conn.create()\n"
+            "    return 1\n"
+        ),
+    }
+    (finding,) = findings_for(tmp_path, files, "R009")
+    assert "Conn.create(...)" in finding.message
+
+
+# ----------------------------------------------------------------------
+# R010 — shared-state inventory
+# ----------------------------------------------------------------------
+
+
+def test_r010_flags_unregistered_mutable_global(tmp_path):
+    files = {"state.py": "__all__ = []\nCACHE = {}\n"}
+    (finding,) = findings_for(tmp_path, files, "R010")
+    assert "'CACHE'" in finding.message
+    assert "shared-state[reason]" in finding.message
+
+
+def test_r010_allows_registered_global(tmp_path):
+    files = {
+        "state.py": (
+            "__all__ = []\n"
+            "CACHE = {}  # repro: shared-state[memo table, read-mostly]\n"
+        ),
+    }
+    assert findings_for(tmp_path, files, "R010") == []
+
+
+# ----------------------------------------------------------------------
+# R011 — exception contract at the db/storage/io boundary
+# ----------------------------------------------------------------------
+
+
+def test_r011_flags_builtin_raise_in_public_entry_point(tmp_path):
+    files = {
+        "db/api.py": (
+            "def get(key):\n"
+            "    if key is None:\n"
+            "        raise ValueError('bad key')\n"
+            "    return key\n"
+        ),
+    }
+    (finding,) = findings_for(tmp_path, files, "R011")
+    assert "repro.db.api.get" in finding.message
+    assert "ValueError" in finding.message
+
+
+def test_r011_propagates_escapes_through_the_call_graph(tmp_path):
+    files = {
+        "util.py": "def fetch(key):\n    raise KeyError(key)\n",
+        "db/api.py": (
+            "from repro.util import fetch\n"
+            "\n"
+            "def get(key):\n"
+            "    return fetch(key)\n"
+        ),
+    }
+    (finding,) = findings_for(tmp_path, files, "R011")
+    assert "repro.db.api.get" in finding.message
+    assert "KeyError" in finding.message
+
+
+def test_r011_respects_guards_covering_the_escape(tmp_path):
+    files = {
+        "util.py": "def fetch(key):\n    raise KeyError(key)\n",
+        "db/api.py": (
+            "from repro.util import fetch\n"
+            "\n"
+            "def get(key):\n"
+            "    try:\n"
+            "        return fetch(key)\n"
+            "    except LookupError:\n"
+            "        return None\n"
+        ),
+    }
+    # KeyError is a LookupError subclass, so the guard covers it.
+    assert findings_for(tmp_path, files, "R011") == []
+
+
+def test_r011_allows_project_errors_and_private_functions(tmp_path):
+    files = {
+        "db/api.py": (
+            "from repro.errors import CodecError\n"
+            "\n"
+            "def get(key):\n"
+            "    raise CodecError('corrupt')\n"
+            "\n"
+            "def _internal():\n"
+            "    raise ValueError('private, not an entry point')\n"
+        ),
+    }
+    assert findings_for(tmp_path, files, "R011") == []
+
+
+def test_r011_ignores_packages_outside_the_api_surface(tmp_path):
+    files = {
+        "experiments/run.py": (
+            "def main():\n"
+            "    raise RuntimeError('fine here')\n"
+        ),
+    }
+    assert findings_for(tmp_path, files, "R011") == []
+
+
+# ----------------------------------------------------------------------
+# R012 — blocking-call reachability from async-ready functions
+# ----------------------------------------------------------------------
+
+
+def test_r012_flags_direct_blocking_call(tmp_path):
+    files = {
+        "serve.py": (
+            "import time\n"
+            "\n"
+            "# repro: async-ready\n"
+            "def handle():\n"
+            "    time.sleep(0.1)\n"
+        ),
+    }
+    (finding,) = findings_for(tmp_path, files, "R012")
+    assert "repro.serve.handle" in finding.message
+    assert "time.sleep()" in finding.message
+    assert "directly" in finding.message
+
+
+def test_r012_flags_blocking_call_reached_transitively(tmp_path):
+    files = {
+        "serve.py": (
+            "import time\n"
+            "\n"
+            "# repro: async-ready\n"
+            "def handle():\n"
+            "    return slow()\n"
+            "\n"
+            "def slow():\n"
+            "    time.sleep(0.1)\n"
+        ),
+    }
+    (finding,) = findings_for(tmp_path, files, "R012")
+    assert "via 'repro.serve.slow'" in finding.message
+
+
+def test_r012_flags_future_joins(tmp_path):
+    files = {
+        "serve.py": (
+            "# repro: async-ready\n"
+            "def wait_on(fut):\n"
+            "    return fut.result()\n"
+        ),
+    }
+    (finding,) = findings_for(tmp_path, files, "R012")
+    assert ".result()" in finding.message
+
+
+def test_r012_ignores_unmarked_functions(tmp_path):
+    files = {
+        "serve.py": (
+            "import time\n"
+            "\n"
+            "def batch_job():\n"
+            "    time.sleep(1)\n"
+        ),
+    }
+    assert findings_for(tmp_path, files, "R012") == []
+
+
+def test_r012_clean_async_ready_function_passes(tmp_path):
+    files = {
+        "serve.py": (
+            "# repro: async-ready\n"
+            "def handle(x):\n"
+            "    return x + 1\n"
+        ),
+    }
+    assert findings_for(tmp_path, files, "R012") == []
+
+
+# ----------------------------------------------------------------------
+# R013 — observability bind-then-guard idiom
+# ----------------------------------------------------------------------
+
+
+def test_r013_flags_chained_registry_access(tmp_path):
+    files = {
+        "metrics.py": (
+            "from repro.obs import runtime as _obs\n"
+            "\n"
+            "def record():\n"
+            "    _obs.REGISTRY.counter('x').inc()\n"
+        ),
+    }
+    found = findings_for(tmp_path, files, "R013")
+    assert len(found) == 1
+    assert "_obs.REGISTRY" in found[0].message
+    assert "bind it" in found[0].message
+
+
+def test_r013_allows_bind_then_guard(tmp_path):
+    files = {
+        "metrics.py": (
+            "from repro.obs import runtime as _obs\n"
+            "\n"
+            "def record():\n"
+            "    reg = _obs.REGISTRY\n"
+            "    if reg is not None:\n"
+            "        reg.counter('x').inc()\n"
+        ),
+    }
+    assert findings_for(tmp_path, files, "R013") == []
+
+
+def test_r013_exempts_the_obs_package_itself(tmp_path):
+    files = {
+        "obs/runtime.py": (
+            "REGISTRY = None\n"
+            "\n"
+            "def poke():\n"
+            "    import repro.obs.runtime as _obs\n"
+            "    return _obs.REGISTRY\n"
+        ),
+    }
+    assert findings_for(tmp_path, files, "R013") == []
+
+
+# ----------------------------------------------------------------------
+# R014 — no private imports across package boundaries
+# ----------------------------------------------------------------------
+
+
+def test_r014_flags_private_import_across_packages(tmp_path):
+    files = {
+        "pkg_a/helpers.py": (
+            "def _secret():\n"
+            "    return 1\n"
+            "\n"
+            "def public():\n"
+            "    return 2\n"
+        ),
+        "pkg_b/user.py": "from repro.pkg_a.helpers import _secret\n",
+    }
+    (finding,) = findings_for(tmp_path, files, "R014")
+    assert "'_secret'" in finding.message
+    assert "repro.pkg_a.helpers" in finding.message
+
+
+def test_r014_allows_private_import_within_a_package(tmp_path):
+    files = {
+        "pkg_a/helpers.py": "def _secret():\n    return 1\n",
+        "pkg_a/other.py": "from repro.pkg_a.helpers import _secret\n",
+    }
+    assert findings_for(tmp_path, files, "R014") == []
+
+
+def test_r014_allows_public_and_dunder_imports(tmp_path):
+    files = {
+        "pkg_a/helpers.py": (
+            "__version__ = '1'\n"
+            "def public():\n"
+            "    return 2\n"
+        ),
+        "pkg_b/user.py": (
+            "from repro.pkg_a.helpers import __version__, public\n"
+        ),
+    }
+    assert findings_for(tmp_path, files, "R014") == []
+
+
+# ----------------------------------------------------------------------
+# Cross-cutting behaviour
+# ----------------------------------------------------------------------
+
+
+def test_project_findings_honour_noqa_pragmas(tmp_path):
+    files = {
+        "state.py": "__all__ = []\nCACHE = {}  # repro: noqa[R010]\n",
+    }
+    root = tmp_path / "src" / "repro"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    result, _ = scan_project([root], select=["R010"], ignore=None)
+    assert result.active == []
+    assert len(result.suppressed) == 1
+
+
+def test_full_project_scan_combines_both_rule_sets(tmp_path):
+    files = {
+        "bad.py": (
+            "__all__ = []\n"
+            "CACHE = {}\n"
+            "\n"
+            "def f(x):\n"
+            "    raise ValueError('bad')\n"
+        ),
+    }
+    root = tmp_path / "src" / "repro"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    result, project = scan_project([root], select=None, ignore=None)
+    flagged = {f.rule_id for f in result.active}
+    assert "R001" in flagged  # per-module rule
+    assert "R010" in flagged  # project rule
+    assert "repro.bad" in project.modules

@@ -48,3 +48,47 @@ def test_analyzer_is_not_blind(tmp_path):
     assert result.exit_code == 1
     flagged = {f.rule_id for f in result.active}
     assert {"R001", "R003"} <= flagged
+
+
+# ----------------------------------------------------------------------
+# Project-mode self-hosting: the whole-program rules over our own tree
+# ----------------------------------------------------------------------
+
+
+def test_src_repro_passes_project_lint():
+    # One-invocation whole-program scan: R001-R008/R015 plus R009-R014.
+    # The committed analysis-baseline.json is empty, so this asserts
+    # the stronger property — zero findings, not merely zero new ones.
+    from repro.analysis import scan_project
+
+    result, project = scan_project([SRC], select=None, ignore=None)
+    assert result.files_scanned > 50
+    assert len(project.modules) == result.files_scanned
+    assert result.exit_code == 0, (
+        "src/repro violates the project-wide rules:\n" + render_text(result)
+    )
+
+
+def test_analysis_package_is_pinned_to_zero_findings():
+    # The analyzer must hold itself to its own whole-program rules —
+    # no waivers, no baseline entries, nothing.
+    from repro.analysis import scan_project
+
+    result, _ = scan_project([SRC / "analysis"], select=None, ignore=None)
+    assert result.files_scanned >= 10
+    assert result.findings == [], render_text(result, show_suppressed=True)
+
+
+def test_shared_state_registry_is_fully_annotated():
+    # Acceptance bar: every mutable module-global in src/repro appears
+    # in the audited registry with a non-empty reason string.
+    from repro.analysis import build_project
+
+    project = build_project([SRC])
+    unregistered = [
+        e for e in project.shared_state if e.reason is None
+    ]
+    assert unregistered == []
+    registry = project.shared_state_registry()
+    assert len(registry) >= 9  # the inventory R010 enforces
+    assert all(e.reason for e in registry)
