@@ -9,6 +9,8 @@
     python -m repro recover   data.wal data.avq
     python -m repro scrub     data.avq
     python -m repro fsck      data.avq --repair --wal data.wal
+    python -m repro serve     data.csv --port 7474
+    python -m repro loadgen   --selfhosted --clients 1000 --json out.json
 
 ``compress`` runs the full Section 3 pipeline on a CSV; ``query``
 demonstrates localized access — only the blocks that can contain
@@ -21,6 +23,12 @@ a container from such a log (docs/RECOVERY.md).
 backfills checksums onto legacy containers, and quarantines what it
 cannot prove repaired (docs/INTEGRITY.md).  Both exit 0 when the
 container is healthy and 2 when damage remains.
+
+``serve`` compresses CSVs into an in-process database and answers
+concurrent clients over the length-prefixed protocol; ``loadgen`` drives
+a server with closed-loop zipf-skewed clients and reports qps and
+latency percentiles (docs/SERVING.md).  ``loadgen --selfhosted --json``
+is the CI benchmark entry point behind ``BENCH_serving.json``.
 
 The global ``--metrics PATH`` flag (before the subcommand) enables the
 observability layer for the run and writes its JSON-lines export —
@@ -301,6 +309,93 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     return 0 if report.healthy else 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.db.database import Database
+    from repro.server.server import ReproServer, ServerConfig
+
+    database = Database()
+    for spec in args.csv:
+        path, _, name = spec.partition(":")
+        name = name or Path(path).stem
+        names, rows = read_csv_rows(path, has_header=True)
+        database.create_table(name, rows, columns=names, compressed=True)
+        table = database.table(name)
+        print(f"{name}: {table.num_tuples} tuples in "
+              f"{table.num_blocks} blocks (from {path})")
+    server = ReproServer(
+        database,
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queued=args.max_queued,
+            max_per_client=args.max_per_client,
+            reader_threads=args.reader_threads,
+        ),
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(f"serving on {host}:{port} (ctrl-c to stop)")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass  # serve_forever usually absorbs the cancellation itself
+    print("stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.server import loadgen as _loadgen
+
+    if args.selfhosted:
+        report = _loadgen.run_selfhosted_bench(
+            tuples=args.tuples,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            read_fraction=args.read_fraction,
+            zipf_s=args.zipf_s,
+            seed=args.seed,
+        )
+    else:
+        if args.table is None:
+            raise ReproError("--table is required unless --selfhosted")
+        report = asyncio.run(
+            _loadgen.run_loadgen(
+                args.host,
+                args.port,
+                table=args.table,
+                clients=args.clients,
+                requests_per_client=args.requests,
+                read_fraction=args.read_fraction,
+                zipf_s=args.zipf_s,
+                seed=args.seed,
+            )
+        )
+    lat = report.latency_ms
+    print(f"{report.clients} clients x {report.requests_per_client} "
+          f"requests: {report.ok} ok, {report.busy} busy, "
+          f"{report.errors} errors")
+    print(f"qps {report.qps:.1f} over {report.duration_ms:.0f} ms")
+    if lat:
+        print(f"latency ms: p50 {lat['p50']:.2f}  p90 {lat['p90']:.2f}  "
+              f"p99 {lat['p99']:.2f}  max {lat['max']:.2f}")
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"-- report -> {args.json}", file=sys.stderr)
+    return 0 if report.errors == 0 else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as lint_main
 
@@ -440,6 +535,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the audited shared-state registry "
                         "(implies --project)")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve CSV-seeded tables to concurrent clients "
+             "(docs/SERVING.md)",
+    )
+    p.add_argument("csv", nargs="+", metavar="CSV[:NAME]",
+                   help="CSV file(s) to compress and serve; table name "
+                        "defaults to the file stem")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7474,
+                   help="0 picks an ephemeral port (printed on start)")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="requests executing at once")
+    p.add_argument("--max-queued", type=int, default=256,
+                   help="requests waiting beyond that (then BUSY)")
+    p.add_argument("--max-per-client", type=int, default=8,
+                   help="per-connection queued-or-executing cap")
+    p.add_argument("--reader-threads", type=int, default=8,
+                   help="thread pool size for snapshot reads")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="closed-loop zipf load generator against a repro server",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7474)
+    p.add_argument("--table", default=None,
+                   help="table to exercise (required unless --selfhosted)")
+    p.add_argument("--selfhosted", action="store_true",
+                   help="seed a synthetic table and serve it in-process "
+                        "for the run (the CI benchmark mode)")
+    p.add_argument("--tuples", type=int, default=5000,
+                   help="synthetic table size (--selfhosted only)")
+    p.add_argument("--clients", type=int, default=100,
+                   help="concurrent closed-loop clients")
+    p.add_argument("--requests", type=int, default=20,
+                   help="requests per client")
+    p.add_argument("--read-fraction", type=float, default=0.9,
+                   help="fraction of requests that are selects")
+    p.add_argument("--zipf-s", type=float, default=1.2,
+                   help="zipf skew of key popularity")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the full report (BENCH_serving.json shape)")
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("query", help="range-select from a container")
     p.add_argument("input")

@@ -41,6 +41,7 @@ class Database:
         block_size: int = DEFAULT_BLOCK_SIZE,
         disk_model: Optional[DiskModel] = None,
         wal_dir: Optional[str] = None,
+        wal_sync: bool = True,
         disk: Optional[SimulatedDisk] = None,
     ):
         if disk is not None:
@@ -49,6 +50,9 @@ class Database:
             self._disk = SimulatedDisk(block_size=block_size, model=disk_model)
         self._catalog = Catalog()
         self._wal_dir = wal_dir
+        #: Whether durable tables fsync on commit (see docs/RECOVERY.md);
+        #: ``False`` is the flush-only escape hatch for benchmarks.
+        self._wal_sync = wal_sync
 
     def _wal_path(self, name: str) -> str:
         if self._wal_dir is None:
@@ -123,6 +127,7 @@ class Database:
             compressed=compressed,
             secondary_on=secondary_on,
             durable_path=self._wal_path(name) if durable else None,
+            wal_sync=self._wal_sync,
             degraded_reads=degraded_reads,
             tuple_index=tuple_index,
         )
@@ -148,6 +153,7 @@ class Database:
             self._disk,
             self._wal_path(name),
             secondary_on=secondary_on,
+            wal_sync=self._wal_sync,
             degraded_reads=degraded_reads,
             tuple_index=tuple_index,
         )
@@ -162,6 +168,19 @@ class Database:
     def table(self, name: str) -> Table:
         """Look a table up by name."""
         return self._catalog.get(name)
+
+    def enable_mvcc(self, name: str) -> None:
+        """Turn on snapshot-isolation reads for a table (idempotent)."""
+        self.table(name).enable_mvcc()
+
+    def read_snapshot(self, name: str):
+        """A pinned consistent view of a table (docs/SERVING.md).
+
+        Requires :meth:`enable_mvcc` first; close the returned
+        :class:`~repro.db.snapshot.TableSnapshot` (context manager) when
+        done so superseded block versions can be reclaimed.
+        """
+        return self.table(name).read_snapshot()
 
     def drop_table(self, name: str) -> None:
         """Remove a table from the catalog (blocks are not reclaimed)."""

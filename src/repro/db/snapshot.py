@@ -1,0 +1,179 @@
+"""Frozen read-only views of a table — the reader half of MVCC.
+
+A :class:`TableSnapshot` is what :meth:`repro.db.table.Table.read_snapshot`
+hands out: the block directory committed at one csn, pinned in the
+table's :class:`~repro.storage.mvcc.BlockVersionStore` so the payloads
+it references outlive any concurrent writer.  Every read resolves
+through the store (stashed pre-image first, current payload as the
+fallback), so a snapshot never observes half of a mutation — the
+property the serving layer's reader threads rely on (docs/SERVING.md).
+
+Snapshots deliberately do **not** reuse the table's live indices; those
+track the *current* state.  Instead they plan from their own frozen
+directory: the ``(first, last)`` phi-ordinal range per block gives the
+same contiguous-run pruning the primary index would for a leading-
+attribute predicate, and a point probe finds its one covering block the
+same way.  Payload decodes bypass the decoded-block cache for the same
+reason — that cache answers "what does this block hold *now*".
+
+A snapshot pins superseded block versions, so it must be closed;
+``with table.read_snapshot() as snap: ...`` is the idiomatic form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.db.query import QueryResult, RangeQuery
+from repro.errors import QueryError
+from repro.obs import runtime as _obs
+from repro.storage.mvcc import BlockVersionStore, SnapshotHandle
+
+__all__ = ["TableSnapshot"]
+
+
+class TableSnapshot:
+    """One pinned, consistent, read-only view of a table's committed state."""
+
+    def __init__(
+        self,
+        table,  # repro.db.table.Table; untyped to break the import cycle
+        store: BlockVersionStore,
+        handle: SnapshotHandle,
+    ) -> None:
+        self._table = table
+        self._store = store
+        self._handle = handle
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def csn(self) -> int:
+        """The commit sequence number this snapshot observes."""
+        return self._handle.csn
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks in the snapshot's directory."""
+        return len(self._handle.directory)
+
+    @property
+    def num_tuples(self) -> int:
+        """Tuples stored as of the snapshot (from the frozen directory)."""
+        return sum(entry[3] for entry in self._handle.directory)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the snapshot has been released."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def select(self, query: RangeQuery) -> QueryResult:
+        """Execute a conjunctive range query against the frozen state.
+
+        Planning mirrors the live table's first preference: a predicate
+        on the leading attribute prunes to the contiguous run of
+        directory entries whose ordinal range overlaps it; anything else
+        scans every entry.  Results are ordinal tuples, exactly as
+        :meth:`Table.select` returns them.
+        """
+        self._require_open()
+        bound = [p.bind(self._table.schema) for p in query.predicates]
+        leading = next((b for b in bound if b[0] == 0), None)
+        if leading is not None:
+            weights = self._table.schema.mapper.weights
+            lo_ord = leading[1] * weights[0]
+            hi_ord = (leading[2] + 1) * weights[0] - 1
+            candidates = [
+                e
+                for e in self._handle.directory
+                if not (e[2] < lo_ord or e[1] > hi_ord)
+            ]
+            access_path = "snapshot-directory"
+        else:
+            candidates = list(self._handle.directory)
+            access_path = "snapshot-scan"
+        out: List[Tuple[int, ...]] = []
+        examined = 0
+        with _obs.span(
+            "snapshot.select",
+            table=self._table.name,
+            csn=self.csn,
+            candidates=len(candidates),
+        ):
+            for block_id, _first, _last, _count in candidates:
+                for t in self._read_tuples(block_id):
+                    examined += 1
+                    if all(lo <= t[pos] <= hi for pos, lo, hi in bound):
+                        out.append(t)
+        return QueryResult(
+            tuples=out,
+            blocks_read=len(candidates),
+            tuples_examined=examined,
+            access_path=access_path,
+            candidate_blocks=[e[0] for e in candidates],
+        )
+
+    def scan(self) -> List[Tuple[int, ...]]:
+        """Every tuple as of the snapshot, in phi-cluster order."""
+        return self.select(RangeQuery([])).tuples
+
+    def contains(self, values: Sequence[int]) -> bool:
+        """Point probe against the frozen state."""
+        self._require_open()
+        t = tuple(int(v) for v in values)
+        mapper = self._table.schema.mapper
+        mapper.validate(t)
+        ordinal = mapper.phi(t)
+        entry = self._covering_entry(ordinal)
+        if entry is None:
+            return False
+        return t in self._read_tuples(entry[0])
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the pin; superseded versions become collectable."""
+        if self._closed:
+            return
+        self._closed = True
+        self._store.release(self._handle)
+
+    def __enter__(self) -> "TableSnapshot":
+        self._require_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise QueryError("snapshot is closed")
+
+    def _covering_entry(
+        self, ordinal: int
+    ) -> Optional[Tuple[int, int, int, int]]:
+        for entry in self._handle.directory:
+            if entry[1] <= ordinal <= entry[2]:
+                return entry
+        return None
+
+    def _read_tuples(self, block_id: int) -> List[Tuple[int, ...]]:
+        payload = self._store.read(
+            block_id,
+            self._handle.csn,
+            lambda: self._table._current_payload(block_id),
+        )
+        return self._table.storage.decode_payload(payload)

@@ -17,7 +17,17 @@ per experiment and queried read-only, as in the paper).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.core.codec import BlockCodec
 from repro.errors import CorruptionError, QuarantinedBlockError, QueryError
@@ -40,6 +50,11 @@ from repro.storage.integrity import (
     ScrubReport,
 )
 from repro.storage.wal import RecoveryReport, WriteAheadLog, recover
+
+if TYPE_CHECKING:  # circular at type level only
+    from repro.db.snapshot import TableSnapshot
+    from repro.storage.buffer import BufferPool, DecodedBlockCache
+    from repro.storage.mvcc import BlockVersionStore
 
 __all__ = ["Table"]
 
@@ -78,6 +93,7 @@ class Table:
         self._wal = wal
         self._active_tid: Optional[int] = None
         self._last_recovery: Optional[RecoveryReport] = None
+        self._mvcc: Optional["BlockVersionStore"] = None
         self._buffer: Optional["BufferPool"] = None
         self._decoded: Optional["DecodedBlockCache"] = None
         if buffer_capacity is None and decoded_cache_capacity is not None:
@@ -161,6 +177,7 @@ class Table:
         decoded_cache_capacity: Optional[int] = None,
         workers: Optional[int] = None,
         durable_path: Optional[str] = None,
+        wal_sync: bool = True,
         degraded_reads: str = "raise",
         tuple_index: bool = False,
     ) -> "Table":
@@ -175,6 +192,9 @@ class Table:
         :meth:`open` recovers the table after a crash (see
         docs/RECOVERY.md).  The freshly built table is immediately
         checkpointed, so it is recoverable from the first moment.
+        ``wal_sync=False`` downgrades log forces to flush-only (commits
+        then survive process crashes but not OS crashes) — an escape
+        hatch for tests and benchmarks.
 
         ``degraded_reads`` sets the corruption policy ("raise", "skip",
         or "repair") and ``tuple_index`` builds the tuple-level primary
@@ -206,6 +226,7 @@ class Table:
                 codec=storage.codec,
                 block_size=disk.block_size,
                 injector=getattr(disk, "injector", None),
+                sync=wal_sync,
             )
             try:
                 wal.checkpoint(relation.phi_ordinals())
@@ -239,6 +260,7 @@ class Table:
         secondary_on: Sequence[str] = (),
         buffer_capacity: Optional[int] = None,
         decoded_cache_capacity: Optional[int] = None,
+        wal_sync: bool = True,
         degraded_reads: str = "raise",
         tuple_index: bool = False,
     ) -> "Table":
@@ -253,7 +275,9 @@ class Table:
         """
         if isinstance(wal, str):
             wal = WriteAheadLog.open(
-                wal, injector=getattr(disk, "injector", None)
+                wal,
+                injector=getattr(disk, "injector", None),
+                sync=wal_sync,
             )
         storage, report = recover(disk, wal)
         table = cls(
@@ -470,6 +494,66 @@ class Table:
         """The table's decoded-block cache, or ``None`` when absent."""
         return self._decoded
 
+    # ------------------------------------------------------------------
+    # Snapshot reads (MVCC, docs/SERVING.md)
+    # ------------------------------------------------------------------
+
+    @property
+    def mvcc(self) -> Optional["BlockVersionStore"]:
+        """The block-version store, or ``None`` until :meth:`enable_mvcc`."""
+        return self._mvcc
+
+    def enable_mvcc(self) -> "BlockVersionStore":
+        """Turn on snapshot-isolation reads for this table.
+
+        Idempotent.  After enabling, every block rewrite stashes the
+        committed pre-image and every commit boundary publishes a new
+        version epoch, so :meth:`read_snapshot` hands out consistent
+        frozen views while a writer keeps mutating.  On a durable table
+        the commit boundary is transaction commit/abort; otherwise each
+        top-level mutation publishes (statement-level consistency).
+        """
+        storage = self._require_avq("enable_mvcc")
+        if self._mvcc is None:
+            from repro.storage.mvcc import BlockVersionStore
+
+            self._mvcc = BlockVersionStore(storage.directory_entries())
+        return self._mvcc
+
+    def read_snapshot(self) -> "TableSnapshot":
+        """A pinned, consistent read-only view of the committed state.
+
+        Requires :meth:`enable_mvcc`.  The returned snapshot is safe to
+        query from any thread while this table keeps mutating; callers
+        must :meth:`~repro.db.snapshot.TableSnapshot.close` it (it is a
+        context manager) so superseded block versions can be reclaimed.
+        """
+        if self._mvcc is None:
+            raise QueryError(
+                "snapshot reads require enable_mvcc() on this table"
+            )
+        from repro.db.snapshot import TableSnapshot
+
+        return TableSnapshot(self, self._mvcc, self._mvcc.snapshot())
+
+    def _current_payload(self, block_id: int) -> bytes:
+        """The latest on-disk payload, via the latched pool when present."""
+        if self._buffer is not None:
+            return self._buffer.get(block_id)
+        return self._disk().read_block(block_id)
+
+    def _mvcc_stash(self, block_id: int) -> None:
+        """Preserve a block's committed payload before rewriting it."""
+        if self._mvcc is not None:
+            self._mvcc.stash(
+                block_id, lambda: self._current_payload(block_id)
+            )
+
+    def _mvcc_publish(self) -> None:
+        """Seal the current epoch at a commit boundary."""
+        if self._mvcc is not None and isinstance(self._storage, AVQFile):
+            self._mvcc.publish(self._storage.directory_entries())
+
     def _filter_blocks(self, block_ids, bound, *, access_path) -> QueryResult:
         disk = self._disk()
         start_ms = disk.stats.elapsed_ms
@@ -636,11 +720,19 @@ class Table:
         """Log COMMIT and force the log; the transaction is now durable."""
         self._require_wal_txn(tid).commit(tid)
         self._active_tid = None
+        self._mvcc_publish()
 
     def abort_wal_transaction(self, tid: int) -> None:
-        """Log ABORT (recovery would have discarded the txn anyway)."""
+        """Log ABORT (recovery would have discarded the txn anyway).
+
+        Also a version-epoch boundary: rollback restored the logical
+        content but may have left a different physical block layout
+        (splits do not merge back), so snapshot readers need a fresh
+        directory.
+        """
         self._require_wal_txn(tid).abort(tid)
         self._active_tid = None
+        self._mvcc_publish()
 
     def _require_wal_txn(self, tid: int) -> WriteAheadLog:
         if self._wal is None:
@@ -798,6 +890,11 @@ class Table:
         self._schema.mapper.validate(t)
         ordinal = self._schema.mapper.phi(t)
         self._guarded(lambda: self._insert_impl(storage, t, ordinal))
+        if self._active_tid is None:
+            # Top-level mutation = its own commit boundary (autocommit,
+            # mirroring the WAL's); inside a durable transaction the
+            # epoch publishes at commit/abort instead.
+            self._mvcc_publish()
 
     def _insert_impl(
         self, storage: AVQFile, t: Tuple[int, ...], ordinal: int
@@ -820,6 +917,7 @@ class Table:
         old_id = storage.block_ids[pos]
         if self._integrity is not None:
             self._integrity.check(old_id)
+        self._mvcc_stash(old_id)
         has_value_indices = bool(self._secondaries or self._hash_indices)
         old_tuples = storage.read_block(pos) if has_value_indices else None
         blocks_before = storage.num_blocks
@@ -866,7 +964,12 @@ class Table:
         t = tuple(int(v) for v in values)
         self._schema.mapper.validate(t)
         ordinal = self._schema.mapper.phi(t)
-        return self._guarded(lambda: self._delete_impl(storage, t, ordinal))
+        removed = self._guarded(
+            lambda: self._delete_impl(storage, t, ordinal)
+        )
+        if self._active_tid is None:
+            self._mvcc_publish()
+        return removed
 
     def _delete_impl(
         self, storage: AVQFile, t: Tuple[int, ...], ordinal: int
@@ -879,6 +982,7 @@ class Table:
         old_id = storage.block_ids[pos]
         if self._integrity is not None:
             self._integrity.check(old_id)
+        self._mvcc_stash(old_id)
         has_value_indices = bool(self._secondaries or self._hash_indices)
         old_tuples = storage.read_block(pos) if has_value_indices else None
         blocks_before = storage.num_blocks
@@ -995,6 +1099,10 @@ class Table:
         self._refresh_repair_engine()
         if self._buffer is not None:
             self._buffer.clear()
+        # Compaction abandons the old blocks (their bytes stay on the
+        # simulated disk), so pinned snapshots keep reading them; new
+        # snapshots need the repacked directory, hence a fresh epoch.
+        self._mvcc_publish()
         return saved
 
     def _require_avq(self, op: str) -> AVQFile:

@@ -118,10 +118,15 @@ class Transaction:
             return False
         try:
             self.insert(new)
-        except Exception:
+        except BaseException:
             # Undo the half-applied update: put ``old`` back and drop
             # the delete's undo entry, so commit-after-failure keeps
-            # ``old`` and rollback does not double-restore it.
+            # ``old`` and rollback does not double-restore it.  This is
+            # restore-then-reraise, never a swallow, so it must cover
+            # ReproError (the R011 boundary) and KeyboardInterrupt /
+            # programming errors alike — ``except Exception`` would let
+            # an interrupt skip the restore and strand the transaction
+            # "active" with ``old`` missing.
             self._table.insert(tuple(int(v) for v in old))
             self._undo.pop()
             raise

@@ -20,12 +20,14 @@ __all__ = [
     "IndexError_",
     "IntegrityError",
     "ObservabilityError",
+    "ProtocolError",
     "QuarantinedBlockError",
     "QueryError",
     "ReadFault",
     "RepairError",
     "ReproError",
     "SchemaError",
+    "ServerError",
     "StorageError",
     "TransientReadFault",
     "WALError",
@@ -194,3 +196,13 @@ class AnalysisError(ReproError):
 class ObservabilityError(ReproError):
     """The observability layer was misused (bad metric name, type clash,
     malformed histogram boundaries)."""
+
+
+class ServerError(ReproError):
+    """The serving layer failed (bad configuration, lifecycle misuse)."""
+
+
+class ProtocolError(ServerError):
+    """A wire-protocol frame is malformed (bad length, bad JSON, not a
+    request object).  Overload is *not* an error — the server answers it
+    with a typed BUSY response instead."""

@@ -13,6 +13,14 @@ Spans are context managers and nest through a per-tracer stack::
         with tracer.span("decode"):        # parent_id == outer.span_id
             ...
 
+The nesting stack is **context-local** (:class:`contextvars.ContextVar`),
+so concurrent asyncio tasks and worker threads each nest independently —
+the serving layer opens a span per request across thousands of
+interleaved connections without tripping the strict-nesting check, which
+only ever compares spans from the *same* logical execution context.
+The finished-span ring buffer and id counter are latched, making
+:meth:`Tracer.span` safe to call from any thread.
+
 Finished spans land in a **ring buffer** (``capacity`` spans, oldest
 evicted first) so a long-lived process can stay instrumented without
 unbounded memory.  The clock is injectable for deterministic tests; the
@@ -22,9 +30,11 @@ the only places allowed to touch it (lint rule R008).
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Union
+from contextvars import ContextVar
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ObservabilityError
 
@@ -147,7 +157,17 @@ class Tracer:
         self._capacity = capacity
         self._clock = clock if clock is not None else time.perf_counter
         self._finished: Deque[Span] = deque(maxlen=capacity)
-        self._stack: List[Span] = []
+        # The nesting stack is context-local: each asyncio task and each
+        # thread sees (and mutates) its own stack, so interleaved spans
+        # from concurrent requests never trip the strict-nesting check.
+        # Stored as an immutable tuple so a context inherited at task
+        # creation shares no mutable state with its parent.
+        self._stack_var: ContextVar[Tuple[Span, ...]] = ContextVar(
+            "repro-span-stack", default=()
+        )
+        # Latch for the cross-context shared state: the id counter and
+        # the finished-span ring buffer (reader threads finish spans).
+        self._latch = threading.Lock()
         self._next_id = 1
         self._dropped = 0
 
@@ -167,12 +187,14 @@ class Tracer:
 
     @property
     def current_span(self) -> Optional[Span]:
-        """The innermost open span, or ``None`` outside any span."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span *in this context*, or ``None``."""
+        stack = self._stack_var.get()
+        return stack[-1] if stack else None
 
     def finished_spans(self) -> List[Span]:
         """Retained finished spans, oldest first."""
-        return list(self._finished)
+        with self._latch:
+            return list(self._finished)
 
     # ------------------------------------------------------------------
     # Span lifecycle
@@ -191,17 +213,20 @@ class Tracer:
         """
         if not name:
             raise ObservabilityError("span name must be non-empty")
-        parent = self.current_span
+        with self._latch:
+            span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack_var.get()
+        parent = stack[-1] if stack else None
         span = Span(
             name=name,
-            span_id=self._next_id,
+            span_id=span_id,
             parent_id=None if parent is None else parent.span_id,
-            depth=len(self._stack),
+            depth=len(stack),
             start_ms=self.now_ms(),
             attributes=dict(attributes),
         )
-        self._next_id += 1
-        self._stack.append(span)
+        self._stack_var.set(stack + (span,))
         return _SpanContext(self, span)
 
     def annotate(self, key: str, value: AttrValue) -> None:
@@ -211,23 +236,26 @@ class Tracer:
             span.set_attribute(key, value)
 
     def _finish(self, span: Span, *, failed: bool) -> None:
-        if not self._stack or self._stack[-1] is not span:
+        stack = self._stack_var.get()
+        if not stack or stack[-1] is not span:
             raise ObservabilityError(
                 f"span {span.name!r} closed out of order (spans must "
-                f"nest strictly)"
+                f"nest strictly within one task or thread)"
             )
-        self._stack.pop()
+        self._stack_var.set(stack[:-1])
         if failed:
             span.attributes["failed"] = True
         span.end_ms = self.now_ms()
-        if len(self._finished) == self._capacity:
-            self._dropped += 1
-        self._finished.append(span)
+        with self._latch:
+            if len(self._finished) == self._capacity:
+                self._dropped += 1
+            self._finished.append(span)
 
     def reset(self) -> None:
         """Drop all retained spans (open spans are unaffected)."""
-        self._finished.clear()
-        self._dropped = 0
+        with self._latch:
+            self._finished.clear()
+            self._dropped = 0
 
     # ------------------------------------------------------------------
     # Aggregation helpers
@@ -241,6 +269,9 @@ class Tracer:
         instead of threading a timer object through every call.
         """
         totals: Dict[str, float] = {}
-        for span in self._finished:
-            totals[span.name] = totals.get(span.name, 0.0) + span.duration_ms
+        with self._latch:
+            for span in self._finished:
+                totals[span.name] = (
+                    totals.get(span.name, 0.0) + span.duration_ms
+                )
         return totals

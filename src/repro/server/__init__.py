@@ -1,0 +1,34 @@
+"""The concurrent serving layer: wire protocol, server, client, loadgen.
+
+The storage engine below this package is durable (docs/RECOVERY.md),
+self-healing (docs/INTEGRITY.md), and instrumented
+(docs/OBSERVABILITY.md); this package makes it *multi-client*:
+
+* :mod:`repro.server.protocol` — the tiny length-prefixed JSON wire
+  protocol;
+* :mod:`repro.server.admission` — bounded admission with per-client
+  fairness (overload answers BUSY, it never stalls);
+* :mod:`repro.server.server` — the asyncio query server; reads run on
+  MVCC snapshots in a thread pool, writes are serialized;
+* :mod:`repro.server.client` — blocking and asyncio clients;
+* :mod:`repro.server.loadgen` — the closed-loop zipf load generator
+  behind ``repro loadgen`` and the ``BENCH_serving.json`` CI artifact.
+
+See docs/SERVING.md for the design tour.
+"""
+
+from repro.server.admission import AdmissionController, AdmissionStats
+from repro.server.client import AsyncReproClient, ReproClient
+from repro.server.loadgen import LoadgenReport, run_loadgen
+from repro.server.server import ReproServer, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "AsyncReproClient",
+    "LoadgenReport",
+    "ReproClient",
+    "ReproServer",
+    "ServerConfig",
+    "run_loadgen",
+]

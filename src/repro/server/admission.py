@@ -1,0 +1,175 @@
+"""Admission control: bounded concurrency with per-client fairness.
+
+An overloaded server has exactly two honest options: queue a request
+(bounded!) or refuse it.  :class:`AdmissionController` implements both
+bounds and the refusal:
+
+* at most ``max_inflight`` requests execute at once (semaphore);
+* at most ``max_queued`` more may wait for a slot — beyond that the
+  request is rejected immediately with a typed BUSY response, so an
+  overloaded server keeps answering in bounded time instead of building
+  an unbounded backlog;
+* at most ``max_per_client`` requests may be queued-or-executing per
+  connection, so one aggressive client cannot occupy the whole queue
+  and starve the rest — that is the fairness bound.
+
+The controller is event-loop confined (the server calls it only from
+its asyncio loop), so its counters need no latch; the executing work it
+admits is what runs on threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from repro.errors import ServerError
+from repro.obs import runtime as _obs
+from repro.obs.snapshot import snapshot_dataclass
+
+__all__ = ["AdmissionController", "AdmissionStats"]
+
+
+@dataclass
+class AdmissionStats:
+    """Lifetime admission counters (monotonic)."""
+
+    admitted: int = 0
+    completed: int = 0
+    rejected_queue_full: int = 0
+    rejected_client_cap: int = 0
+
+    @property
+    def rejected(self) -> int:
+        """Total BUSY responses issued."""
+        return self.rejected_queue_full + self.rejected_client_cap
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """All counters under stable keys (exporter feed)."""
+        out = snapshot_dataclass(self)
+        out["rejected"] = self.rejected
+        return out
+
+
+class AdmissionController:
+    """Semaphore-plus-bounded-queue gate in front of request execution."""
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 64,
+        max_queued: int = 256,
+        max_per_client: int = 8,
+    ) -> None:
+        if min(max_inflight, max_per_client) < 1 or max_queued < 0:
+            raise ServerError(
+                f"bad admission bounds: inflight={max_inflight}, "
+                f"queued={max_queued}, per_client={max_per_client}"
+            )
+        self._max_inflight = max_inflight
+        self._max_queued = max_queued
+        self._max_per_client = max_per_client
+        self._sem = asyncio.Semaphore(max_inflight)
+        self._queued = 0
+        self._inflight = 0
+        self._per_client: Dict[str, int] = {}
+        self.stats = AdmissionStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing."""
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for an execution slot."""
+        return self._queued
+
+    @property
+    def max_inflight(self) -> int:
+        """Concurrent-execution bound."""
+        return self._max_inflight
+
+    @property
+    def max_queued(self) -> int:
+        """Waiting-request bound (0 = never queue, reject instead)."""
+        return self._max_queued
+
+    @property
+    def max_per_client(self) -> int:
+        """Per-connection queued-or-executing bound (fairness)."""
+        return self._max_per_client
+
+    # ------------------------------------------------------------------
+    # The gate
+    # ------------------------------------------------------------------
+
+    async def admit(self, client_id: str) -> bool:
+        """Try to claim an execution slot for ``client_id``.
+
+        Returns ``False`` — *immediately, without waiting* — when either
+        bound would be exceeded; the caller answers BUSY.  Returns
+        ``True`` once a slot is held; the caller must pair it with
+        :meth:`release` on every path.
+        """
+        held = self._per_client.get(client_id, 0)
+        if held >= self._max_per_client:
+            self.stats.rejected_client_cap += 1
+            self._count_rejection("client_cap")
+            return False
+        if self._sem.locked() and self._queued >= self._max_queued:
+            self.stats.rejected_queue_full += 1
+            self._count_rejection("queue_full")
+            return False
+        self._per_client[client_id] = held + 1
+        self._queued += 1
+        try:
+            await self._sem.acquire()
+        except BaseException:
+            # Cancelled while queued (client hung up): undo the claim.
+            self._queued -= 1
+            self._drop_client(client_id)
+            raise
+        self._queued -= 1
+        self._inflight += 1
+        self.stats.admitted += 1
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("server.admitted")
+            reg.set_gauge("server.inflight", float(self._inflight))
+            reg.set_gauge("server.queued", float(self._queued))
+        return True
+
+    def release(self, client_id: str) -> None:
+        """Return an execution slot claimed by :meth:`admit`."""
+        if self._inflight < 1:
+            raise ServerError("release without a matching admit")
+        self._inflight -= 1
+        self._drop_client(client_id)
+        self._sem.release()
+        self.stats.completed += 1
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.set_gauge("server.inflight", float(self._inflight))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _drop_client(self, client_id: str) -> None:
+        held = self._per_client.get(client_id, 0)
+        if held <= 1:
+            self._per_client.pop(client_id, None)
+        else:
+            self._per_client[client_id] = held - 1
+
+    def _count_rejection(self, reason: str) -> None:
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("server.busy")
+            reg.inc(f"server.busy_{reason}")

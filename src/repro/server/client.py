@@ -1,0 +1,182 @@
+"""Clients for the serving protocol: blocking and asyncio flavours.
+
+:class:`ReproClient` is the blocking client — one socket, one request
+in flight, the natural shape for tests and the CLI.  It is a resource:
+close it (or use it as a context manager).
+
+:class:`AsyncReproClient` is the asyncio client the load generator
+multiplies into the thousands; same request/response helpers, awaitable.
+
+Both speak value-level rows (the server encodes/decodes through each
+table's domains) and surface the protocol's three statuses faithfully:
+``ok`` returns the response, ``busy`` returns it too (callers decide how
+to back off), and ``error`` raises :class:`~repro.errors.ServerError`
+unless ``raise_errors=False``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ProtocolError, ServerError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["AsyncReproClient", "ReproClient"]
+
+_LEN = struct.Struct(">I")
+
+
+def _check_response(
+    response: Dict[str, Any], *, raise_errors: bool
+) -> Dict[str, Any]:
+    if raise_errors and response.get("status") == "error":
+        raise ServerError(
+            f"server error [{response.get('code')}]: "
+            f"{response.get('message')}"
+        )
+    return response
+
+
+class ReproClient:
+    """Blocking client over one TCP connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = 30.0,
+        raise_errors: bool = True,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._raise_errors = raise_errors
+        self._closed = False
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One round trip: send a request object, return the response."""
+        if self._closed:
+            raise ServerError("client is closed")
+        self._sock.sendall(encode_frame(message))
+        header = self._recv_exactly(_LEN.size)
+        (length,) = _LEN.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"peer announced a {length}-byte frame "
+                f"(cap {MAX_FRAME_BYTES})"
+            )
+        response = decode_frame(self._recv_exactly(length))
+        return _check_response(response, raise_errors=self._raise_errors)
+
+    def _recv_exactly(self, count: int) -> bytes:
+        chunks: List[bytes] = []
+        remaining = count
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ProtocolError("connection closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # Convenience wrappers -------------------------------------------------
+
+    def ping(self) -> bool:
+        """Liveness probe (never gated by admission control)."""
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def select(
+        self,
+        table: str,
+        predicates: Sequence[Dict[str, Any]] = (),
+    ) -> Dict[str, Any]:
+        """Range select; each predicate is ``{attribute, lo, hi}``."""
+        return self.request(
+            {"op": "select", "table": table, "predicates": list(predicates)}
+        )
+
+    def insert(self, table: str, row: Sequence[Any]) -> Dict[str, Any]:
+        """Insert one value-level row."""
+        return self.request({"op": "insert", "table": table, "row": list(row)})
+
+    def delete(self, table: str, row: Sequence[Any]) -> Dict[str, Any]:
+        """Delete one value-level row."""
+        return self.request({"op": "delete", "table": table, "row": list(row)})
+
+    def schema(self, table: str) -> Dict[str, Any]:
+        """The table's attribute names and domain sizes."""
+        return self.request({"op": "schema", "table": table})
+
+    def stats(self) -> Dict[str, Any]:
+        """Server-side admission/table statistics."""
+        return self.request({"op": "stats"})
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class AsyncReproClient:
+    """Asyncio client over one TCP connection (one request in flight)."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        raise_errors: bool = True,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._raise_errors = raise_errors
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, raise_errors: bool = True
+    ) -> "AsyncReproClient":
+        """Open a connection and wrap it."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, raise_errors=raise_errors)
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One round trip: send a request object, await the response."""
+        if self._closed:
+            raise ServerError("client is closed")
+        await write_frame(self._writer, message)
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        return _check_response(response, raise_errors=self._raise_errors)
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def __aenter__(self) -> "AsyncReproClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

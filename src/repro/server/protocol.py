@@ -1,0 +1,128 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Requests and responses are JSON objects:
+
+Request::
+
+    {"op": "select", "table": "t", "predicates":
+        [{"attribute": "A1", "lo": 3, "hi": 7}]}
+    {"op": "insert", "table": "t", "row": [3, 1, 4]}
+    {"op": "delete", "table": "t", "row": [3, 1, 4]}
+    {"op": "ping"}
+    {"op": "stats"}
+
+Response — always carries ``status``::
+
+    {"status": "ok", ...result fields...}
+    {"status": "busy", "retry": true}          # admission rejected it
+    {"status": "error", "code": "...", "message": "..."}
+
+``busy`` is deliberately its own status, not an error: an overloaded
+server sheds load *by answering*, and a closed-loop client treats it as
+"back off and retry", never as a failed query.
+
+Frames are capped at :data:`MAX_FRAME_BYTES`; a peer announcing a larger
+frame is malformed (or malicious) and the connection is dropped — the
+cap is what stops one client's garbage length word from making the
+server buffer 4 GiB.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "busy_response",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "read_frame",
+    "write_frame",
+]
+
+#: Hard cap on one frame's body.  Far above any legitimate request and
+#: comfortably above the largest plausible result page.
+MAX_FRAME_BYTES = 1 << 22
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialise one message to its on-wire form (length + JSON body)."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> Dict[str, Any]:
+    """Parse one frame body back into a message object."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF before a length word.
+
+    EOF *inside* a frame (after the length, before the body completes)
+    is a torn frame and raises :class:`~repro.errors.ProtocolError` —
+    the peer died mid-send and the stream is unrecoverable.
+    """
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-length-word") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_frame(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: Dict[str, Any]
+) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+def ok_response(**fields: Any) -> Dict[str, Any]:
+    """A success response with arbitrary result fields."""
+    out: Dict[str, Any] = {"status": "ok"}
+    out.update(fields)
+    return out
+
+
+def busy_response() -> Dict[str, Any]:
+    """The typed overload response (admission control said no)."""
+    return {"status": "busy", "retry": True}
+
+
+def error_response(code: str, message: str) -> Dict[str, Any]:
+    """A typed failure response (the request itself was bad)."""
+    return {"status": "error", "code": code, "message": message}

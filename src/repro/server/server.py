@@ -1,0 +1,342 @@
+"""The asyncio query server.
+
+One :class:`ReproServer` fronts one :class:`~repro.db.database.Database`
+for many concurrent clients:
+
+* **Reads are snapshots.**  Every ``select`` takes an MVCC snapshot
+  (:meth:`Table.read_snapshot`) and executes it on a thread pool, so a
+  reader sees one consistent committed version no matter what the
+  writer is doing, and slow simulated I/O never blocks the event loop.
+* **Writes are serialized.**  The storage engine is single-writer by
+  design (docs/RECOVERY.md); ``insert``/``delete`` run one at a time
+  under an asyncio lock, each publishing a new version epoch on return.
+* **Overload answers, it does not stall.**  Every gated request first
+  passes the :class:`~repro.server.admission.AdmissionController`;
+  rejection is a typed BUSY response in bounded time.  ``ping`` bypasses
+  admission — a liveness probe that goes unanswered under load would
+  defeat its purpose.
+
+Thread-safety inventory (what the reader threads may touch):
+the :class:`~repro.storage.mvcc.BlockVersionStore` (latched), the
+:class:`~repro.storage.buffer.BufferPool` (latched, shared latch with
+its decoded cache), the simulated disk's block dict (single dict ops,
+atomic under CPython), and immutable schema/codec objects.  The live
+indices and the WAL belong to the writer alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.db.database import Database
+from repro.db.query import RangeQuery
+from repro.errors import ProtocolError, ReproError, ServerError
+from repro.obs import runtime as _obs
+from repro.relational.algebra import RangePredicate
+from repro.server.admission import AdmissionController
+from repro.server.protocol import (
+    busy_response,
+    error_response,
+    ok_response,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["ReproServer", "ServerConfig"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs for one server instance (defaults suit tests and demos)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port off .address
+    max_inflight: int = 64
+    max_queued: int = 256
+    max_per_client: int = 8
+    reader_threads: int = 8
+
+
+class ReproServer:
+    """Serve one database over the length-prefixed JSON protocol."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: Optional[ServerConfig] = None,
+        *,
+        admission: Optional[AdmissionController] = None,
+    ) -> None:
+        self._db = database
+        self._config = config or ServerConfig()
+        self._admission = admission or AdmissionController(
+            max_inflight=self._config.max_inflight,
+            max_queued=self._config.max_queued,
+            max_per_client=self._config.max_per_client,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._write_lock = asyncio.Lock()
+        self._connections: Set[asyncio.Task] = set()
+        self._next_client = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The admission gate (stats live on it)."""
+        return self._admission
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); raises before :meth:`start`."""
+        if self._server is None:
+            raise ServerError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listening socket; returns the bound address.
+
+        Enables MVCC on every compressed table in the catalog — tables
+        must be registered before the server starts serving them.
+        """
+        if self._server is not None:
+            raise ServerError("server is already started")
+        for table in self._db.catalog:
+            if table.compressed:
+                table.enable_mvcc()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._config.reader_threads,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._config.host, self._config.port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting, drop open connections, join the thread pool."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._server = None
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``repro serve`` entry point)."""
+        if self._server is None:
+            await self.start()
+        if self._server is None:  # pragma: no cover - start() guarantees it
+            raise ServerError("server failed to start")
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        client_id = f"c{self._next_client}"
+        self._next_client += 1
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    # Torn or oversized frame: the stream is garbage
+                    # from here, answer once and hang up.
+                    await self._try_send(
+                        writer, error_response("protocol", str(exc))
+                    )
+                    break
+                if request is None:
+                    break  # clean EOF
+                response = await self._dispatch(request, client_id)
+                await write_frame(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away / server stopping
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _try_send(
+        writer: asyncio.StreamWriter, message: Dict[str, Any]
+    ) -> None:
+        try:
+            await write_frame(writer, message)
+        except (ConnectionError, ProtocolError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(
+        self, request: Dict[str, Any], client_id: str
+    ) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return ok_response(pong=True)
+        if op not in ("select", "insert", "delete", "stats", "schema"):
+            return error_response("bad_op", f"unknown op {op!r}")
+        if not await self._admission.admit(client_id):
+            return busy_response()
+        t0 = _obs.now_ms()
+        try:
+            with _obs.span("server.request", op=op, client=client_id):
+                if op == "select":
+                    response = await self._run_blocking(
+                        self._exec_select, request
+                    )
+                elif op in ("insert", "delete"):
+                    async with self._write_lock:
+                        response = await self._run_blocking(
+                            self._exec_write, request
+                        )
+                elif op == "schema":
+                    response = self._exec_schema(request)
+                else:
+                    response = self._exec_stats()
+        except ReproError as exc:
+            self._count_error()
+            response = error_response(type(exc).__name__, str(exc))
+        finally:
+            self._admission.release(client_id)
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("server.requests")
+            reg.observe("server.latency_ms", _obs.now_ms() - t0)
+        return response
+
+    async def _run_blocking(self, fn, request: Dict[str, Any]) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        if self._executor is None:
+            raise ServerError("server is not started")
+        return await loop.run_in_executor(self._executor, fn, request)
+
+    def _count_error(self) -> None:
+        reg = _obs.REGISTRY
+        if reg is not None:
+            reg.inc("server.errors")
+
+    # ------------------------------------------------------------------
+    # Operations (reads run on the thread pool)
+    # ------------------------------------------------------------------
+
+    def _exec_select(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        table = self._db.table(_field(request, "table", str))
+        schema = table.schema
+        predicates: List[RangePredicate] = []
+        for spec in request.get("predicates", ()):
+            if not isinstance(spec, dict):
+                raise ProtocolError("predicate must be an object")
+            attribute = _field(spec, "attribute", str)
+            domain = schema.attribute(attribute).domain
+            lo = domain.encode_bound(spec.get("lo"))
+            hi = domain.encode_bound(spec.get("hi"))
+            predicates.append(RangePredicate(attribute, lo, hi))
+        with table.read_snapshot() as snapshot:
+            result = snapshot.select(RangeQuery(predicates))
+            rows = [schema.decode_tuple(t) for t in result.tuples]
+            return ok_response(
+                rows=rows,
+                count=len(rows),
+                csn=snapshot.csn,
+                blocks_read=result.blocks_read,
+            )
+
+    def _exec_write(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        table = self._db.table(_field(request, "table", str))
+        row = _field(request, "row", list)
+        encoded = table.schema.encode_tuple(row)
+        if request["op"] == "insert":
+            table.insert(encoded)
+            removed = None
+        else:
+            removed = table.delete(encoded)
+        store = table.mvcc
+        return ok_response(
+            removed=removed, csn=store.csn if store is not None else None
+        )
+
+    def _exec_schema(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        table = self._db.table(_field(request, "table", str))
+        attributes: List[Dict[str, Any]] = []
+        for a in table.schema.attributes:
+            entry: Dict[str, Any] = {"name": a.name, "size": a.domain.size}
+            # Integer-range domains advertise their bounds so a client
+            # (the load generator) can synthesise in-domain values.
+            lo = getattr(a.domain, "lo", None)
+            if isinstance(lo, int):
+                entry["lo"] = lo
+            attributes.append(entry)
+        return ok_response(
+            attributes=attributes,
+            tuples=table.num_tuples,
+            blocks=table.num_blocks,
+            compressed=table.compressed,
+        )
+
+    def _exec_stats(self) -> Dict[str, Any]:
+        tables: Dict[str, Dict[str, Any]] = {}
+        for table in self._db.catalog:
+            entry: Dict[str, Any] = {
+                "tuples": table.num_tuples,
+                "blocks": table.num_blocks,
+            }
+            store = table.mvcc
+            if store is not None:
+                entry["csn"] = store.csn
+                entry["versions"] = store.version_count
+                entry["pinned_snapshots"] = store.pinned_snapshots
+            pool = table.buffer_pool
+            if pool is not None:
+                entry["buffer"] = pool.stats.as_dict()
+            tables[table.name] = entry
+        return ok_response(
+            admission=self._admission.stats.as_dict(),
+            inflight=self._admission.inflight,
+            queued=self._admission.queued,
+            tables=tables,
+        )
+
+
+def _field(request: Dict[str, Any], name: str, kind: type) -> Any:
+    """A required, type-checked request field."""
+    value = request.get(name)
+    if not isinstance(value, kind):
+        raise ProtocolError(
+            f"request field {name!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value

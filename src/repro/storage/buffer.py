@@ -18,10 +18,21 @@ block rewritten on disk (Section 4.2 mutation, block split, compaction)
 is invalidated through :meth:`BufferPool.invalidate`, and the pool
 cascades the drop to every attached decoded cache — a stale payload and
 a stale decode are the same bug.
+
+Both caches are **latched**: one shared reentrant lock per pool (adopted
+by every attached decoded cache) serializes LRU reordering, eviction,
+and stats updates, so the concurrent serving layer's reader threads
+(:mod:`repro.server`) can share a pool without corrupting eviction
+state or double-counting stats.  The latch is deliberately coarse — a
+single lock covering pool and caches — because the alternative (a lock
+per layer) deadlocks on the invalidation cascade: a decoded-cache get
+takes cache-then-pool while an invalidate takes pool-then-cache.
+Single-threaded callers pay one uncontended RLock acquire per access.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
@@ -126,6 +137,11 @@ class BufferPool:
         self._decoded_caches: List["DecodedBlockCache"] = []
         self._verifier: Optional[Verifier] = None
         self._quarantine: Optional["QuarantineSet"] = None
+        #: One latch for the pool *and* every attached decoded cache —
+        #: see the module docstring for why it must be shared.  The
+        #: serving layer's shared-structure inventory (docs/SERVING.md)
+        #: lists this latch alongside the R010 module-level registry.
+        self._latch = threading.RLock()
         self.stats = BufferStats()
 
     @property
@@ -138,6 +154,16 @@ class BufferPool:
         """Blocks currently cached."""
         return len(self._frames)
 
+    @property
+    def latch(self) -> "threading.RLock":
+        """The shared pool/decoded-cache lock (reentrant).
+
+        Exposed so callers that need a multi-step atomic view (the
+        hammer tests, the serving layer's stats snapshots) can hold it
+        across several reads.
+        """
+        return self._latch
+
     def get(self, block_id: int) -> bytes:
         """Return a block's payload, reading from disk only on a miss.
 
@@ -148,28 +174,29 @@ class BufferPool:
         the attached verifier before being cached, so a corrupt payload
         is never admitted to a frame.
         """
-        self.check_quarantine(block_id)
-        reg = _obs.REGISTRY
-        cached = self._frames.get(block_id)
-        if cached is not None:
-            self._frames.move_to_end(block_id)
-            self.stats.hits += 1
+        with self._latch:
+            self.check_quarantine(block_id)
+            reg = _obs.REGISTRY
+            cached = self._frames.get(block_id)
+            if cached is not None:
+                self._frames.move_to_end(block_id)
+                self.stats.hits += 1
+                if reg is not None:
+                    reg.inc("buffer.hits")
+                return cached
+            payload = self._disk.read_block(block_id)
+            if self._verifier is not None:
+                self._verifier(block_id, payload)
+            self.stats.misses += 1
             if reg is not None:
-                reg.inc("buffer.hits")
-            return cached
-        payload = self._disk.read_block(block_id)
-        if self._verifier is not None:
-            self._verifier(block_id, payload)
-        self.stats.misses += 1
-        if reg is not None:
-            reg.inc("buffer.misses")
-        self._frames[block_id] = payload
-        if len(self._frames) > self._capacity:
-            self._frames.popitem(last=False)
-            self.stats.evictions += 1
-            if reg is not None:
-                reg.inc("buffer.evictions")
-        return payload
+                reg.inc("buffer.misses")
+            self._frames[block_id] = payload
+            if len(self._frames) > self._capacity:
+                self._frames.popitem(last=False)
+                self.stats.evictions += 1
+                if reg is not None:
+                    reg.inc("buffer.evictions")
+            return payload
 
     def attach_verifier(self, verifier: Verifier) -> None:
         """Run ``verifier(block_id, payload)`` on every payload admitted.
@@ -205,8 +232,9 @@ class BufferPool:
         :meth:`invalidate` and :meth:`clear` also drop the corresponding
         decoded entries — a rewritten payload makes the decode stale too.
         """
-        if cache not in self._decoded_caches:
-            self._decoded_caches.append(cache)
+        with self._latch:
+            if cache not in self._decoded_caches:
+                self._decoded_caches.append(cache)
 
     def invalidate(self, block_id: int) -> None:
         """Drop a block from the pool (after it was rewritten on disk).
@@ -214,16 +242,18 @@ class BufferPool:
         Cascades to every attached decoded cache: the decoded tuples of a
         rewritten block are exactly as stale as its payload.
         """
-        self._frames.pop(block_id, None)
-        for cache in self._decoded_caches:
-            cache.drop(block_id)
+        with self._latch:
+            self._frames.pop(block_id, None)
+            for cache in self._decoded_caches:
+                cache.drop(block_id)
 
     def clear(self) -> None:
         """Empty the pool and attached decoded caches (counters are kept;
         use ``stats.reset()``)."""
-        self._frames.clear()
-        for cache in self._decoded_caches:
-            cache.drop_all()
+        with self._latch:
+            self._frames.clear()
+            for cache in self._decoded_caches:
+                cache.drop_all()
 
 
 class DecodedBlockCache:
@@ -254,6 +284,10 @@ class DecodedBlockCache:
         self._capacity = capacity
         self._decoder = decoder
         self._frames: "OrderedDict[int, List[Tuple[int, ...]]]" = OrderedDict()
+        # Adopt the pool's latch rather than owning one: a get here takes
+        # cache-then-pool while an invalidate takes pool-then-cache, so
+        # two locks would deadlock (see module docstring).
+        self._latch = pool.latch
         pool.attach_decoded_cache(self)
 
     @property
@@ -278,26 +312,27 @@ class DecodedBlockCache:
 
     def get(self, block_id: int) -> List[Tuple[int, ...]]:
         """Return a block's decoded tuples, decoding only on a miss."""
-        self._pool.check_quarantine(block_id)
-        reg = _obs.REGISTRY
-        cached = self._frames.get(block_id)
-        if cached is not None:
-            self._frames.move_to_end(block_id)
-            self.stats.decoded_hits += 1
+        with self._latch:
+            self._pool.check_quarantine(block_id)
+            reg = _obs.REGISTRY
+            cached = self._frames.get(block_id)
+            if cached is not None:
+                self._frames.move_to_end(block_id)
+                self.stats.decoded_hits += 1
+                if reg is not None:
+                    reg.inc("cache.decoded_hits")
+                return cached
+            tuples = self._decoder(self._pool.get(block_id))
+            self.stats.decoded_misses += 1
             if reg is not None:
-                reg.inc("cache.decoded_hits")
-            return cached
-        tuples = self._decoder(self._pool.get(block_id))
-        self.stats.decoded_misses += 1
-        if reg is not None:
-            reg.inc("cache.decoded_misses")
-        self._frames[block_id] = tuples
-        if len(self._frames) > self._capacity:
-            self._frames.popitem(last=False)
-            self.stats.decoded_evictions += 1
-            if reg is not None:
-                reg.inc("cache.decoded_evictions")
-        return tuples
+                reg.inc("cache.decoded_misses")
+            self._frames[block_id] = tuples
+            if len(self._frames) > self._capacity:
+                self._frames.popitem(last=False)
+                self.stats.decoded_evictions += 1
+                if reg is not None:
+                    reg.inc("cache.decoded_evictions")
+            return tuples
 
     def peek(self, block_id: int) -> Optional[List[Tuple[int, ...]]]:
         """The cached decode of a block, or ``None`` — never decodes.
@@ -306,20 +341,23 @@ class DecodedBlockCache:
         full block decode on a cold one (the early-exit difference-stream
         probe is cheaper than decoding when the block is cold).
         """
-        self._pool.check_quarantine(block_id)
-        cached = self._frames.get(block_id)
-        if cached is not None:
-            self._frames.move_to_end(block_id)
-            self.stats.decoded_hits += 1
-            reg = _obs.REGISTRY
-            if reg is not None:
-                reg.inc("cache.decoded_hits")
-        return cached
+        with self._latch:
+            self._pool.check_quarantine(block_id)
+            cached = self._frames.get(block_id)
+            if cached is not None:
+                self._frames.move_to_end(block_id)
+                self.stats.decoded_hits += 1
+                reg = _obs.REGISTRY
+                if reg is not None:
+                    reg.inc("cache.decoded_hits")
+            return cached
 
     def drop(self, block_id: int) -> None:
         """Forget one block's decode (no-op if absent)."""
-        self._frames.pop(block_id, None)
+        with self._latch:
+            self._frames.pop(block_id, None)
 
     def drop_all(self) -> None:
         """Forget every decode (counters are kept; use ``stats.reset()``)."""
-        self._frames.clear()
+        with self._latch:
+            self._frames.clear()

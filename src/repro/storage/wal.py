@@ -29,6 +29,13 @@ redo-from-image recovery):
 3. a crash discards the unforced tail; a torn force leaves a torn log
    tail, which recovery truncates at the last CRC-valid record.
 
+A force is ``write + flush + os.fsync``: flush alone only moves the
+tail into the OS page cache, so a machine crash (as opposed to a mere
+process crash) could still lose a "committed" transaction.  The
+``sync=False`` escape hatch downgrades a force to flush-only for tests
+and benchmarks that model process crashes via the fault injector and
+do not want to pay the fsync on every commit.
+
 A clean close writes CHECKPOINT + CLEAN (the CLEAN record carries the
 physical block directory); re-opening a log whose *final* record is
 CLEAN attaches the existing blocks without rewriting anything —
@@ -54,6 +61,7 @@ see ``tests/io/test_corruption_fuzz.py``.
 from __future__ import annotations
 
 import json
+import os
 import zlib
 from bisect import bisect_left, insort
 from dataclasses import dataclass
@@ -485,12 +493,14 @@ class WriteAheadLog:
         header: WALHeader,
         *,
         injector: Optional[FaultInjector] = None,
+        sync: bool = True,
         _file: Optional[IO[bytes]] = None,
         _next_tid: int = 1,
     ):
         self._path = path
         self._header = header
         self._injector = injector
+        self._sync = sync
         self._file = _file if _file is not None else open(path, "ab")
         self._pending = bytearray()
         self._next_tid = _next_tid
@@ -514,12 +524,15 @@ class WriteAheadLog:
         codec: Optional[BlockCodec] = None,
         block_size: int,
         injector: Optional[FaultInjector] = None,
+        sync: bool = True,
     ) -> "WriteAheadLog":
         """Start a fresh log: header only, no records yet.
 
         The header write is part of table *setup*, not the logged
         workload, so it bypasses fault injection (a table that failed to
-        create has nothing to recover).
+        create has nothing to recover).  ``sync=False`` downgrades every
+        force to flush-only (see the module docstring) — commits then
+        survive process crashes but not OS crashes.
         """
         codec = codec or BlockCodec(schema.domain_sizes)
         header = WALHeader(
@@ -550,7 +563,7 @@ class WriteAheadLog:
         except BaseException:
             f.close()
             raise
-        return cls(path, header, injector=injector, _file=f)
+        return cls(path, header, injector=injector, sync=sync, _file=f)
 
     @classmethod
     def open(
@@ -558,6 +571,7 @@ class WriteAheadLog:
         path: str,
         *,
         injector: Optional[FaultInjector] = None,
+        sync: bool = True,
     ) -> "WriteAheadLog":
         """Open an existing log for append, repairing any torn tail.
 
@@ -575,6 +589,7 @@ class WriteAheadLog:
             path,
             header,
             injector=injector,
+            sync=sync,
             _next_tid=max(tids) + 1 if tids else 1,
         )
         wal.records_at_open = tuple(records)
@@ -619,6 +634,11 @@ class WriteAheadLog:
     def pending_bytes(self) -> int:
         """Bytes appended but not yet forced (lost in a crash)."""
         return len(self._pending)
+
+    @property
+    def sync(self) -> bool:
+        """Whether a force fsyncs (True) or merely flushes (False)."""
+        return self._sync
 
     @property
     def clean_on_disk(self) -> bool:
@@ -718,7 +738,9 @@ class WriteAheadLog:
         A torn force persists a prefix of the tail — recovery's
         truncation rule turns that into "the unforced records never
         happened", which is exactly the crash semantics commit relies
-        on.
+        on.  Unless ``sync=False`` was requested, the force fsyncs:
+        flush alone leaves the tail in the OS page cache, where a
+        machine crash would discard it after commit already returned.
         """
         if self._closed:
             raise StorageError(f"{self._path}: log is closed")
@@ -733,6 +755,8 @@ class WriteAheadLog:
         if payload:
             self._file.write(payload)
             self._file.flush()
+            if self._sync:
+                os.fsync(self._file.fileno())
             self.stats.bytes_durable += len(payload)
         self._pending.clear()
         self._clean_on_disk = False

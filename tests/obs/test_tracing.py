@@ -138,3 +138,84 @@ class TestSpanAsDict:
         assert row["depth"] == 0
         assert row["duration_ms"] == pytest.approx(4.0)
         assert row["attributes"] == {"table": "emp"}
+
+
+class TestConcurrentNesting:
+    """The serving-layer regression: spans from interleaved asyncio
+    tasks and from parallel threads must nest independently — the
+    original single shared stack raised "closed out of order" the
+    moment two requests overlapped."""
+
+    def test_interleaved_asyncio_tasks_each_nest_cleanly(self):
+        import asyncio
+
+        tracer = Tracer()
+
+        async def request(name):
+            with tracer.span("server.request", op=name):
+                await asyncio.sleep(0)  # force interleaving
+                with tracer.span("inner", op=name):
+                    await asyncio.sleep(0)
+                await asyncio.sleep(0)
+
+        async def scenario():
+            await asyncio.gather(*[request(f"r{i}") for i in range(8)])
+
+        asyncio.run(scenario())
+        spans = tracer.finished_spans()
+        assert len(spans) == 16
+        inners = [s for s in spans if s.name == "inner"]
+        outers = {s.attributes["op"]: s for s in spans
+                  if s.name == "server.request"}
+        # Each inner span parents to *its own* request, not whichever
+        # request happened to be on a shared stack.
+        for inner in inners:
+            assert inner.parent_id == outers[inner.attributes["op"]].span_id
+            assert inner.depth == 1
+
+    def test_parallel_threads_each_nest_cleanly(self):
+        import threading
+
+        tracer = Tracer(capacity=4096)
+        barrier = threading.Barrier(6)
+        errors = []
+
+        def worker(name):
+            try:
+                barrier.wait(timeout=30)
+                for i in range(50):
+                    with tracer.span("outer", who=name):
+                        with tracer.span("inner", who=name):
+                            pass
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",))
+            for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors[0]
+        spans = tracer.finished_spans()
+        assert len(spans) == 6 * 50 * 2
+        # Unique ids despite concurrent allocation.
+        ids = [s.span_id for s in spans]
+        assert len(set(ids)) == len(ids)
+        for span in spans:
+            if span.name == "inner":
+                assert span.attributes["who"] is not None
+                assert span.depth == 1
+
+    def test_out_of_order_close_still_raises_within_one_context(self):
+        tracer = Tracer()
+        ctx_outer = tracer.span("outer")
+        outer = ctx_outer.__enter__()
+        ctx_inner = tracer.span("inner")
+        ctx_inner.__enter__()
+        with pytest.raises(ObservabilityError):
+            tracer._finish(outer, failed=False)
+        ctx_inner.__exit__(None, None, None)
+        ctx_outer.__exit__(None, None, None)

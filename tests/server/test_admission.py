@@ -1,0 +1,109 @@
+"""Unit tests for the admission controller's bounds and fairness."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server.admission import AdmissionController
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBounds:
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ServerError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ServerError):
+            AdmissionController(max_per_client=0)
+        with pytest.raises(ServerError):
+            AdmissionController(max_queued=-1)
+
+    def test_admits_up_to_inflight(self):
+        async def scenario():
+            gate = AdmissionController(
+                max_inflight=2, max_queued=0, max_per_client=10
+            )
+            assert await gate.admit("a")
+            assert await gate.admit("b")
+            assert gate.inflight == 2
+            # Third request: semaphore is exhausted and queueing is
+            # disabled, so it is refused immediately.
+            assert not await gate.admit("c")
+            assert gate.stats.rejected_queue_full == 1
+            gate.release("a")
+            assert await gate.admit("c")
+            gate.release("b")
+            gate.release("c")
+            assert gate.inflight == 0
+            assert gate.stats.admitted == 3
+            assert gate.stats.completed == 3
+
+        run(scenario())
+
+    def test_queue_bound(self):
+        async def scenario():
+            gate = AdmissionController(
+                max_inflight=1, max_queued=1, max_per_client=10
+            )
+            assert await gate.admit("a")
+            waiter = asyncio.ensure_future(gate.admit("b"))
+            await asyncio.sleep(0)  # let it join the queue
+            assert gate.queued == 1
+            # Queue is full: the next request bounces without waiting.
+            assert not await gate.admit("c")
+            assert gate.stats.rejected_queue_full == 1
+            gate.release("a")
+            assert await waiter
+            gate.release("b")
+
+        run(scenario())
+
+    def test_per_client_cap_is_fairness(self):
+        async def scenario():
+            gate = AdmissionController(
+                max_inflight=10, max_queued=10, max_per_client=2
+            )
+            assert await gate.admit("hog")
+            assert await gate.admit("hog")
+            # The hog is at its cap; other clients still get slots.
+            assert not await gate.admit("hog")
+            assert gate.stats.rejected_client_cap == 1
+            assert await gate.admit("meek")
+            gate.release("hog")
+            assert await gate.admit("hog")
+            for client in ("hog", "hog", "meek"):
+                gate.release(client)
+
+        run(scenario())
+
+    def test_release_without_admit_raises(self):
+        async def scenario():
+            gate = AdmissionController()
+            with pytest.raises(ServerError):
+                gate.release("ghost")
+
+        run(scenario())
+
+    def test_cancelled_waiter_undoes_its_claim(self):
+        async def scenario():
+            gate = AdmissionController(
+                max_inflight=1, max_queued=4, max_per_client=1
+            )
+            assert await gate.admit("a")
+            waiter = asyncio.ensure_future(gate.admit("b"))
+            await asyncio.sleep(0)
+            assert gate.queued == 1
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            # The abandoned claim is fully undone: queue empty and the
+            # client free to try again once a slot opens.
+            assert gate.queued == 0
+            gate.release("a")
+            assert await gate.admit("b")
+            gate.release("b")
+
+        run(scenario())

@@ -1,0 +1,100 @@
+"""Unit tests for the length-prefixed JSON wire protocol."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    busy_response,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+)
+
+
+def read_from(data: bytes):
+    """Run ``read_frame`` against a StreamReader pre-loaded with bytes.
+
+    The reader is created inside the coroutine so it binds to the loop
+    ``asyncio.run`` just started, not to a stale default loop.
+    """
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(scenario())
+
+
+class TestFrames:
+    def test_round_trip(self):
+        message = {"op": "select", "predicates": [{"lo": 1, "hi": 2}]}
+        frame = encode_frame(message)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert decode_frame(frame[4:]) == message
+
+    def test_unicode_survives(self):
+        message = {"op": "insert", "row": ["naïve", "日本"]}
+        frame = encode_frame(message)
+        assert decode_frame(frame[4:]) == message
+
+    def test_non_object_rejected(self):
+        body = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(ProtocolError):
+            decode_frame(body)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"{nope")
+
+    def test_oversized_encode_rejected(self):
+        huge = {"blob": "x" * (MAX_FRAME_BYTES + 1)}
+        with pytest.raises(ProtocolError):
+            encode_frame(huge)
+
+
+class TestReadFrame:
+    def test_reads_one_frame(self):
+        assert read_from(encode_frame({"op": "ping"})) == {"op": "ping"}
+
+    def test_clean_eof_is_none(self):
+        assert read_from(b"") is None
+
+    def test_torn_header_raises(self):
+        with pytest.raises(ProtocolError):
+            read_from(b"\x00\x00")
+
+    def test_torn_body_raises(self):
+        with pytest.raises(ProtocolError):
+            read_from(encode_frame({"op": "ping"})[:-2])
+
+    def test_oversized_announcement_raises(self):
+        with pytest.raises(ProtocolError):
+            read_from(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+
+class TestResponses:
+    def test_ok(self):
+        assert ok_response(rows=[], count=0) == {
+            "status": "ok", "rows": [], "count": 0,
+        }
+
+    def test_busy_is_typed_not_an_error(self):
+        response = busy_response()
+        assert response["status"] == "busy"
+        assert response["retry"] is True
+
+    def test_error_carries_code_and_message(self):
+        response = error_response("bad_op", "unknown op")
+        assert response == {
+            "status": "error", "code": "bad_op", "message": "unknown op",
+        }

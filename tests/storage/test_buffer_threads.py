@@ -1,0 +1,147 @@
+"""Multi-threaded hammer tests for the latched buffer pool and
+decoded-block cache.
+
+Before the latch, concurrent `get` calls corrupted the OrderedDict's
+LRU reordering and double-counted stats; this suite drives many threads
+through every public entry point at once and then checks the accounting
+invariants that only hold if every access was serialized:
+
+* ``hits + misses == accesses`` and accesses equals the calls made;
+* residency never exceeds capacity;
+* every payload read is byte-identical to the disk's content
+  (no torn frame entries).
+"""
+
+import threading
+from collections import Counter
+
+from repro.storage.buffer import BufferPool, DecodedBlockCache
+from repro.storage.disk import SimulatedDisk
+
+NUM_BLOCKS = 24
+THREADS = 8
+ROUNDS = 400
+
+
+def make_disk():
+    disk = SimulatedDisk(block_size=64)
+    for i in range(NUM_BLOCKS):
+        disk.append_block(bytes([i]) * 16)
+    return disk
+
+
+def hammer(threads):
+    errors = []
+
+    def wrap(fn):
+        def run():
+            try:
+                fn()
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        return run
+
+    workers = [threading.Thread(target=wrap(fn)) for fn in threads]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join(timeout=120)
+    assert not errors, errors[0]
+
+
+class TestBufferPoolHammer:
+    def test_concurrent_gets_keep_exact_accounting(self):
+        disk = make_disk()
+        pool = BufferPool(disk, capacity=8)
+
+        def worker(seed):
+            def run():
+                for i in range(ROUNDS):
+                    block_id = (seed * 7 + i * 11) % NUM_BLOCKS
+                    payload = pool.get(block_id)
+                    assert payload == bytes([block_id]) * 16
+            return run
+
+        hammer([worker(seed) for seed in range(THREADS)])
+        stats = pool.stats
+        # Exact accounting: every one of the THREADS*ROUNDS calls was
+        # counted exactly once, as either a hit or a miss.
+        assert stats.accesses == THREADS * ROUNDS
+        assert stats.hits + stats.misses == stats.accesses
+        assert pool.resident <= pool.capacity
+        # Evictions are consistent with what was admitted.
+        assert stats.misses - stats.evictions == pool.resident
+
+    def test_concurrent_gets_and_invalidations(self):
+        disk = make_disk()
+        pool = BufferPool(disk, capacity=8)
+
+        def getter(seed):
+            def run():
+                for i in range(ROUNDS):
+                    block_id = (seed + i * 5) % NUM_BLOCKS
+                    assert pool.get(block_id) == bytes([block_id]) * 16
+            return run
+
+        def invalidator():
+            for i in range(ROUNDS):
+                pool.invalidate(i % NUM_BLOCKS)
+                if i % 50 == 49:
+                    pool.clear()
+
+        hammer([getter(s) for s in range(THREADS - 1)] + [invalidator])
+        assert pool.resident <= pool.capacity
+        assert pool.stats.accesses == (THREADS - 1) * ROUNDS
+
+
+class TestDecodedCacheHammer:
+    def test_pool_and_decoded_cache_share_one_latch(self):
+        disk = make_disk()
+        pool = BufferPool(disk, capacity=8)
+        decode_counts = Counter()
+        count_lock = threading.Lock()
+
+        def decoder(payload):
+            with count_lock:
+                decode_counts[payload[0]] += 1
+            return [(payload[0], len(payload))]
+
+        cache = DecodedBlockCache(pool, capacity=6, decoder=decoder)
+        assert cache.pool is pool
+
+        def tuple_reader(seed):
+            def run():
+                for i in range(ROUNDS):
+                    block_id = (seed * 3 + i) % NUM_BLOCKS
+                    tuples = cache.get(block_id)
+                    assert tuples == [(block_id, 16)]
+            return run
+
+        def raw_reader():
+            for i in range(ROUNDS):
+                block_id = i % NUM_BLOCKS
+                assert pool.get(block_id) == bytes([block_id]) * 16
+
+        def invalidator():
+            # The cascade path: pool.invalidate takes pool-then-cache
+            # while cache.get takes cache-then-pool — with separate
+            # locks this interleaving deadlocks; the shared latch is
+            # the regression under test.
+            for i in range(ROUNDS):
+                pool.invalidate((i * 13) % NUM_BLOCKS)
+
+        hammer(
+            [tuple_reader(s) for s in range(THREADS - 2)]
+            + [raw_reader, invalidator]
+        )
+        stats = pool.stats
+        assert stats.decoded_accesses == (THREADS - 2) * ROUNDS
+        assert (
+            stats.decoded_hits + stats.decoded_misses
+            == stats.decoded_accesses
+        )
+        assert cache.resident <= cache.capacity
+        assert pool.resident <= pool.capacity
+        # Every decode was triggered by exactly one counted miss.
+        assert sum(decode_counts.values()) == stats.decoded_misses

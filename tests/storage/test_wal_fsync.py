@@ -1,0 +1,186 @@
+"""Durability regression: a committed transaction must be *fsynced*.
+
+The original force path only called ``flush()``, which moves the tail
+into the OS page cache — a machine crash after ``commit`` returned could
+still lose the transaction.  These tests pin the fix:
+
+* with ``sync=True`` (the default) every force fsyncs, and the bytes
+  fsynced by commit are exactly the bytes on disk — truncating a copy of
+  the log to the last *synced* length (the machine-crash model: page
+  cache gone, fsynced prefix kept) still recovers the commit;
+* ``sync=False`` is the explicit escape hatch: flush only, no fsync;
+* the fault-injector crash-after-force cases keep their semantics under
+  the fsyncing force.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.errors import CrashPoint
+from repro.relational.domain import IntegerRangeDomain
+from repro.relational.schema import Attribute, Schema
+from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import FaultInjector
+from repro.storage.wal import (
+    REC_BEGIN,
+    REC_COMMIT,
+    REC_INSERT,
+    WriteAheadLog,
+    read_log,
+    recover,
+)
+
+
+def make_schema():
+    return Schema(
+        [Attribute(f"a{i}", IntegerRangeDomain(0, 63)) for i in range(3)]
+    )
+
+
+class FsyncSpy:
+    """Wraps the real ``os.fsync``, recording the synced file size."""
+
+    def __init__(self):
+        self.real = os.fsync
+        self.synced_sizes = []
+
+    def __call__(self, fd):
+        self.real(fd)
+        self.synced_sizes.append(os.fstat(fd).st_size)
+
+
+@pytest.fixture
+def spy(monkeypatch):
+    spy = FsyncSpy()
+    monkeypatch.setattr(os, "fsync", spy)
+    return spy
+
+
+class TestSyncOn:
+    def test_commit_fsyncs_the_whole_log(self, tmp_path, spy):
+        path = str(tmp_path / "t.wal")
+        wal = WriteAheadLog.create(path, make_schema(), block_size=256)
+        assert wal.sync is True
+        tid = wal.begin()
+        wal.log_insert(tid, 123)
+        wal.commit(tid)
+        assert spy.synced_sizes, "commit must fsync"
+        # The last fsync covered every byte of the file: nothing of the
+        # committed transaction lives only in the page cache.
+        assert spy.synced_sizes[-1] == os.path.getsize(path)
+        wal.close()
+
+    def test_commit_survives_a_machine_crash(self, tmp_path, spy):
+        """Keep only the fsynced prefix (the page cache is lost) and
+        recover: the committed transaction must still be there."""
+        path = str(tmp_path / "t.wal")
+        wal = WriteAheadLog.create(path, make_schema(), block_size=256)
+        tid = wal.begin()
+        wal.log_insert(tid, 123)
+        wal.log_insert(tid, 7)
+        wal.commit(tid)
+        synced = spy.synced_sizes[-1]
+        # Model the machine crash *without* closing the log (close
+        # would force again): copy the file and truncate the copy to
+        # the durable prefix.
+        crashed = str(tmp_path / "crashed.wal")
+        shutil.copyfile(path, crashed)
+        with open(crashed, "r+b") as fh:
+            fh.truncate(synced)
+        _, records, truncated, _ = read_log(crashed)
+        assert truncated is None
+        assert [r.rtype for r in records] == [
+            REC_BEGIN, REC_INSERT, REC_INSERT, REC_COMMIT,
+        ]
+        storage, report = recover(SimulatedDisk(256), crashed)
+        assert sorted(storage.all_ordinals()) == [7, 123]
+        assert report.committed_txns == 1
+        wal.close()
+
+    def test_every_force_fsyncs_not_just_commit(self, tmp_path, spy):
+        path = str(tmp_path / "t.wal")
+        wal = WriteAheadLog.create(path, make_schema(), block_size=256)
+        wal.begin()
+        before = len(spy.synced_sizes)
+        wal.force()
+        assert len(spy.synced_sizes) == before + 1
+        wal.force()  # empty tail: no write, no fsync
+        assert len(spy.synced_sizes) == before + 1
+        wal.close()
+
+
+class TestSyncOff:
+    def test_escape_hatch_never_fsyncs(self, tmp_path, spy):
+        path = str(tmp_path / "t.wal")
+        wal = WriteAheadLog.create(
+            path, make_schema(), block_size=256, sync=False
+        )
+        assert wal.sync is False
+        tid = wal.begin()
+        wal.log_insert(tid, 123)
+        wal.commit(tid)
+        wal.checkpoint([1, 2, 3])
+        wal.close()
+        assert spy.synced_sizes == []
+        # Flush still happened: the records are process-crash durable.
+        _, records, _, _ = read_log(path)
+        assert len(records) == 4
+
+    def test_open_preserves_the_escape_hatch(self, tmp_path, spy):
+        path = str(tmp_path / "t.wal")
+        WriteAheadLog.create(
+            path, make_schema(), block_size=256, sync=False
+        ).close()
+        wal = WriteAheadLog.open(path, sync=False)
+        tid = wal.begin()
+        wal.log_insert(tid, 5)
+        wal.commit(tid)
+        wal.close()
+        assert spy.synced_sizes == []
+        wal2 = WriteAheadLog.open(path)
+        assert wal2.sync is True  # default remains the safe one
+        wal2.close()
+
+
+class TestCrashAfterForce:
+    def test_clean_crash_after_forced_commit_is_durable(self, tmp_path):
+        """crash_mode='clean': the crashing write reaches the medium in
+        full — exactly the case fsync-on-commit promises to keep."""
+        schema = make_schema()
+        injector = FaultInjector(crash_after=1, crash_mode="clean", seed=3)
+        path = str(tmp_path / "t.wal")
+        wal = WriteAheadLog.create(
+            path, schema, block_size=256, injector=injector
+        )
+        tid = wal.begin()
+        wal.log_insert(tid, 31)
+        with pytest.raises(CrashPoint):
+            wal.commit(tid)
+        injector.disarm()
+        _, records, truncated, _ = read_log(path)
+        assert truncated is None
+        assert [r.rtype for r in records] == [
+            REC_BEGIN, REC_INSERT, REC_COMMIT,
+        ]
+        storage, report = recover(SimulatedDisk(256), path)
+        assert sorted(storage.all_ordinals()) == [31]
+        assert report.committed_txns == 1
+
+    def test_torn_crash_still_discards_the_tail(self, tmp_path):
+        """The fsync change must not weaken torn-force semantics."""
+        schema = make_schema()
+        injector = FaultInjector(crash_after=1, crash_mode="torn", seed=5)
+        path = str(tmp_path / "t.wal")
+        wal = WriteAheadLog.create(
+            path, schema, block_size=256, injector=injector
+        )
+        tid = wal.begin()
+        wal.log_insert(tid, 31)
+        with pytest.raises(CrashPoint):
+            wal.commit(tid)
+        injector.disarm()
+        storage, _ = recover(SimulatedDisk(256), path)
+        # Either the whole transaction survived or none of its effects.
+        assert sorted(storage.all_ordinals()) in ([], [31])
