@@ -7,6 +7,7 @@ This package implements the paper's primary contribution:
 * :mod:`repro.core.runlength` — leading-zero run-length coding (Sec. 3.4)
 * :mod:`repro.core.representative` — representative selection strategies
 * :mod:`repro.core.codec` — the full block coding pipeline (Sec. 3.4)
+* :mod:`repro.core.vectorized` — the numpy whole-block codec fast path
 * :mod:`repro.core.quantizer` — the definitional quantizer ``Q_L`` (Def. 2.1)
 """
 
@@ -35,6 +36,7 @@ from repro.core.phi import OrdinalMapper, phi_array, phi_inverse_array
 from repro.core.quantizer import AVQCode, AVQQuantizer, build_codebook
 from repro.core.representative import STRATEGIES, get_strategy
 from repro.core.runlength import TupleLayout, rle_decode, rle_encode
+from repro.core.vectorized import VectorizedBlockCodec, vectorized_codec_for
 
 __all__ = [
     "BlockCodec",
@@ -64,4 +66,6 @@ __all__ = [
     "decode_blocks",
     "decode_ordinal_blocks",
     "resolve_workers",
+    "VectorizedBlockCodec",
+    "vectorized_codec_for",
 ]

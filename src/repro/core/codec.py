@@ -36,14 +36,17 @@ this to let the packer compute fill levels without materialising bytes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.phi import OrdinalMapper
 from repro.core.representative import get_strategy
 from repro.core.runlength import TupleLayout, rle_decode, rle_encode
 from repro.core.stream import StreamReader, StreamWriter
-from repro.errors import BlockOverflowError, CodecError
+from repro.errors import BlockOverflowError, CodecError, DomainError
 from repro.obs import runtime as _obs
+
+if TYPE_CHECKING:  # imported lazily at runtime to break the cycle
+    from repro.core.vectorized import VectorizedBlockCodec
 
 __all__ = ["BlockCodec", "HEADER_BYTES"]
 
@@ -68,6 +71,16 @@ class BlockCodec:
     representative:
         Name of the representative-selection strategy; ``"median"`` is the
         paper's choice.
+    vectorized:
+        Whether to run the numpy whole-block fast path
+        (:mod:`repro.core.vectorized`).  ``None`` (the default)
+        auto-selects it whenever it is byte-identical to the scalar
+        path — chained differences, median representative, ordinal
+        space within int64; ``False`` forces the exact scalar path
+        everywhere (the knob docs/PERFORMANCE.md documents); ``True``
+        demands the fast path and raises
+        :class:`~repro.errors.DomainError` for ineligible
+        configurations.
 
     Examples
     --------
@@ -85,12 +98,26 @@ class BlockCodec:
         *,
         chained: bool = True,
         representative: str = "median",
+        vectorized: Optional[bool] = None,
     ) -> None:
         self._mapper = OrdinalMapper(domain_sizes)
         self._layout = TupleLayout(domain_sizes)
         self._chained = chained
         self._strategy_name = representative
         self._strategy = get_strategy(representative)
+        self._vector: Optional["VectorizedBlockCodec"] = None
+        if vectorized is not False:
+            # Runtime import: repro.core.vectorized imports this module
+            # for the block-layout constants.
+            from repro.core.vectorized import vectorized_codec_for
+
+            self._vector = vectorized_codec_for(self)
+            if vectorized is True and self._vector is None:
+                raise DomainError(
+                    "vectorized=True requires chained differences, the "
+                    "median representative, and an ordinal space that "
+                    "fits int64"
+                )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -120,6 +147,23 @@ class BlockCodec:
     def representative_strategy(self) -> str:
         """Name of the representative-selection strategy in use."""
         return self._strategy_name
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the numpy whole-block encode fast path is active."""
+        return self._vector is not None
+
+    @property
+    def vector_codec(self) -> Optional["VectorizedBlockCodec"]:
+        """The attached vectorised companion codec, or ``None``.
+
+        Present exactly when :attr:`vectorized` is true.  Note the
+        companion may still decline *decoding* for schemas whose corrupt
+        payloads could overflow int64 digit reassembly — check its
+        ``decode_supported`` before decoding through it directly (this
+        class's decode methods do).
+        """
+        return self._vector
 
     # ------------------------------------------------------------------
     # Difference computation
@@ -214,6 +258,18 @@ class BlockCodec:
             )
         reg = _obs.REGISTRY
         t0 = _obs.now_ms() if reg is not None else 0.0
+        if self._vector is not None:
+            # None here means the input needs the scalar path's precise
+            # per-tuple validation errors; fall through to produce them.
+            vec_payload = self._vector.try_encode_block(tuples, capacity)
+            if vec_payload is not None:
+                if reg is not None:
+                    reg.inc("codec.blocks_encoded")
+                    reg.inc("codec.tuples_encoded", u)
+                    reg.inc("codec.bytes_encoded", len(vec_payload))
+                    reg.inc("codec.vector_encodes")
+                    reg.observe("codec.encode_ms", _obs.now_ms() - t0)
+                return vec_payload
         ordinals = sorted(self._mapper.phi(t) for t in tuples)
         rep = self._strategy(ordinals)
 
@@ -235,8 +291,45 @@ class BlockCodec:
             reg.inc("codec.blocks_encoded")
             reg.inc("codec.tuples_encoded", u)
             reg.inc("codec.bytes_encoded", len(payload))
+            reg.inc("codec.scalar_encodes")
             reg.observe("codec.encode_ms", _obs.now_ms() - t0)
         return payload
+
+    def encode_ordinals(
+        self,
+        sorted_ordinals: Sequence[int],
+        capacity: Optional[int] = None,
+    ) -> bytes:
+        """Encode an *ascending* phi-ordinal run directly into one block.
+
+        The no-tuple-expansion twin of :meth:`encode_block` for callers
+        that already hold sorted ordinals (block mutation, repair,
+        bulk load): on the vectorised path the ``phi_inverse`` →
+        ``phi`` round trip is skipped entirely.  Byte-identical to
+        ``encode_block`` over the same tuples; ``sorted_ordinals`` must
+        be ascending and in ``[0, ||R||)``.
+        """
+        u = len(sorted_ordinals)
+        if u == 0:
+            raise CodecError("cannot encode an empty block")
+        if u > MAX_TUPLES_PER_BLOCK:
+            raise CodecError(
+                f"block holds {u} tuples; the 2-byte count field allows at "
+                f"most {MAX_TUPLES_PER_BLOCK}"
+            )
+        if self._vector is not None:
+            reg = _obs.REGISTRY
+            t0 = _obs.now_ms() if reg is not None else 0.0
+            payload = self._vector.encode_run(sorted_ordinals, capacity)
+            if reg is not None:
+                reg.inc("codec.blocks_encoded")
+                reg.inc("codec.tuples_encoded", u)
+                reg.inc("codec.bytes_encoded", len(payload))
+                reg.inc("codec.vector_encodes")
+                reg.observe("codec.encode_ms", _obs.now_ms() - t0)
+            return payload
+        tuples = [self._mapper.phi_inverse(o) for o in sorted_ordinals]
+        return self.encode_block(tuples, capacity=capacity)
 
     # ------------------------------------------------------------------
     # Decoding
@@ -251,6 +344,14 @@ class BlockCodec:
         """
         reg = _obs.REGISTRY
         t0 = _obs.now_ms() if reg is not None else 0.0
+        if self._vector is not None and self._vector.decode_supported:
+            tuples = self._vector.decode_block(data)
+            if reg is not None:
+                reg.inc("codec.blocks_decoded")
+                reg.inc("codec.tuples_decoded", len(tuples))
+                reg.inc("codec.vector_decodes")
+                reg.observe("codec.decode_ms", _obs.now_ms() - t0)
+            return tuples
         reader = StreamReader(data)
         u = reader.read_uint(2)
         if u == 0:
@@ -277,6 +378,7 @@ class BlockCodec:
         if reg is not None:
             reg.inc("codec.blocks_decoded")
             reg.inc("codec.tuples_decoded", u)
+            reg.inc("codec.scalar_decodes")
             reg.observe("codec.decode_ms", _obs.now_ms() - t0)
         return tuples
 
@@ -288,6 +390,13 @@ class BlockCodec:
         """
         reg = _obs.REGISTRY
         t0 = _obs.now_ms() if reg is not None else 0.0
+        if self._vector is not None and self._vector.decode_supported:
+            vec_ordinals = self._vector.decode_ordinals(data)
+            if reg is not None:
+                reg.inc("codec.ordinal_decodes")
+                reg.inc("codec.vector_decodes")
+                reg.observe("codec.decode_ms", _obs.now_ms() - t0)
+            return vec_ordinals
         reader = StreamReader(data)
         u = reader.read_uint(2)
         if u == 0:
@@ -310,6 +419,7 @@ class BlockCodec:
         ordinals = self._reconstruct_ordinals(u, rep, rep_ordinal, diffs)
         if reg is not None:
             reg.inc("codec.ordinal_decodes")
+            reg.inc("codec.scalar_decodes")
             reg.observe("codec.decode_ms", _obs.now_ms() - t0)
         return ordinals
 

@@ -43,7 +43,7 @@ from types import TracebackType
 from typing import List, Optional, Sequence, Tuple, Type
 
 from repro.core.codec import BlockCodec
-from repro.errors import BlockOverflowError, CodecError
+from repro.errors import CodecError
 from repro.obs import runtime as _obs
 
 __all__ = [
@@ -80,12 +80,13 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 
 def _use_fast_encoder(codec: BlockCodec) -> bool:
-    """Whether the vectorised encoder applies (byte-identical when it does)."""
-    return (
-        codec.chained
-        and codec.representative_strategy == "median"
-        and codec.mapper.fits_int64
-    )
+    """Whether the vectorised encoder applies (byte-identical when it does).
+
+    Centralised on the codec's own chooser (:mod:`repro.core.vectorized`)
+    so a ``vectorized=False`` codec keeps the exact scalar path inside
+    workers too.  Duck-typed codecs without the knob are scalar.
+    """
+    return bool(getattr(codec, "vectorized", False))
 
 
 def _encode_runs(
@@ -97,23 +98,14 @@ def _encode_runs(
     """Encode each phi-ordered ordinal run into one block payload.
 
     This is the per-chunk worker body; it must stay a module-level
-    function so process pools can pickle it.
+    function so process pools can pickle it.  ``fast`` routes through
+    the codec's vectorised companion (byte-identical; the companion
+    pickles along with the codec).
     """
+    vec = getattr(codec, "vector_codec", None) if fast else None
+    if vec is not None:
+        return [vec.encode_run(run, capacity) for run in runs]
     out: List[bytes] = []
-    if fast:
-        import numpy as np
-
-        from repro.core.fastpack import FastBlockEncoder
-
-        encoder = FastBlockEncoder(codec.mapper.domain_sizes)
-        for run in runs:
-            payload = encoder.encode_run(np.asarray(run, dtype=np.int64))
-            if capacity is not None and len(payload) > capacity:
-                raise BlockOverflowError(
-                    f"{len(run)} tuples encode to more than {capacity} bytes"
-                )
-            out.append(payload)
-        return out
     mapper = codec.mapper
     for run in runs:
         tuples = [mapper.phi_inverse(o) for o in run]
@@ -246,7 +238,10 @@ class ParallelBlockCodec:
             if not run:
                 raise CodecError("cannot encode an empty run")
         with _obs.span(
-            "parallel.encode_blocks", runs=len(runs), workers=self._workers
+            "parallel.encode_blocks",
+            runs=len(runs),
+            workers=self._workers,
+            vectorized=self._fast,
         ):
             out = self._encode_batch(runs, capacity)
         reg = _obs.REGISTRY
@@ -290,6 +285,7 @@ class ParallelBlockCodec:
             "parallel.decode_blocks",
             payloads=len(payloads),
             workers=self._workers,
+            vectorized=self._fast,
         ):
             out = self._decode_batch(payloads)
         reg = _obs.REGISTRY
@@ -329,6 +325,7 @@ class ParallelBlockCodec:
             "parallel.decode_ordinal_blocks",
             payloads=len(payloads),
             workers=self._workers,
+            vectorized=self._fast,
         ):
             return self._decode_ordinal_batch(payloads)
 

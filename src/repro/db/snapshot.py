@@ -106,6 +106,7 @@ class TableSnapshot:
             table=self._table.name,
             csn=self.csn,
             candidates=len(candidates),
+            codec_path=self._table._codec_path(),
         ):
             for block_id, _first, _last, _count in candidates:
                 for t in self._read_tuples(block_id):

@@ -571,6 +571,7 @@ class Table:
             table=self._name,
             access_path=access_path,
             candidates=len(block_ids),
+            codec_path=self._codec_path(),
         ):
             for block_id in block_ids:
                 t0 = _obs.now_ms()
@@ -627,7 +628,12 @@ class Table:
         blocks = 0
         fetch_ms = 0.0
         filter_ms = 0.0
-        with _obs.span("query.select", table=self._name, access_path="scan"):
+        with _obs.span(
+            "query.select",
+            table=self._name,
+            access_path="scan",
+            codec_path=self._codec_path(),
+        ):
             block_iter = iter(self._storage.iter_blocks())
             while True:
                 t0 = _obs.now_ms()
@@ -660,6 +666,13 @@ class Table:
             io_ms=disk.stats.elapsed_ms - start_ms,
             profile=profile,
         )
+
+    def _codec_path(self) -> str:
+        """Which decode implementation this table's reads run through."""
+        codec = getattr(self._storage, "codec", None)
+        if codec is not None and getattr(codec, "vectorized", False):
+            return "vector"
+        return "scalar"
 
     def _publish_query_metrics(self, profile: QueryProfile) -> None:
         """Mirror one query's profile into the registry when enabled."""

@@ -114,35 +114,35 @@ def _write_avq_file(
 
     payloads: List[bytes] = []
     directory: List[List[Union[int, str]]] = []
-    fast = (
-        bool(ordinals)
-        and codec.chained
-        and codec.representative_strategy == "median"
-        and codec.mapper.fits_int64
-    )
+    vec = codec.vector_codec if ordinals else None
     runs: List[List[int]] = []
-    if fast:
+    if vec is not None:
         import numpy as np
 
-        from repro.core.fastpack import FastBlockEncoder, fast_pack_boundaries
+        from repro.core.fastpack import fast_pack_boundaries
 
         arr = np.asarray(ordinals, dtype=np.int64)
         sizes = relation.schema.domain_sizes
         boundaries = fast_pack_boundaries(arr, sizes, block_size)
         runs = [ordinals[start:end] for start, end in boundaries]
         if workers is None:
-            encoder = FastBlockEncoder(sizes)
-            payloads = [
-                encoder.encode_run(arr[start:end])
-                for start, end in boundaries
-            ]
+            with _obs.span(
+                "codec.encode", blocks=len(runs), path="vector"
+            ):
+                payloads = [
+                    vec.encode_run(arr[start:end])
+                    for start, end in boundaries
+                ]
     else:
         partition = pack_ordinals(codec, ordinals, block_size)
         runs = [list(run) for run in partition.blocks]
         if workers is None:
-            for run in runs:
-                tuples = [codec.mapper.phi_inverse(o) for o in run]
-                payloads.append(codec.encode_block(tuples))
+            with _obs.span(
+                "codec.encode", blocks=len(runs), path="scalar"
+            ):
+                for run in runs:
+                    tuples = [codec.mapper.phi_inverse(o) for o in run]
+                    payloads.append(codec.encode_block(tuples))
     if workers is not None and runs:
         from repro.core.parallel import encode_blocks
 
@@ -470,4 +470,9 @@ class AVQFileReader:
 def read_avq_file(path: str) -> Relation:
     """Decompress a whole container back into an in-memory relation."""
     with AVQFileReader(path) as reader:
-        return Relation(reader.schema, reader.scan())
+        with _obs.span(
+            "codec.decode",
+            blocks=reader.num_blocks,
+            path="vector" if reader.codec.vectorized else "scalar",
+        ):
+            return Relation(reader.schema, reader.scan())

@@ -95,19 +95,12 @@ class AVQFile:
             for run, payload in zip(runs, payloads):
                 f._append_encoded(run, payload)
             return f
-        if (
-            f._codec.chained
-            and getattr(f._codec, "representative_strategy", None) == "median"
-            and f._codec.mapper.fits_int64
-        ):
-            import numpy as np
-
-            from repro.core.fastpack import FastBlockEncoder
-
-            encoder = FastBlockEncoder(relation.schema.domain_sizes)
+        # Duck-typed alternative codecs (e.g. GolombBlockCodec) have no
+        # vectorised companion; they take the scalar loop below.
+        vec = getattr(f._codec, "vector_codec", None)
+        if vec is not None:
             for run in runs:
-                payload = encoder.encode_run(np.asarray(run, dtype=np.int64))
-                f._append_encoded(run, payload)
+                f._append_encoded(run, vec.encode_run(run, disk.block_size))
             return f
         for run in runs:
             f._append_run(run)
@@ -212,6 +205,13 @@ class AVQFile:
         self._crc_by_id[block_id] = zlib.crc32(payload)
 
     def _encode_ordinals(self, ordinals: Sequence[int]) -> bytes:
+        # Mutation paths always hold sorted ordinals, so a codec that
+        # can encode runs directly skips the phi_inverse -> phi round
+        # trip (vectorised when eligible, byte-identical either way).
+        # Duck-typed codecs without that method expand to tuples first.
+        encode_ordinals = getattr(self._codec, "encode_ordinals", None)
+        if encode_ordinals is not None:
+            return encode_ordinals(ordinals, capacity=self._disk.block_size)
         tuples = [self._codec.mapper.phi_inverse(o) for o in ordinals]
         return self._codec.encode_block(tuples, capacity=self._disk.block_size)
 

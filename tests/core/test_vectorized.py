@@ -1,0 +1,207 @@
+"""VectorizedBlockCodec unit behaviour, the chooser, and the fallback rule.
+
+The byte-level equivalence proofs live in
+``test_vectorized_differential.py``; this module pins the *contract*:
+construction limits, error surfaces, the ``vectorized_codec_for``
+eligibility rule, the BlockCodec delegation switches, the observability
+counters, and — the regression this PR must never lose — that schemas
+whose ordinal space exceeds int64 transparently produce the same
+container files through the scalar path.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.codec import BlockCodec, MAX_TUPLES_PER_BLOCK
+from repro.core.vectorized import VectorizedBlockCodec, vectorized_codec_for
+from repro.errors import BlockOverflowError, CodecError, DomainError
+from repro.obs import runtime
+
+PAPER_DOMAINS = [8, 16, 64, 64, 64]
+#: The Section 5.2 timing schema: ten 12-bit and six 18-bit domains,
+#: ordinal space 2**228 — far beyond int64.
+WIDE_DOMAINS = [1 << 12] * 10 + [1 << 18] * 6
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled():
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+class TestConstruction:
+    def test_paper_schema_constructs(self):
+        vec = VectorizedBlockCodec(PAPER_DOMAINS)
+        assert vec.mapper.domain_sizes == tuple(PAPER_DOMAINS)
+        assert vec.tuple_bytes == vec.layout.tuple_bytes
+        assert vec.decode_supported
+
+    def test_wide_schema_rejected(self):
+        with pytest.raises(DomainError):
+            VectorizedBlockCodec(WIDE_DOMAINS)
+
+
+class TestEncodeErrors:
+    def test_empty_run_rejected(self):
+        with pytest.raises(CodecError, match="empty block"):
+            VectorizedBlockCodec(PAPER_DOMAINS).encode_run([])
+
+    def test_count_field_limit(self):
+        vec = VectorizedBlockCodec(PAPER_DOMAINS)
+        run = np.zeros(MAX_TUPLES_PER_BLOCK + 1, dtype=np.int64)
+        with pytest.raises(CodecError, match="2-byte count field"):
+            vec.encode_run(run)
+
+    def test_capacity_overflow_matches_scalar_message(self):
+        scalar = BlockCodec(PAPER_DOMAINS, vectorized=False)
+        vec = VectorizedBlockCodec(PAPER_DOMAINS)
+        ordinals = list(range(0, 4000, 40))
+        tuples = [scalar.mapper.phi_inverse(o) for o in ordinals]
+        with pytest.raises(BlockOverflowError) as want:
+            scalar.encode_block(tuples, capacity=16)
+        with pytest.raises(BlockOverflowError) as got:
+            vec.encode_run(ordinals, capacity=16)
+        assert str(got.value) == str(want.value)
+
+    def test_try_encode_block_defers_bad_input_to_scalar(self):
+        """Ragged, out-of-domain, or non-integer tuples return None so
+        the delegating codec re-runs the scalar path and raises its
+        precise per-tuple error."""
+        vec = VectorizedBlockCodec(PAPER_DOMAINS)
+        assert vec.try_encode_block([(0, 0, 0), (0, 0)]) is None
+        assert vec.try_encode_block([(99, 0, 0, 0, 0)]) is None
+        assert vec.try_encode_block([(0, 0, 0, 0, "x")]) is None
+        ok = vec.try_encode_block([(1, 2, 3, 4, 5)])
+        assert isinstance(ok, bytes)
+
+
+class TestChooser:
+    def test_default_configuration_is_eligible(self):
+        codec = BlockCodec(PAPER_DOMAINS, vectorized=False)
+        vec = vectorized_codec_for(codec)
+        assert isinstance(vec, VectorizedBlockCodec)
+
+    def test_unchained_codec_is_not(self):
+        assert vectorized_codec_for(
+            BlockCodec(PAPER_DOMAINS, chained=False)
+        ) is None
+
+    def test_non_median_representative_is_not(self):
+        assert vectorized_codec_for(
+            BlockCodec(PAPER_DOMAINS, representative="first")
+        ) is None
+
+    def test_wide_schema_is_not(self):
+        assert vectorized_codec_for(BlockCodec(WIDE_DOMAINS)) is None
+
+
+class TestBlockCodecDelegation:
+    def test_default_codec_is_vectorized(self):
+        codec = BlockCodec(PAPER_DOMAINS)
+        assert codec.vectorized is True
+        assert isinstance(codec.vector_codec, VectorizedBlockCodec)
+
+    def test_vectorized_false_forces_scalar(self):
+        codec = BlockCodec(PAPER_DOMAINS, vectorized=False)
+        assert codec.vectorized is False
+        assert codec.vector_codec is None
+
+    def test_vectorized_true_on_wide_schema_raises(self):
+        with pytest.raises(DomainError):
+            BlockCodec(WIDE_DOMAINS, vectorized=True)
+
+    def test_wide_schema_falls_back_silently(self):
+        codec = BlockCodec(WIDE_DOMAINS)
+        assert codec.vectorized is False
+
+    def test_ablation_configurations_fall_back_silently(self):
+        assert BlockCodec(PAPER_DOMAINS, chained=False).vectorized is False
+        assert (
+            BlockCodec(PAPER_DOMAINS, representative="last").vectorized
+            is False
+        )
+
+
+class TestPathCounters:
+    """The registry must attribute work to the implementation that did it."""
+
+    def _encode_decode(self, codec):
+        tuples = [(i % 8, i % 16, i % 64, 0, i % 64) for i in range(50)]
+        payload = codec.encode_block(tuples)
+        codec.decode_block(payload)
+        codec.decode_ordinals(payload)
+
+    def test_vector_path_counters(self):
+        reg, _ = runtime.enable()
+        self._encode_decode(BlockCodec(PAPER_DOMAINS))
+        assert reg.value("codec.vector_encodes") == 1
+        assert reg.value("codec.vector_decodes") == 2
+        assert reg.value("codec.scalar_encodes") == 0
+        assert reg.value("codec.scalar_decodes") == 0
+        # The path split never disturbs the long-standing totals.
+        assert reg.value("codec.blocks_encoded") == 1
+        assert reg.value("codec.blocks_decoded") == 1
+
+    def test_scalar_path_counters(self):
+        reg, _ = runtime.enable()
+        self._encode_decode(BlockCodec(PAPER_DOMAINS, vectorized=False))
+        assert reg.value("codec.vector_encodes") == 0
+        assert reg.value("codec.vector_decodes") == 0
+        assert reg.value("codec.scalar_encodes") == 1
+        assert reg.value("codec.scalar_decodes") == 2
+        assert reg.value("codec.blocks_encoded") == 1
+        assert reg.value("codec.blocks_decoded") == 1
+
+
+class TestInt64OverflowFallbackRegression:
+    """Schemas past the int64 bound must keep producing *identical files*.
+
+    This pins the PR's compatibility promise: the vectorised fast path
+    is an implementation detail, invisible in every byte on disk, and
+    the Section 5.2 timing schema (space 2**228) silently routes to the
+    scalar codec.
+    """
+
+    def _timing_relation(self, n=400, seed=5):
+        from repro.workload.generator import (
+            generate_relation,
+            paper_timing_spec,
+        )
+
+        return generate_relation(paper_timing_spec(n, seed=seed))
+
+    def test_wide_schema_containers_byte_identical(self, tmp_path):
+        from repro.io.format import AVQFileReader, write_avq_file
+
+        relation = self._timing_relation()
+        default_path = str(tmp_path / "default.avq")
+        scalar_path = str(tmp_path / "scalar.avq")
+        write_avq_file(default_path, relation, block_size=512)
+        write_avq_file(
+            scalar_path,
+            relation,
+            block_size=512,
+            codec=BlockCodec(
+                relation.schema.domain_sizes, vectorized=False
+            ),
+        )
+        with open(default_path, "rb") as f:
+            default_bytes = f.read()
+        with open(scalar_path, "rb") as f:
+            scalar_bytes = f.read()
+        assert default_bytes == scalar_bytes
+        with AVQFileReader(default_path) as reader:
+            assert reader.codec.vectorized is False
+            assert sorted(reader.scan()) == sorted(relation)
+
+    def test_wide_schema_round_trips(self, tmp_path):
+        from repro.io.format import read_avq_file, write_avq_file
+
+        relation = self._timing_relation(n=200, seed=9)
+        path = str(tmp_path / "wide.avq")
+        write_avq_file(path, relation, block_size=1024)
+        assert sorted(read_avq_file(path)) == sorted(relation)
+        assert os.path.getsize(path) > 0
