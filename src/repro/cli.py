@@ -11,6 +11,7 @@
     python -m repro fsck      data.avq --repair --wal data.wal
     python -m repro serve     data.csv --port 7474
     python -m repro loadgen   --selfhosted --clients 1000 --json out.json
+    python -m repro chaos     --seeds 5 --json BENCH_chaos.json
 
 ``compress`` runs the full Section 3 pipeline on a CSV; ``query``
 demonstrates localized access — only the blocks that can contain
@@ -29,6 +30,11 @@ concurrent clients over the length-prefixed protocol; ``loadgen`` drives
 a server with closed-loop zipf-skewed clients and reports qps and
 latency percentiles (docs/SERVING.md).  ``loadgen --selfhosted --json``
 is the CI benchmark entry point behind ``BENCH_serving.json``.
+``chaos`` runs the seeded network/disk fault sweep
+(:mod:`repro.server.chaos`) and checks the serving invariants — no lost
+acknowledged write, no client hang past its deadline, typed refusals,
+recovery to steady state; its report is ``BENCH_chaos.json``.  It exits
+0 only when every scenario passed.
 
 The global ``--metrics PATH`` flag (before the subcommand) enables the
 observability layer for the run and writes its JSON-lines export —
@@ -396,6 +402,43 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server.chaos import SCENARIO_KINDS, run_chaos_sweep
+
+    kinds = (
+        tuple(args.kinds.split(",")) if args.kinds else SCENARIO_KINDS
+    )
+    report = run_chaos_sweep(
+        kinds=kinds,
+        seeds=tuple(range(args.seeds)),
+        clients=args.clients,
+        requests_per_client=args.requests,
+        work_dir=args.work_dir,
+    )
+    print(
+        f"{report['total']} scenarios: {report['passed']} passed, "
+        f"{report['failed']} failed"
+    )
+    print(
+        f"invariants: {report['lost_acked_writes']} lost acked writes, "
+        f"{report['hangs']} hangs, "
+        f"{report['untyped_responses']} untyped responses, "
+        f"{report['deadline_violations']} deadline violations"
+    )
+    print(f"p99 under chaos: {report['p99_under_chaos_ms']:.2f} ms")
+    for scenario in report["scenarios"]:
+        if not scenario["passed"]:
+            print(f"FAILED: {json.dumps(scenario, sort_keys=True)}")
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"-- report -> {args.json}", file=sys.stderr)
+    return 0 if report["failed"] == 0 else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as lint_main
 
@@ -582,6 +625,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="PATH", default=None,
                    help="write the full report (BENCH_serving.json shape)")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded network/disk fault sweep against an in-process "
+             "server (serving-layer invariant checks)",
+    )
+    p.add_argument("--kinds", default=None,
+                   help="comma-separated scenario kinds (default: all)")
+    p.add_argument("--seeds", type=int, default=5,
+                   help="seeds per kind (scenarios = kinds x seeds)")
+    p.add_argument("--clients", type=int, default=3,
+                   help="concurrent clients per scenario")
+    p.add_argument("--requests", type=int, default=5,
+                   help="requests per client per scenario")
+    p.add_argument("--work-dir", default=None,
+                   help="directory for crash-restart WALs "
+                        "(default: a temp dir)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the full report (BENCH_chaos.json shape)")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("query", help="range-select from a container")
     p.add_argument("input")

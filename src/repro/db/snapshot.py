@@ -22,10 +22,10 @@ A snapshot pins superseded block versions, so it must be closed;
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.db.query import QueryResult, RangeQuery
-from repro.errors import QueryError
+from repro.errors import QueryCancelled, QueryError
 from repro.obs import runtime as _obs
 from repro.storage.mvcc import BlockVersionStore, SnapshotHandle
 
@@ -74,7 +74,12 @@ class TableSnapshot:
     # Reads
     # ------------------------------------------------------------------
 
-    def select(self, query: RangeQuery) -> QueryResult:
+    def select(
+        self,
+        query: RangeQuery,
+        *,
+        should_cancel: Optional[Callable[[], bool]] = None,
+    ) -> QueryResult:
         """Execute a conjunctive range query against the frozen state.
 
         Planning mirrors the live table's first preference: a predicate
@@ -82,6 +87,14 @@ class TableSnapshot:
         directory entries whose ordinal range overlaps it; anything else
         scans every entry.  Results are ordinal tuples, exactly as
         :meth:`Table.select` returns them.
+
+        ``should_cancel`` is the cooperative cancellation hook the
+        serving layer threads in (docs/SERVING.md): it is polled before
+        every block decode, and when it returns ``True`` the select
+        aborts with :class:`~repro.errors.QueryCancelled` instead of
+        finishing work whose deadline has already fired.  Cancellation
+        is block-granular — a read that is *inside* a stalled disk
+        access cannot be interrupted, but it stops at the next boundary.
         """
         self._require_open()
         bound = [p.bind(self._table.schema) for p in query.predicates]
@@ -109,6 +122,11 @@ class TableSnapshot:
             codec_path=self._table._codec_path(),
         ):
             for block_id, _first, _last, _count in candidates:
+                if should_cancel is not None and should_cancel():
+                    raise QueryCancelled(
+                        f"select on {self._table.name!r} cancelled at "
+                        f"block {block_id} (csn {self.csn})"
+                    )
                 for t in self._read_tuples(block_id):
                     examined += 1
                     if all(lo <= t[pos] <= hi for pos, lo, hi in bound):

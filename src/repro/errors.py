@@ -15,6 +15,7 @@ __all__ = [
     "CodecError",
     "CorruptionError",
     "CrashPoint",
+    "DeadlineError",
     "DomainError",
     "EncodingError",
     "IndexError_",
@@ -22,6 +23,7 @@ __all__ = [
     "ObservabilityError",
     "ProtocolError",
     "QuarantinedBlockError",
+    "QueryCancelled",
     "QueryError",
     "ReadFault",
     "RepairError",
@@ -185,6 +187,16 @@ class QueryError(ReproError):
     """A query is malformed (unknown attribute, inverted range)."""
 
 
+class QueryCancelled(QueryError):
+    """A read was cooperatively cancelled before it finished.
+
+    Raised at the next block boundary when the caller's cancellation
+    flag is set — a snapshot select whose client stopped waiting (its
+    deadline fired, or the connection died) aborts cleanly instead of
+    burning a reader thread on an answer nobody will read.
+    """
+
+
 class WorkloadError(ReproError):
     """A synthetic workload specification is invalid."""
 
@@ -200,6 +212,18 @@ class ObservabilityError(ReproError):
 
 class ServerError(ReproError):
     """The serving layer failed (bad configuration, lifecycle misuse)."""
+
+
+class DeadlineError(ServerError):
+    """A request exceeded its deadline budget.
+
+    On the wire this is the typed ``{"status": "error", "code":
+    "deadline"}`` response: the server answered in bounded time instead
+    of letting the client wait on a pinned disk read or a stalled
+    executor.  For a write, a deadline means the *outcome is unknown* —
+    the mutation may still commit after the answer (see
+    docs/SERVING.md).
+    """
 
 
 class ProtocolError(ServerError):

@@ -12,12 +12,15 @@ self-healing (docs/INTEGRITY.md), and instrumented
   MVCC snapshots in a thread pool, writes are serialized;
 * :mod:`repro.server.client` — blocking and asyncio clients;
 * :mod:`repro.server.loadgen` — the closed-loop zipf load generator
-  behind ``repro loadgen`` and the ``BENCH_serving.json`` CI artifact.
+  behind ``repro loadgen`` and the ``BENCH_serving.json`` CI artifact;
+* :mod:`repro.server.chaos` — the seeded network/disk chaos harness
+  behind ``repro chaos`` and the ``BENCH_chaos.json`` CI artifact.
 
 See docs/SERVING.md for the design tour.
 """
 
 from repro.server.admission import AdmissionController, AdmissionStats
+from repro.server.chaos import ChaosPlan, ChaosProxy, run_chaos_sweep
 from repro.server.client import AsyncReproClient, ReproClient
 from repro.server.loadgen import LoadgenReport, run_loadgen
 from repro.server.server import ReproServer, ServerConfig
@@ -26,9 +29,12 @@ __all__ = [
     "AdmissionController",
     "AdmissionStats",
     "AsyncReproClient",
+    "ChaosPlan",
+    "ChaosProxy",
     "LoadgenReport",
     "ReproClient",
     "ReproServer",
     "ServerConfig",
+    "run_chaos_sweep",
     "run_loadgen",
 ]

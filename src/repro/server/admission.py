@@ -91,6 +91,16 @@ class AdmissionController:
         return self._queued
 
     @property
+    def idle(self) -> bool:
+        """Whether nothing is executing or queued.
+
+        The graceful-drain loop polls this: once the gate is idle every
+        admitted request has paired its :meth:`release`, so the server
+        may close without cancelling work (docs/SERVING.md).
+        """
+        return self._inflight == 0 and self._queued == 0
+
+    @property
     def max_inflight(self) -> int:
         """Concurrent-execution bound."""
         return self._max_inflight

@@ -1,0 +1,816 @@
+"""Network + disk chaos harness for the serving layer.
+
+Robustness claims are only as good as the faults they were tested
+under (the same argument :mod:`repro.storage.faults` makes for
+durability).  This module is the serving layer's adversary:
+
+* :class:`ChaosProxy` — a seeded TCP relay that sits between clients
+  and the server and misbehaves per a :class:`ChaosPlan`: it delays
+  chunks, stalls them, cuts connections mid-frame, and truncates a
+  chunk before cutting — every failure mode a real network (or a dying
+  peer) shows a length-prefixed protocol.
+* :func:`run_chaos_sweep` — the harness: a matrix of scenario kinds ×
+  seeds (network faults through the proxy, transient/stalled/crashing
+  disks via :class:`~repro.storage.faults.FaultyDisk`, a full server
+  crash-restart over WAL recovery), each running a small seeded
+  workload and checking the four serving invariants:
+
+  1. **No acknowledged write is ever lost.**  Every insert the client
+     saw ``ok`` for is still selectable after the fault clears — across
+     a crash, after recovery.
+  2. **No client hangs past its deadline.**  Every request is guarded
+     client-side at 2x its deadline budget plus slack; a guard firing
+     is a violation, whatever else happened.
+  3. **Refusals are typed.**  Every non-ok answer is ``busy`` or a
+     coded ``error`` (``deadline``, ``shutting_down``, ...), never a
+     bare or malformed response.
+  4. **The server returns to steady state.**  Once the fault clears,
+     ping, select, and stats succeed on a direct connection, and every
+     admission slot has been released (``admitted == completed``).
+
+Scenarios are deterministic per ``(kind, seed)`` — rule R007 — so a
+failing scenario replays exactly.  ``repro chaos`` runs the sweep and
+writes the report as ``BENCH_chaos.json``; the pytest sweep asserts the
+aggregate invariants on every run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError, ServerError
+from repro.obs import runtime as _obs
+from repro.server.client import AsyncReproClient
+from repro.server.server import ReproServer, ServerConfig
+from repro.storage.faults import FaultInjector, FaultyDisk
+
+__all__ = [
+    "SCENARIO_KINDS",
+    "ChaosPlan",
+    "ChaosProxy",
+    "ChaosStats",
+    "run_chaos_sweep",
+]
+
+#: Every scenario kind the sweep knows.  Network kinds exercise the
+#: proxy; disk kinds compose proxy latency with storage faults;
+#: ``crash_restart`` kills the machine mid-workload and recovers it
+#: from the write-ahead log.
+SCENARIO_KINDS = (
+    "latency",
+    "stall",
+    "disconnect",
+    "truncate",
+    "disk_transient",
+    "disk_stall_deadline",
+    "crash_restart",
+)
+
+#: Default per-request deadline budget the workload attaches (ms); the
+#: client-side hang guard is derived from it (2x + slack).
+_REQUEST_DEADLINE_MS = 2_000.0
+_GUARD_SLACK_S = 2.0
+
+#: The workload's key split: seed rows take leading keys [0, _SPLIT),
+#: chaos-era inserts take [_SPLIT, _DOMAIN - 1) — so "acked write
+#: survived" is checked against rows that provably were NOT in the
+#: seed data.  Key _DOMAIN - 1 is a seed row pinning the domain's top.
+_DOMAIN = 64
+_SPLIT = 32
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One relay's misbehaviour rates (all decided per relayed chunk)."""
+
+    delay_rate: float = 0.0
+    delay_ms: float = 0.0
+    stall_rate: float = 0.0
+    stall_ms: float = 0.0
+    disconnect_rate: float = 0.0
+    truncate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "delay_rate",
+            "stall_rate",
+            "disconnect_rate",
+            "truncate_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ServerError(f"{name} must be in [0, 1], got {rate}")
+        if self.delay_ms < 0 or self.stall_ms < 0:
+            raise ServerError("delay_ms/stall_ms must be >= 0")
+
+
+@dataclass
+class ChaosStats:
+    """What one proxy actually did (the report's fault mix)."""
+
+    connections: int = 0
+    chunks_relayed: int = 0
+    bytes_relayed: int = 0
+    delays: int = 0
+    stalls: int = 0
+    disconnects: int = 0
+    truncations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "connections": self.connections,
+            "chunks_relayed": self.chunks_relayed,
+            "bytes_relayed": self.bytes_relayed,
+            "delays": self.delays,
+            "stalls": self.stalls,
+            "disconnects": self.disconnects,
+            "truncations": self.truncations,
+        }
+
+
+class _Cut(Exception):
+    """Internal: the plan decided this connection dies now."""
+
+
+class ChaosProxy:
+    """A seeded misbehaving TCP relay in front of one server.
+
+    Listens on an ephemeral port and forwards byte chunks to the
+    target, rolling the plan's dice on every chunk in both directions.
+    A truncation forwards a strict prefix of the chunk and then cuts —
+    the peer sees a torn frame, exactly what a crashing sender leaves
+    behind.  All randomness is seeded (R007).
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        *,
+        plan: ChaosPlan,
+        seed: int = 0,
+        chunk_bytes: int = 2048,
+    ) -> None:
+        if chunk_bytes < 2:
+            raise ServerError(f"chunk_bytes must be >= 2, got {chunk_bytes}")
+        self._target = (target_host, target_port)
+        self._plan = plan
+        self._rng = np.random.default_rng(seed)
+        self._chunk_bytes = chunk_bytes
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._relays: Set[asyncio.Task] = set()
+        self.stats = ChaosStats()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) clients should connect to."""
+        if self._server is None:
+            raise ServerError("proxy is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> Tuple[str, int]:
+        if self._server is not None:
+            raise ServerError("proxy is already started")
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._relays):
+            task.cancel()
+        if self._relays:
+            await asyncio.gather(*self._relays, return_exceptions=True)
+        self._relays.clear()
+
+    async def _handle(
+        self, creader: asyncio.StreamReader, cwriter: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._relays.add(task)
+        self.stats.connections += 1
+        swriter: Optional[asyncio.StreamWriter] = None
+        cut = False
+        try:
+            sreader, swriter = await asyncio.open_connection(*self._target)
+            up = asyncio.ensure_future(self._pump(creader, swriter))
+            down = asyncio.ensure_future(self._pump(sreader, cwriter))
+            done, pending = await asyncio.wait(
+                {up, down}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for t in pending:
+                t.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            cut = any(t.exception() is not None for t in done)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            cut = True
+        finally:
+            if task is not None:
+                self._relays.discard(task)
+            for writer in (cwriter, swriter):
+                if writer is None:
+                    continue
+                transport = writer.transport
+                if cut and transport is not None:
+                    transport.abort()  # torn, like the fault we model
+                else:
+                    writer.close()
+
+    async def _pump(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Relay one direction until EOF or the plan cuts it."""
+        plan = self._plan
+        while True:
+            chunk = await reader.read(self._chunk_bytes)
+            if not chunk:
+                writer.write_eof()
+                return
+            self.stats.chunks_relayed += 1
+            self.stats.bytes_relayed += len(chunk)
+            if (
+                plan.disconnect_rate
+                and self._rng.random() < plan.disconnect_rate
+            ):
+                self.stats.disconnects += 1
+                raise _Cut()
+            if (
+                plan.truncate_rate
+                and len(chunk) > 1
+                and self._rng.random() < plan.truncate_rate
+            ):
+                self.stats.truncations += 1
+                writer.write(chunk[: int(self._rng.integers(1, len(chunk)))])
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+                raise _Cut()
+            if plan.stall_rate and self._rng.random() < plan.stall_rate:
+                self.stats.stalls += 1
+                await asyncio.sleep(plan.stall_ms / 1000.0)
+            elif plan.delay_rate and self._rng.random() < plan.delay_rate:
+                self.stats.delays += 1
+                await asyncio.sleep(
+                    float(self._rng.uniform(0.0, plan.delay_ms)) / 1000.0
+                )
+            writer.write(chunk)
+            await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ScenarioOutcome:
+    """Everything one scenario measured (one report entry)."""
+
+    kind: str
+    seed: int
+    requests: int = 0
+    ok: int = 0
+    busy: int = 0
+    typed_errors: Dict[str, int] = field(default_factory=dict)
+    reconnects: int = 0
+    acked_writes: int = 0
+    lost_acked_writes: int = 0
+    hangs: int = 0
+    untyped_responses: int = 0
+    deadline_violations: int = 0
+    steady_state_ok: bool = False
+    slots_released: bool = False
+    latencies_ms: List[float] = field(default_factory=list)
+    proxy: Dict[str, int] = field(default_factory=dict)
+    faults: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.lost_acked_writes == 0
+            and self.hangs == 0
+            and self.untyped_responses == 0
+            and self.deadline_violations == 0
+            and self.steady_state_ok
+            and self.slots_released
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "passed": self.passed,
+            "requests": self.requests,
+            "ok": self.ok,
+            "busy": self.busy,
+            "typed_errors": dict(self.typed_errors),
+            "reconnects": self.reconnects,
+            "acked_writes": self.acked_writes,
+            "lost_acked_writes": self.lost_acked_writes,
+            "hangs": self.hangs,
+            "untyped_responses": self.untyped_responses,
+            "deadline_violations": self.deadline_violations,
+            "steady_state_ok": self.steady_state_ok,
+            "slots_released": self.slots_released,
+            "proxy": dict(self.proxy),
+            "faults": dict(self.faults),
+        }
+
+
+def _derive_row(key: int) -> List[int]:
+    """The unique in-domain row for one leading key."""
+    return [key, (key * 31) % _DOMAIN, (key * 7 + 3) % _DOMAIN]
+
+
+def _seed_rows() -> List[List[int]]:
+    """Seed data: keys [0, _SPLIT) plus the domain-pinning top key."""
+    return [_derive_row(k) for k in range(_SPLIT)] + [
+        [_DOMAIN - 1, _DOMAIN - 1, _DOMAIN - 1]
+    ]
+
+
+def _plan_for(kind: str) -> ChaosPlan:
+    if kind == "latency":
+        return ChaosPlan(delay_rate=0.5, delay_ms=15.0)
+    if kind == "stall":
+        return ChaosPlan(
+            delay_rate=0.25, delay_ms=5.0, stall_rate=0.1, stall_ms=250.0
+        )
+    if kind == "disconnect":
+        return ChaosPlan(delay_rate=0.2, delay_ms=5.0, disconnect_rate=0.06)
+    if kind == "truncate":
+        return ChaosPlan(delay_rate=0.2, delay_ms=5.0, truncate_rate=0.06)
+    # Disk-fault kinds still ride a mildly laggy network: faults compose.
+    return ChaosPlan(delay_rate=0.25, delay_ms=5.0)
+
+
+class _Workload:
+    """One scenario's client-side state (shared by its client tasks)."""
+
+    def __init__(self, outcome: _ScenarioOutcome, budget_ms: float) -> None:
+        self.outcome = outcome
+        self.budget_ms = budget_ms
+        self.guard_s = 2.0 * budget_ms / 1000.0 + _GUARD_SLACK_S
+        self.acked: Set[int] = set()
+
+    def classify(
+        self, response: Dict[str, Any], elapsed_ms: float
+    ) -> str:
+        """Bucket one response; returns its status for flow control."""
+        out = self.outcome
+        out.requests += 1
+        status = response.get("status")
+        if status == "ok":
+            out.ok += 1
+            out.latencies_ms.append(elapsed_ms)
+            return "ok"
+        if status == "busy" and response.get("retry") is True:
+            out.busy += 1
+            return "busy"
+        code = response.get("code")
+        if status == "error" and isinstance(code, str) and code:
+            out.typed_errors[code] = out.typed_errors.get(code, 0) + 1
+            if code == "deadline":
+                budget = float(response.get("budget_ms") or self.budget_ms)
+                if elapsed_ms > 2.0 * budget:
+                    out.deadline_violations += 1
+            return "error"
+        out.untyped_responses += 1
+        return "untyped"
+
+
+async def _request_once(
+    client: AsyncReproClient, request: Dict[str, Any], work: _Workload
+) -> Tuple[Optional[Dict[str, Any]], float]:
+    """One guarded round trip; ``None`` means the connection died.
+
+    The guard is the harness's hang detector: a request that gets no
+    answer within 2x its deadline budget (plus slack) is a violation no
+    matter what the server was doing.
+    """
+    t0 = _obs.now_ms()
+    try:
+        response = await asyncio.wait_for(
+            client.request(request), timeout=work.guard_s
+        )
+        return response, _obs.now_ms() - t0
+    except asyncio.TimeoutError:
+        work.outcome.hangs += 1
+        return None, _obs.now_ms() - t0
+    except (ConnectionError, ProtocolError, OSError):
+        # The relay (or the server's slow-client defense) cut us; the
+        # caller reconnects.  Not a violation: an unacknowledged
+        # request's fate is legitimately unknown.
+        return None, _obs.now_ms() - t0
+
+
+async def _client_task(
+    host: str,
+    port: int,
+    ops: Sequence[Tuple[str, int]],
+    work: _Workload,
+    rng: np.random.Generator,
+) -> None:
+    """Run one client's op list through the (possibly hostile) endpoint."""
+    client: Optional[AsyncReproClient] = None
+    try:
+        for op, key in ops:
+            if op == "insert":
+                request: Dict[str, Any] = {
+                    "op": "insert",
+                    "table": "chaos",
+                    "row": _derive_row(key),
+                    "deadline_ms": work.budget_ms,
+                }
+            else:
+                request = {
+                    "op": "select",
+                    "table": "chaos",
+                    "predicates": [{"attribute": "a", "lo": key, "hi": key}],
+                    "deadline_ms": work.budget_ms,
+                }
+            for _attempt in range(6):
+                if client is None:
+                    try:
+                        client = await asyncio.wait_for(
+                            AsyncReproClient.connect(
+                                host, port, raise_errors=False
+                            ),
+                            timeout=work.guard_s,
+                        )
+                        work.outcome.reconnects += 1
+                    except (
+                        ConnectionError,
+                        OSError,
+                        asyncio.TimeoutError,
+                    ):
+                        await asyncio.sleep(
+                            float(rng.uniform(5.0, 20.0)) / 1000.0
+                        )
+                        continue
+                response, elapsed = await _request_once(
+                    client, request, work
+                )
+                if response is None:
+                    await client.close()
+                    client = None
+                    if work.outcome.hangs:
+                        return  # a hang already failed the scenario
+                    continue  # reconnect and retry this op
+                status = work.classify(response, elapsed)
+                if status == "busy":
+                    # Decorrelated-jitter-ish pause, seeded.
+                    await asyncio.sleep(
+                        float(rng.uniform(1.0, 15.0)) / 1000.0
+                    )
+                    continue
+                if status == "ok" and op == "insert":
+                    work.acked.add(key)
+                break  # answered (ok or typed error): next op
+    finally:
+        if client is not None:
+            await client.close()
+
+
+def _ops_for_client(
+    rng: np.random.Generator, requests: int, insert_keys: List[int]
+) -> List[Tuple[str, int]]:
+    """A deterministic op mix: ~half inserts (unique keys), rest selects."""
+    ops: List[Tuple[str, int]] = []
+    for _ in range(requests):
+        if insert_keys and rng.random() < 0.5:
+            ops.append(("insert", insert_keys.pop()))
+        else:
+            ops.append(("select", int(rng.integers(0, _SPLIT))))
+    return ops
+
+
+async def _wait_admission_idle(server: ReproServer, timeout_s: float) -> bool:
+    deadline = _obs.now_ms() + timeout_s * 1000.0
+    while not server.admission.idle:
+        if _obs.now_ms() >= deadline:
+            return False
+        await asyncio.sleep(0.005)
+    return True
+
+
+async def _steady_state_ok(host: str, port: int, work: _Workload) -> bool:
+    """Direct (no proxy) ping + select + stats after the fault cleared."""
+    try:
+        async with await AsyncReproClient.connect(
+            host, port, raise_errors=False
+        ) as client:
+            if not await asyncio.wait_for(client.ping(), work.guard_s):
+                return False
+            select = await asyncio.wait_for(
+                client.request(
+                    {
+                        "op": "select",
+                        "table": "chaos",
+                        "predicates": [{"attribute": "a", "lo": 0, "hi": 0}],
+                    }
+                ),
+                work.guard_s,
+            )
+            stats = await asyncio.wait_for(
+                client.request({"op": "stats"}), work.guard_s
+            )
+        return (
+            select.get("status") == "ok" and stats.get("status") == "ok"
+        )
+    except (
+        ConnectionError,
+        ProtocolError,
+        OSError,
+        asyncio.TimeoutError,
+    ):
+        return False
+
+
+async def _verify_acked(
+    host: str, port: int, work: _Workload
+) -> int:
+    """How many acked inserts are NOT selectable anymore (must be 0)."""
+    lost = 0
+    async with await AsyncReproClient.connect(
+        host, port, raise_errors=False
+    ) as client:
+        for key in sorted(work.acked):
+            response = await asyncio.wait_for(
+                client.request(
+                    {
+                        "op": "select",
+                        "table": "chaos",
+                        "predicates": [
+                            {"attribute": "a", "lo": key, "hi": key}
+                        ],
+                    }
+                ),
+                work.guard_s,
+            )
+            if response.get("status") != "ok" or not response.get("rows"):
+                lost += 1
+    return lost
+
+
+def _server_config() -> ServerConfig:
+    return ServerConfig(
+        max_inflight=8,
+        max_queued=16,
+        max_per_client=4,
+        reader_threads=4,
+        select_deadline_ms=_REQUEST_DEADLINE_MS,
+        write_deadline_ms=_REQUEST_DEADLINE_MS,
+        stats_deadline_ms=_REQUEST_DEADLINE_MS,
+        max_deadline_ms=10_000.0,
+        drain_timeout_s=2.0,
+        send_timeout_s=2.0,
+        idle_timeout_s=30.0,
+    )
+
+
+async def _run_scenario(
+    kind: str,
+    seed: int,
+    *,
+    clients: int,
+    requests_per_client: int,
+    work_dir: Optional[str],
+) -> _ScenarioOutcome:
+    from repro.db.database import Database
+
+    outcome = _ScenarioOutcome(kind=kind, seed=seed)
+    work = _Workload(outcome, _REQUEST_DEADLINE_MS)
+
+    durable = kind == "crash_restart"
+    injector = FaultInjector(
+        seed=seed,
+        transient_read_rate=0.2 if kind == "disk_transient" else 0.0,
+        transient_burst=2,
+    )
+    disk = FaultyDisk(
+        block_size=256,
+        injector=injector,
+        read_retry_limit=3,
+        retry_backoff_ms=1.0,
+    )
+    if durable:
+        if work_dir is None:
+            raise ServerError("crash_restart scenarios need a work_dir")
+        scenario_dir = os.path.join(work_dir, f"{kind}-{seed}")
+        os.makedirs(scenario_dir, exist_ok=True)
+        database = Database(disk=disk, wal_dir=scenario_dir)
+    else:
+        scenario_dir = None
+        database = Database(disk=disk)
+    database.create_table(
+        "chaos", _seed_rows(), columns=["a", "b", "c"], durable=durable
+    )
+
+    server = ReproServer(database, _server_config())
+    host, port = await server.start()
+    proxy = ChaosProxy(host, port, plan=_plan_for(kind), seed=seed)
+    phost, pport = await proxy.start()
+
+    rng = np.random.default_rng([seed, 97])
+    insert_keys = list(range(_SPLIT, _DOMAIN - 1))
+    # Seeded shuffle so different seeds insert different keys.
+    rng.shuffle(insert_keys)
+
+    try:
+        if kind == "disk_stall_deadline":
+            await _stalled_read_probe(phost, pport, injector, work)
+        elif kind == "crash_restart":
+            # Arm the crash a couple of writes in (WAL appends count
+            # too, so even a short workload reliably reaches it).
+            injector.arm(int(rng.integers(3, 9)), crash_mode="torn")
+        if kind != "disk_stall_deadline":
+            tasks = [
+                asyncio.ensure_future(
+                    _client_task(
+                        phost,
+                        pport,
+                        _ops_for_client(
+                            np.random.default_rng([seed, 11, i]),
+                            requests_per_client,
+                            [
+                                insert_keys.pop()
+                                for _ in range(requests_per_client)
+                            ],
+                        ),
+                        work,
+                        np.random.default_rng([seed, 13, i]),
+                    )
+                )
+                for i in range(clients)
+            ]
+            await asyncio.gather(*tasks)
+    finally:
+        await proxy.stop()
+        injector.release_stalls()
+
+    # The fault clears; the server must come back to steady state.
+    if kind == "crash_restart":
+        await server.stop(drain_timeout=1.0)
+        injector.disarm()
+        recovered = Database(disk=disk, wal_dir=scenario_dir)
+        recovered.open_table("chaos")
+        server = ReproServer(recovered, _server_config())
+        host, port = await server.start()
+    else:
+        injector.disarm()
+
+    try:
+        outcome.slots_released = await _wait_admission_idle(server, 3.0)
+        outcome.steady_state_ok = await _steady_state_ok(host, port, work)
+        if work.acked:
+            outcome.acked_writes = len(work.acked)
+            outcome.lost_acked_writes = await _verify_acked(
+                host, port, work
+            )
+    finally:
+        outcome.proxy = proxy.stats.as_dict()
+        outcome.faults = {
+            k: int(v) for k, v in injector.stats.as_dict().items() if v
+        }
+        await server.stop(drain_timeout=1.0)
+    return outcome
+
+
+async def _stalled_read_probe(
+    host: str, port: int, injector: FaultInjector, work: _Workload
+) -> None:
+    """The acceptance scenario: a select pinned on a stalled disk read.
+
+    The stall parks the reader thread well past the request's budget;
+    the server must answer a typed ``deadline`` error within 2x the
+    budget (checked by :meth:`_Workload.classify`) and release the
+    admission slot even though the thread is still wedged (checked by
+    the caller's ``slots_released`` invariant).
+    """
+    budget_ms = 150.0
+    stall_ms = 1_200.0
+    async with await AsyncReproClient.connect(
+        host, port, raise_errors=False
+    ) as client:
+        # A fast select first: steady state before the fault.
+        warm = await asyncio.wait_for(
+            client.request(
+                {
+                    "op": "select",
+                    "table": "chaos",
+                    "predicates": [{"attribute": "a", "lo": 1, "hi": 1}],
+                }
+            ),
+            work.guard_s,
+        )
+        work.classify(warm, 0.0)
+        injector.stall_reads(stall_ms, count=2)
+        t0 = _obs.now_ms()
+        response = await asyncio.wait_for(
+            client.request(
+                {
+                    "op": "select",
+                    "table": "chaos",
+                    "predicates": [{"attribute": "a", "lo": 0, "hi": 20}],
+                    "deadline_ms": budget_ms,
+                }
+            ),
+            work.guard_s,
+        )
+        elapsed = _obs.now_ms() - t0
+        status = work.classify(response, elapsed)
+        if status != "error" or response.get("code") != "deadline":
+            # A stalled read MUST surface as a typed deadline answer.
+            work.outcome.untyped_responses += 1
+        if elapsed > 2.0 * budget_ms:
+            work.outcome.deadline_violations += 1
+    injector.release_stalls()
+
+
+def run_chaos_sweep(
+    *,
+    kinds: Sequence[str] = SCENARIO_KINDS,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    clients: int = 3,
+    requests_per_client: int = 5,
+    work_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the kinds x seeds fault matrix; returns the JSON-ready report.
+
+    ``work_dir`` hosts per-scenario WAL directories for the
+    crash-restart scenarios (a temp dir is created when omitted).
+    """
+    for kind in kinds:
+        if kind not in SCENARIO_KINDS:
+            raise ServerError(
+                f"unknown scenario kind {kind!r}; choose from "
+                f"{SCENARIO_KINDS}"
+            )
+    if clients < 1 or requests_per_client < 1:
+        raise ServerError("need >= 1 client and request per scenario")
+
+    owned_tmp = None
+    if work_dir is None and "crash_restart" in kinds:
+        import tempfile
+
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        work_dir = owned_tmp.name
+    try:
+        scenarios: List[_ScenarioOutcome] = []
+        for kind in kinds:
+            for seed in seeds:
+                scenarios.append(
+                    asyncio.run(
+                        _run_scenario(
+                            kind,
+                            seed,
+                            clients=clients,
+                            requests_per_client=requests_per_client,
+                            work_dir=work_dir,
+                        )
+                    )
+                )
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+
+    latencies = sorted(
+        ms for s in scenarios for ms in s.latencies_ms
+    )
+    p99 = (
+        latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+        if latencies
+        else 0.0
+    )
+    fault_mix: Dict[str, int] = {}
+    for s in scenarios:
+        for key, value in list(s.proxy.items()) + list(s.faults.items()):
+            fault_mix[key] = fault_mix.get(key, 0) + int(value)
+    return {
+        "scenarios": [s.as_dict() for s in scenarios],
+        "total": len(scenarios),
+        "passed": sum(1 for s in scenarios if s.passed),
+        "failed": sum(1 for s in scenarios if not s.passed),
+        "acked_writes": sum(s.acked_writes for s in scenarios),
+        "lost_acked_writes": sum(s.lost_acked_writes for s in scenarios),
+        "hangs": sum(s.hangs for s in scenarios),
+        "untyped_responses": sum(s.untyped_responses for s in scenarios),
+        "deadline_violations": sum(
+            s.deadline_violations for s in scenarios
+        ),
+        "p99_under_chaos_ms": p99,
+        "fault_mix": fault_mix,
+    }

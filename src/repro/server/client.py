@@ -12,6 +12,12 @@ table's domains) and surface the protocol's three statuses faithfully:
 ``ok`` returns the response, ``busy`` returns it too (callers decide how
 to back off), and ``error`` raises :class:`~repro.errors.ServerError`
 unless ``raise_errors=False``.
+
+Both also enforce :data:`~repro.server.protocol.MAX_FRAME_BYTES` on
+*responses*, symmetrically with the server's enforcement on requests: a
+garbage or hostile length word must not make either peer buffer
+gigabytes.  The convenience wrappers accept ``deadline_ms`` to attach a
+per-request deadline budget (the server clamps it to its ceiling).
 """
 
 from __future__ import annotations
@@ -44,6 +50,14 @@ def _check_response(
             f"{response.get('message')}"
         )
     return response
+
+
+def _with_deadline(
+    request: Dict[str, Any], deadline_ms: Optional[float]
+) -> Dict[str, Any]:
+    if deadline_ms is not None:
+        request["deadline_ms"] = deadline_ms
+    return request
 
 
 class ReproClient:
@@ -93,23 +107,62 @@ class ReproClient:
         """Liveness probe (never gated by admission control)."""
         return bool(self.request({"op": "ping"}).get("pong"))
 
+    def health(self) -> Dict[str, Any]:
+        """Health probe: readiness, drain state, inflight/queued."""
+        return self.request({"op": "health"})
+
+    def ready(self) -> bool:
+        """Readiness probe — false once the server starts draining."""
+        return bool(self.request({"op": "ready"}).get("ready"))
+
     def select(
         self,
         table: str,
         predicates: Sequence[Dict[str, Any]] = (),
+        *,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Range select; each predicate is ``{attribute, lo, hi}``."""
         return self.request(
-            {"op": "select", "table": table, "predicates": list(predicates)}
+            _with_deadline(
+                {
+                    "op": "select",
+                    "table": table,
+                    "predicates": list(predicates),
+                },
+                deadline_ms,
+            )
         )
 
-    def insert(self, table: str, row: Sequence[Any]) -> Dict[str, Any]:
+    def insert(
+        self,
+        table: str,
+        row: Sequence[Any],
+        *,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
         """Insert one value-level row."""
-        return self.request({"op": "insert", "table": table, "row": list(row)})
+        return self.request(
+            _with_deadline(
+                {"op": "insert", "table": table, "row": list(row)},
+                deadline_ms,
+            )
+        )
 
-    def delete(self, table: str, row: Sequence[Any]) -> Dict[str, Any]:
+    def delete(
+        self,
+        table: str,
+        row: Sequence[Any],
+        *,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
         """Delete one value-level row."""
-        return self.request({"op": "delete", "table": table, "row": list(row)})
+        return self.request(
+            _with_deadline(
+                {"op": "delete", "table": table, "row": list(row)},
+                deadline_ms,
+            )
+        )
 
     def schema(self, table: str) -> Dict[str, Any]:
         """The table's attribute names and domain sizes."""
@@ -160,10 +213,20 @@ class AsyncReproClient:
         if self._closed:
             raise ServerError("client is closed")
         await write_frame(self._writer, message)
+        # read_frame enforces MAX_FRAME_BYTES on the announced length —
+        # the same cap the blocking client checks by hand.
         response = await read_frame(self._reader)
         if response is None:
             raise ProtocolError("server closed the connection")
         return _check_response(response, raise_errors=self._raise_errors)
+
+    async def ping(self) -> bool:
+        """Liveness probe (never gated by admission control)."""
+        return bool((await self.request({"op": "ping"})).get("pong"))
+
+    async def health(self) -> Dict[str, Any]:
+        """Health probe: readiness, drain state, inflight/queued."""
+        return await self.request({"op": "health"})
 
     async def close(self) -> None:
         """Close the connection (idempotent)."""

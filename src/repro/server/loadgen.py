@@ -16,7 +16,11 @@ rows derived deterministically from the key).
 
 A BUSY answer is counted and retried after a short backoff — load
 shedding is the server behaving *correctly* under overload, so the
-report keeps it separate from errors.
+report keeps it separate from errors.  The backoff is *decorrelated
+jitter* (each wait drawn uniformly from ``[base, 3 * previous]``,
+capped): a fixed doubling schedule makes every client that got BUSY at
+the same instant retry at the same instant too, re-creating the very
+burst that triggered the shedding.  Jitter spreads the retry wave out.
 
 :func:`run_selfhosted_bench` is the CI entry point: seed a table, start
 a server on an ephemeral port in-process, run the generator against it
@@ -43,6 +47,11 @@ __all__ = ["LoadgenReport", "run_loadgen", "run_selfhosted_bench"]
 #: Extra descriptors beyond the sockets themselves (listener, pipes,
 #: stdio, ...) budgeted when raising the fd rlimit for large runs.
 _FD_HEADROOM = 256
+
+#: BUSY-retry backoff bounds (milliseconds) for the decorrelated jitter
+#: schedule: sleep ~ uniform(base, 3 * previous_sleep), capped.
+_BACKOFF_BASE_MS = 1.0
+_BACKOFF_CAP_MS = 50.0
 
 
 @dataclass
@@ -152,6 +161,7 @@ async def _client_loop(
     report: LoadgenReport,
     latencies: List[float],
     start_gate: asyncio.Event,
+    backoff_rng: np.random.Generator,
 ) -> None:
     client = await AsyncReproClient.connect(
         host, port, raise_errors=False
@@ -172,7 +182,7 @@ async def _client_loop(
                         {"attribute": leading, "lo": value, "hi": value}
                     ],
                 }
-            backoff_ms = 1.0
+            backoff_ms = _BACKOFF_BASE_MS
             while True:
                 t0 = _obs.now_ms()
                 response = await client.request(request)
@@ -181,10 +191,19 @@ async def _client_loop(
                 status = response.get("status")
                 if status == "busy":
                     report.busy += 1
-                    # Shed load like a well-behaved client: back off,
-                    # then retry the same request (still closed-loop).
+                    # Shed load like a well-behaved client: back off
+                    # with decorrelated jitter (so a cohort rejected
+                    # together does not retry together), then retry the
+                    # same request (still closed-loop).
+                    backoff_ms = min(
+                        _BACKOFF_CAP_MS,
+                        float(
+                            backoff_rng.uniform(
+                                _BACKOFF_BASE_MS, backoff_ms * 3.0
+                            )
+                        ),
+                    )
                     await asyncio.sleep(backoff_ms / 1000.0)
-                    backoff_ms = min(backoff_ms * 2, 50.0)
                     continue
                 if status == "ok":
                     report.ok += 1
@@ -260,6 +279,10 @@ async def run_loadgen(
                 report,
                 latencies,
                 start_gate,
+                # Per-client deterministic stream: jitter must differ
+                # across clients (that is its whole point) yet stay
+                # reproducible for a fixed run seed.
+                np.random.default_rng([seed, 1_000_003, i]),
             )
         )
         for i in range(clients)

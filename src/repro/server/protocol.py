@@ -22,6 +22,20 @@ Response — always carries ``status``::
 server sheds load *by answering*, and a closed-loop client treats it as
 "back off and retry", never as a failed query.
 
+Two error codes are part of the request-lifecycle contract
+(docs/SERVING.md) and get their own constructors:
+
+* ``deadline`` — the request exceeded its budget; carries ``budget_ms``
+  and, for writes, ``outcome`` (``"not_executed"`` when the write never
+  started, ``"unknown"`` when it was already executing — it may still
+  commit).
+* ``shutting_down`` — the server is draining; carries ``retry: false``
+  so a well-behaved client fails over instead of hammering a dying
+  process.
+
+A request may carry ``deadline_ms`` (a positive number); the server
+honours it, clamped to its configured ceiling.
+
 Frames are capped at :data:`MAX_FRAME_BYTES`; a peer announcing a larger
 frame is malformed (or malicious) and the connection is dropped — the
 cap is what stops one client's garbage length word from making the
@@ -40,11 +54,13 @@ from repro.errors import ProtocolError
 __all__ = [
     "MAX_FRAME_BYTES",
     "busy_response",
+    "deadline_response",
     "decode_frame",
     "encode_frame",
     "error_response",
     "ok_response",
     "read_frame",
+    "shutdown_response",
     "write_frame",
 ]
 
@@ -126,3 +142,38 @@ def busy_response() -> Dict[str, Any]:
 def error_response(code: str, message: str) -> Dict[str, Any]:
     """A typed failure response (the request itself was bad)."""
     return {"status": "error", "code": code, "message": message}
+
+
+def deadline_response(
+    budget_ms: float, *, outcome: Optional[str] = None
+) -> Dict[str, Any]:
+    """The typed deadline answer: bounded time beat a finished result.
+
+    ``outcome`` is set for writes only: ``"not_executed"`` when the
+    write was still queued (it will never run), ``"unknown"`` when it
+    had already started — the mutation may commit after this answer, so
+    the client must treat the write as neither succeeded nor failed.
+    """
+    out: Dict[str, Any] = {
+        "status": "error",
+        "code": "deadline",
+        "message": f"request exceeded its {budget_ms:.0f} ms deadline",
+        "budget_ms": budget_ms,
+    }
+    if outcome is not None:
+        out["outcome"] = outcome
+    return out
+
+
+def shutdown_response() -> Dict[str, Any]:
+    """The typed drain answer: the server is going away, fail over.
+
+    ``retry`` is explicitly ``false`` — unlike BUSY, retrying against
+    this server will not help.
+    """
+    return {
+        "status": "error",
+        "code": "shutting_down",
+        "message": "server is shutting down",
+        "retry": False,
+    }

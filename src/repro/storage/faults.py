@@ -32,6 +32,7 @@ replays exactly.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
@@ -73,6 +74,7 @@ class FaultStats:
     crashes: int = 0
     transient_faults: int = 0
     bits_flipped: int = 0
+    stalled_reads: int = 0
 
     def as_dict(self) -> Dict[str, Union[int, float]]:
         """All counters as one flat mapping (key-stable; see tests)."""
@@ -88,6 +90,7 @@ class FaultStats:
         self.crashes = 0
         self.transient_faults = 0
         self.bits_flipped = 0
+        self.stalled_reads = 0
 
 
 class FaultInjector:
@@ -140,6 +143,9 @@ class FaultInjector:
         self._transient_rate = transient_read_rate
         self._transient_burst = transient_burst
         self._transient_left = 0
+        self._stall_ms = 0.0
+        self._stalls_left = 0
+        self._stall_release = threading.Event()
         self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._crashed = False
@@ -193,7 +199,8 @@ class FaultInjector:
         """Model the reboot: clear the crash and all fault rates.
 
         Recovery code runs against a disarmed injector — the machine
-        that comes back up is assumed healthy.
+        that comes back up is assumed healthy.  Any read currently
+        blocked on an injected stall is released immediately.
         """
         self._crash_after = None
         self._crashed = False
@@ -202,6 +209,33 @@ class FaultInjector:
         self._read_error_rate = 0.0
         self._transient_rate = 0.0
         self._transient_left = 0
+        self.release_stalls()
+
+    def stall_reads(self, duration_ms: float, *, count: int = 1) -> None:
+        """Make the next ``count`` reads block *wall-clock* time.
+
+        Unlike every other fault here (which charges only simulated
+        milliseconds), a stall really parks the calling thread for up to
+        ``duration_ms`` — the wedged-controller failure mode that pins a
+        reader thread and, without deadlines, an admission slot with it.
+        The serving layer's deadline tests hang a select on exactly
+        this.  :meth:`release_stalls` (or :meth:`disarm`) frees blocked
+        readers early.
+        """
+        if duration_ms < 0:
+            raise StorageError(
+                f"stall duration must be >= 0 ms, got {duration_ms}"
+            )
+        if count < 1:
+            raise StorageError(f"stall count must be >= 1, got {count}")
+        self._stall_ms = duration_ms
+        self._stalls_left = count
+        self._stall_release.clear()
+
+    def release_stalls(self) -> None:
+        """Free any stalled readers and cancel pending stalls."""
+        self._stalls_left = 0
+        self._stall_release.set()
 
     # ------------------------------------------------------------------
     # Fault decisions
@@ -249,6 +283,17 @@ class FaultInjector:
         self._require_alive()
         self.stats.reads_seen += 1
         reg = _obs.REGISTRY
+        if self._stalls_left > 0:
+            self._stalls_left -= 1
+            self.stats.stalled_reads += 1
+            if reg is not None:
+                reg.inc("faults.stalled_reads")
+            # Park the reader for up to the stall duration; an early
+            # release_stalls()/disarm() wakes it.  The wait is real
+            # time, not simulated time — that is the fault being
+            # modelled.
+            self._stall_release.wait(self._stall_ms / 1000.0)
+            self._require_alive()
         if self._transient_left > 0:
             self._transient_left -= 1
             self.stats.transient_faults += 1

@@ -34,6 +34,7 @@ EXPECTED_KEYS = {
     FaultStats: {
         "writes_seen", "reads_seen", "torn_writes", "dropped_writes",
         "read_errors", "crashes", "transient_faults", "bits_flipped",
+        "stalled_reads",
     },
     PackStats: {
         "num_blocks", "num_tuples", "payload_bytes", "block_size",

@@ -1,0 +1,165 @@
+"""The chaos sweep: serving invariants under seeded network/disk faults.
+
+One module-scoped sweep runs the full scenario matrix (every kind x
+five seeds, >= 30 scenarios — the PR's acceptance floor); the tests
+then assert each invariant on the aggregate report, plus that the
+faults genuinely fired (a chaos harness whose faults never trigger is
+vacuously green).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.db.database import Database
+from repro.errors import ProtocolError, ServerError
+from repro.server.chaos import (
+    SCENARIO_KINDS,
+    ChaosPlan,
+    ChaosProxy,
+    run_chaos_sweep,
+)
+from repro.server.client import AsyncReproClient
+from repro.server.server import ReproServer, ServerConfig
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    work_dir = tmp_path_factory.mktemp("chaos")
+    return run_chaos_sweep(work_dir=str(work_dir))
+
+
+class TestSweepInvariants:
+    def test_at_least_thirty_scenarios(self, report):
+        assert report["total"] >= 30
+        kinds = {s["kind"] for s in report["scenarios"]}
+        assert kinds == set(SCENARIO_KINDS)
+
+    def test_every_scenario_passes(self, report):
+        failed = [s for s in report["scenarios"] if not s["passed"]]
+        assert failed == []
+
+    def test_no_acknowledged_write_lost(self, report):
+        assert report["acked_writes"] > 0  # the invariant was exercised
+        assert report["lost_acked_writes"] == 0
+
+    def test_no_client_hangs_past_deadline(self, report):
+        assert report["hangs"] == 0
+
+    def test_every_refusal_is_typed(self, report):
+        assert report["untyped_responses"] == 0
+
+    def test_deadline_answers_within_twice_budget(self, report):
+        assert report["deadline_violations"] == 0
+
+    def test_faults_actually_fired(self, report):
+        """Every modelled fault class must have triggered somewhere."""
+        mix = report["fault_mix"]
+        for fault in (
+            "delays",
+            "stalls",
+            "disconnects",
+            "truncations",
+            "crashes",
+            "transient_faults",
+            "stalled_reads",
+        ):
+            assert mix.get(fault, 0) > 0, fault
+
+    def test_steady_state_after_every_fault(self, report):
+        assert all(s["steady_state_ok"] for s in report["scenarios"])
+
+    def test_admission_slots_always_released(self, report):
+        assert all(s["slots_released"] for s in report["scenarios"])
+
+    def test_crash_scenarios_really_crashed(self, report):
+        crashes = [
+            s for s in report["scenarios"] if s["kind"] == "crash_restart"
+        ]
+        assert crashes
+        assert all(s["faults"].get("crashes") == 1 for s in crashes)
+
+    def test_p99_is_measured(self, report):
+        assert report["p99_under_chaos_ms"] > 0.0
+
+
+class TestPlanValidation:
+    def test_rates_bounded(self):
+        with pytest.raises(ServerError, match="delay_rate"):
+            ChaosPlan(delay_rate=1.5)
+        with pytest.raises(ServerError, match=">= 0"):
+            ChaosPlan(stall_ms=-1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServerError, match="unknown scenario kind"):
+            run_chaos_sweep(kinds=("gremlins",), seeds=(0,))
+
+    def test_bad_workload_shape_rejected(self):
+        with pytest.raises(ServerError, match=">= 1"):
+            run_chaos_sweep(kinds=("latency",), seeds=(0,), clients=0)
+
+
+class TestProxyTransparency:
+    """With all rates zero the proxy must be an invisible relay."""
+
+    def test_benign_proxy_relays_faithfully(self):
+        async def scenario():
+            database = Database()
+            database.create_table(
+                "t", [[0, 1], [1, 0], [2, 2]], columns=["a", "b"]
+            )
+            server = ReproServer(database, ServerConfig())
+            host, port = await server.start()
+            proxy = ChaosProxy(host, port, plan=ChaosPlan(), seed=0)
+            phost, pport = await proxy.start()
+            try:
+                async with await AsyncReproClient.connect(
+                    phost, pport
+                ) as c:
+                    assert await c.ping()
+                    result = await c.request({
+                        "op": "select", "table": "t", "predicates": [],
+                    })
+                    assert result["count"] == 3
+            finally:
+                await proxy.stop()
+                await server.stop(drain_timeout=0.5)
+            assert proxy.stats.connections == 1
+            assert proxy.stats.chunks_relayed > 0
+            assert proxy.stats.disconnects == 0
+            assert proxy.stats.truncations == 0
+
+        asyncio.run(scenario())
+
+    def test_proxy_address_requires_start(self):
+        proxy = ChaosProxy("127.0.0.1", 1, plan=ChaosPlan(), seed=0)
+        with pytest.raises(ServerError, match="not started"):
+            proxy.address
+
+    def test_proxy_survives_dead_target(self):
+        """A proxy whose target is gone drops the connection cleanly
+        (the client sees EOF / reset, never a hang)."""
+
+        async def scenario():
+            # Grab a port that nothing listens on.
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            host, dead_port = probe.sockets[0].getsockname()[:2]
+            probe.close()
+            await probe.wait_closed()
+
+            proxy = ChaosProxy(
+                host, dead_port, plan=ChaosPlan(), seed=0
+            )
+            phost, pport = await proxy.start()
+            try:
+                with pytest.raises((ConnectionError, ProtocolError)):
+                    async with await AsyncReproClient.connect(
+                        phost, pport
+                    ) as c:
+                        await asyncio.wait_for(c.ping(), timeout=2.0)
+            finally:
+                await proxy.stop()
+
+        asyncio.run(scenario())

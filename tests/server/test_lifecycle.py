@@ -1,0 +1,445 @@
+"""Request-lifecycle hardening: deadlines, drain, slow clients, probes.
+
+These are the serving layer's bounded-time promises: every request is
+answered within its deadline budget (typed, with the admission slot
+released), shutdown finishes in-flight work before cancelling anything,
+and a wedged peer is evicted rather than accumulated.
+"""
+
+import asyncio
+import contextlib
+import struct
+
+import pytest
+
+from repro.db.database import Database
+from repro.errors import ProtocolError
+from repro.obs import runtime as _obs
+from repro.server.client import AsyncReproClient, ReproClient
+from repro.server.protocol import MAX_FRAME_BYTES
+from repro.server.server import ReproServer, ServerConfig
+from repro.storage.faults import FaultInjector, FaultyDisk
+
+ROWS = [
+    [0, 10, 3],
+    [1, 11, 4],
+    [1, 12, 0],
+    [2, 13, 1],
+    [3, 14, 2],
+    [3, 14, 2],
+]
+
+
+def make_database(disk=None):
+    database = Database(disk=disk) if disk is not None else Database()
+    database.create_table("t", ROWS, columns=["a", "b", "c"])
+    return database
+
+
+@contextlib.asynccontextmanager
+async def serving(database=None, **config):
+    server = ReproServer(
+        database or make_database(), ServerConfig(**config)
+    )
+    host, port = await server.start()
+    try:
+        yield server, host, port
+    finally:
+        await server.stop(drain_timeout=1.0)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def faulty_database():
+    injector = FaultInjector(seed=7)
+    disk = FaultyDisk(block_size=256, injector=injector)
+    return injector, make_database(disk)
+
+
+class TestDeadlines:
+    def test_stalled_select_gets_typed_deadline_in_bounded_time(self):
+        """The acceptance scenario: a select pinned on a stalled disk
+        read answers a typed deadline error within 2x its budget and
+        releases its admission slot."""
+        injector, database = faulty_database()
+
+        async def scenario():
+            async with serving(database) as (server, host, port):
+                async with await AsyncReproClient.connect(
+                    host, port, raise_errors=False
+                ) as c:
+                    injector.stall_reads(2_000.0, count=1)
+                    t0 = _obs.now_ms()
+                    response = await c.request({
+                        "op": "select",
+                        "table": "t",
+                        "predicates": [],
+                        "deadline_ms": 150,
+                    })
+                    elapsed = _obs.now_ms() - t0
+                    assert response["status"] == "error"
+                    assert response["code"] == "deadline"
+                    assert response["budget_ms"] == 150
+                    assert elapsed <= 2 * 150
+                    # Slot released even though the reader thread is
+                    # still parked inside the stalled read.
+                    stats = server.admission.stats
+                    assert stats.admitted == stats.completed
+                    assert server.admission.idle
+                injector.release_stalls()
+
+        run(scenario())
+
+    def test_client_deadline_clamped_to_server_ceiling(self):
+        injector, database = faulty_database()
+
+        async def scenario():
+            async with serving(database, max_deadline_ms=200.0) as (
+                _server, host, port,
+            ):
+                async with await AsyncReproClient.connect(
+                    host, port, raise_errors=False
+                ) as c:
+                    injector.stall_reads(2_000.0, count=1)
+                    response = await c.request({
+                        "op": "select",
+                        "table": "t",
+                        "predicates": [],
+                        "deadline_ms": 9_999_999,
+                    })
+                    assert response["code"] == "deadline"
+                    assert response["budget_ms"] == 200.0
+                injector.release_stalls()
+
+        run(scenario())
+
+    @pytest.mark.parametrize("bad", [0, -5, "soon", True, [1]])
+    def test_bad_deadline_is_a_typed_error(self, bad):
+        async def scenario():
+            async with serving() as (_server, host, port):
+                async with await AsyncReproClient.connect(
+                    host, port, raise_errors=False
+                ) as c:
+                    response = await c.request({
+                        "op": "select",
+                        "table": "t",
+                        "predicates": [],
+                        "deadline_ms": bad,
+                    })
+                    assert response["status"] == "error"
+                    assert response["code"] == "bad_deadline"
+                    # The connection survives a bad request.
+                    assert await c.ping()
+
+        run(scenario())
+
+    def test_queued_write_abandoned_at_deadline(self):
+        """A write whose deadline fires while it is queued behind the
+        write lock never executes, answers ``not_executed``, and
+        releases its slot."""
+
+        async def scenario():
+            async with serving() as (server, host, port):
+                async with server._write_lock:  # hold the writer hostage
+                    async with await AsyncReproClient.connect(
+                        host, port, raise_errors=False
+                    ) as c:
+                        response = await c.request({
+                            "op": "insert",
+                            "table": "t",
+                            "row": [2, 10, 3],
+                            "deadline_ms": 100,
+                        })
+                        assert response["code"] == "deadline"
+                        assert response["outcome"] == "not_executed"
+                        assert server.admission.idle
+                # Lock free again: the same write now succeeds, and the
+                # abandoned one really never ran (count checks below).
+                async with await AsyncReproClient.connect(
+                    host, port
+                ) as c:
+                    before = await c.request({
+                        "op": "select", "table": "t",
+                        "predicates": [
+                            {"attribute": "a", "lo": 2, "hi": 2}
+                        ],
+                    })
+                    assert before["count"] == 1  # only the seed row
+                    ok = await c.request({
+                        "op": "insert", "table": "t", "row": [2, 10, 3],
+                    })
+                    assert ok["status"] == "ok"
+
+        run(scenario())
+
+    def test_started_write_answers_unknown_and_releases_late(self):
+        """A write already executing at its deadline is never
+        interrupted: the client gets ``outcome: unknown`` now, the slot
+        is held until the engine finishes, then released."""
+        injector, database = faulty_database()
+
+        async def scenario():
+            async with serving(database) as (server, host, port):
+                async with await AsyncReproClient.connect(
+                    host, port, raise_errors=False
+                ) as c:
+                    # Inserts stash the pre-image of the block they
+                    # rewrite, which reads it — the stall lands there.
+                    injector.stall_reads(600.0, count=1)
+                    response = await c.request({
+                        "op": "insert",
+                        "table": "t",
+                        "row": [0, 10, 4],
+                        "deadline_ms": 100,
+                    })
+                    assert response["code"] == "deadline"
+                    assert response["outcome"] == "unknown"
+                    # Slot still held by the in-flight write...
+                    assert not server.admission.idle
+                    # ...until the engine finishes, then it is released.
+                    deadline = _obs.now_ms() + 3_000
+                    while not server.admission.idle:
+                        assert _obs.now_ms() < deadline
+                        await asyncio.sleep(0.01)
+                    # The write committed after the answer ("unknown").
+                    check = await c.request({
+                        "op": "select", "table": "t",
+                        "predicates": [
+                            {"attribute": "a", "lo": 0, "hi": 0}
+                        ],
+                    })
+                    assert [0, 10, 4] in check["rows"]
+
+        run(scenario())
+
+
+class TestGracefulDrain:
+    def test_stop_completes_inflight_requests(self):
+        """stop(drain_timeout=...) lets a request that is already
+        executing finish and answer ok — no cancellation, no reset."""
+        injector, database = faulty_database()
+
+        async def scenario():
+            server = ReproServer(database, ServerConfig())
+            host, port = await server.start()
+            client = await AsyncReproClient.connect(
+                host, port, raise_errors=False
+            )
+            try:
+                injector.stall_reads(300.0, count=1)
+                inflight = asyncio.ensure_future(client.request({
+                    "op": "select", "table": "t", "predicates": [],
+                }))
+                await asyncio.sleep(0.05)  # let it reach the executor
+                assert not server.admission.idle
+                await server.stop(drain_timeout=5.0)
+                response = await inflight
+                assert response["status"] == "ok"
+                assert response["count"] == len(ROWS)
+            finally:
+                injector.release_stalls()
+                await client.close()
+
+        run(scenario())
+
+    def test_late_requests_get_typed_shutdown_not_resets(self):
+        injector, database = faulty_database()
+
+        async def scenario():
+            server = ReproServer(database, ServerConfig())
+            host, port = await server.start()
+            busy = await AsyncReproClient.connect(
+                host, port, raise_errors=False
+            )
+            late_client = await AsyncReproClient.connect(
+                host, port, raise_errors=False
+            )
+            try:
+                # One in-flight request keeps the drain window open.
+                injector.stall_reads(500.0, count=1)
+                inflight = asyncio.ensure_future(busy.request({
+                    "op": "select", "table": "t", "predicates": [],
+                }))
+                await asyncio.sleep(0.05)
+                stopper = asyncio.ensure_future(
+                    server.stop(drain_timeout=5.0)
+                )
+                while not server.draining:
+                    await asyncio.sleep(0.001)
+                late = await late_client.request({
+                    "op": "select", "table": "t", "predicates": [],
+                })
+                assert late["status"] == "error"
+                assert late["code"] == "shutting_down"
+                assert late["retry"] is False
+                # Probes still answer during the drain.
+                assert await late_client.ping()
+                ready = await late_client.request({"op": "ready"})
+                assert ready == {"status": "ok", "ready": False}
+                # The in-flight request still finished ok.
+                response = await inflight
+                assert response["status"] == "ok"
+                await stopper
+            finally:
+                injector.release_stalls()
+                await busy.close()
+                await late_client.close()
+
+        run(scenario())
+
+    def test_zero_drain_timeout_still_stops(self):
+        async def scenario():
+            server = ReproServer(make_database(), ServerConfig())
+            host, port = await server.start()
+            async with await AsyncReproClient.connect(host, port) as c:
+                assert await c.ping()
+            await server.stop(drain_timeout=0.0)
+            assert not server.ready
+
+        run(scenario())
+
+    def test_ready_flips_with_lifecycle(self):
+        async def scenario():
+            server = ReproServer(make_database(), ServerConfig())
+            assert not server.ready  # not started yet
+            host, port = await server.start()
+            assert server.ready
+            async with await AsyncReproClient.connect(host, port) as c:
+                health = await c.health()
+                assert health["healthy"] and health["ready"]
+                assert health["draining"] is False
+                assert health["inflight"] == 0
+            await server.stop(drain_timeout=0.5)
+            assert not server.ready
+
+        run(scenario())
+
+
+class TestDispatchRobustness:
+    def test_unexpected_exception_is_typed_and_survivable(self):
+        """A bug in an operation must answer a typed ``internal`` error
+        and keep the connection serving (it used to kill the task)."""
+
+        async def scenario():
+            async with serving() as (server, host, port):
+                def boom():
+                    raise ValueError("wat")
+
+                server._exec_stats = boom
+                async with await AsyncReproClient.connect(
+                    host, port, raise_errors=False
+                ) as c:
+                    response = await c.request({"op": "stats"})
+                    assert response["status"] == "error"
+                    assert response["code"] == "internal"
+                    assert "ValueError" in response["message"]
+                    # Slot released, connection still alive.
+                    assert server.admission.idle
+                    assert await c.ping()
+
+        run(scenario())
+
+
+class TestSlowClientDefense:
+    def test_wedged_send_aborts_the_transport(self):
+        """_send_response gives a peer send_timeout_s to accept the
+        frame, then aborts — one wedged reader cannot pin the task."""
+
+        class WedgedTransport:
+            def __init__(self):
+                self.aborted = False
+
+            def abort(self):
+                self.aborted = True
+
+        class WedgedWriter:
+            def __init__(self):
+                self.transport = WedgedTransport()
+
+            def write(self, data):
+                pass
+
+            async def drain(self):
+                await asyncio.sleep(60)
+
+        async def scenario():
+            server = ReproServer(
+                make_database(), ServerConfig(send_timeout_s=0.05)
+            )
+            writer = WedgedWriter()
+            sent = await server._send_response(writer, {"status": "ok"})
+            assert sent is False
+            assert writer.transport.aborted
+
+        run(scenario())
+
+    def test_idle_connection_is_reaped(self):
+        async def scenario():
+            async with serving(idle_timeout_s=0.1) as (
+                _server, host, port,
+            ):
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    # Send nothing; the reaper closes us (clean EOF,
+                    # not a hang).
+                    data = await asyncio.wait_for(reader.read(), 2.0)
+                    assert data == b""
+                finally:
+                    writer.close()
+                    with contextlib.suppress(ConnectionError):
+                        await writer.wait_closed()
+
+        run(scenario())
+
+
+class TestFrameCapSymmetry:
+    """Both clients enforce MAX_FRAME_BYTES on *responses* — the same
+    cap the server enforces on requests (satellite of this PR)."""
+
+    async def _oversize_server(self):
+        async def handle(reader, writer):
+            await reader.read(64)  # swallow the request
+            writer.write(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            await writer.drain()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+        server = await asyncio.start_server(handle, "127.0.0.1", 0)
+        host, port = server.sockets[0].getsockname()[:2]
+        return server, host, port
+
+    def test_async_client_rejects_oversized_response(self):
+        async def scenario():
+            server, host, port = await self._oversize_server()
+            try:
+                async with await AsyncReproClient.connect(
+                    host, port
+                ) as c:
+                    with pytest.raises(ProtocolError, match="cap"):
+                        await c.request({"op": "ping"})
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_blocking_client_rejects_oversized_response(self):
+        async def scenario():
+            server, host, port = await self._oversize_server()
+
+            def blocking_probe():
+                with ReproClient(host, port, timeout=5.0) as client:
+                    with pytest.raises(ProtocolError, match="cap"):
+                        client.request({"op": "ping"})
+
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, blocking_probe
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
